@@ -1,0 +1,112 @@
+// blob-advise reads a trace of an application's BLAS call groups and
+// reports, per HPC system, which calls are worth offloading to the GPU and
+// what the end-to-end gain would be — the §III-D workflow as a command.
+//
+// Trace format (CSV, '#' comments allowed):
+//
+//	kernel,m,n,k,precision,count,movement
+//	gemm,2048,2048,64,f64,32,once
+//	gemv,4096,4096,0,f32,128,always
+//
+// Usage:
+//
+//	blob-advise trace.csv
+//	blob-advise -system lumi trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/advisor"
+	"repro/internal/sim/systems"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blob-advise:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	systemName := flag.String("system", "", "advise for one system only (default: all three)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: blob-advise [flags] <trace.csv>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("need exactly one trace file")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	calls, err := advisor.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	if len(calls) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+
+	var syss []systems.System
+	if *systemName == "" {
+		syss = systems.All()
+	} else {
+		sys, err := systems.ByName(*systemName)
+		if err != nil {
+			return err
+		}
+		syss = []systems.System{sys}
+	}
+
+	verdicts, err := advisor.AdviseAll(syss, calls)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Call\tCount\tMovement\tSystem\tCPU\tGPU\tAdvice\tSpeedup\n")
+	for _, v := range verdicts {
+		c := v.Call
+		shape := fmt.Sprintf("%s{%d,%d,%d}", c.Kernel, c.M, c.N, c.K)
+		if c.Kernel == "gemv" {
+			shape = fmt.Sprintf("%s{%d,%d}", c.Kernel, c.M, c.N)
+		}
+		advice := "CPU"
+		if v.Offload {
+			advice = "GPU"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%s\t%s\t%s\t%s\t%.2fx\n",
+			shape, c.Count, c.Strategy, v.System,
+			fmtDur(v.CPUSeconds), fmtDur(v.GPUSeconds), advice, v.Speedup)
+	}
+	tw.Flush()
+
+	fmt.Println("\ntrace totals (per-call best-device placement vs single-device):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "System\tall-CPU\tall-GPU\tmixed\toffloaded groups\tmixed vs all-CPU\n")
+	for _, s := range advisor.Summarize(verdicts) {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d/%d\t%.2fx\n",
+			s.System, fmtDur(s.AllCPU), fmtDur(s.AllGPU), fmtDur(s.Mixed),
+			s.OffloadedCalls, len(calls), s.AllCPU/s.Mixed)
+	}
+	tw.Flush()
+	return nil
+}
+
+func fmtDur(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2f s", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2f ms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1f µs", sec*1e6)
+	}
+}

@@ -1,0 +1,141 @@
+// blob-graphs renders GFLOP/s performance graphs from GPU-BLOB CSV files —
+// the Go equivalent of the artifact's createGflopsGraphs.py. Given a CSV
+// directory (or individual files), it produces one chart per (kernel,
+// problem type): an ASCII chart on stdout and, with -svg, an SVG file next
+// to the input.
+//
+// Usage:
+//
+//	blob-graphs results/
+//	blob-graphs -svg -out graphs/ results/sgemm_square.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/csvio"
+	"repro/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blob-graphs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	svg := flag.Bool("svg", false, "also write an SVG per chart")
+	outDir := flag.String("out", "", "directory for SVG output (default: alongside input)")
+	width := flag.Int("width", 100, "ASCII chart width")
+	height := flag.Int("height", 24, "ASCII chart height")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: blob-graphs [flags] <csv-file-or-dir ...>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("need a CSV file or directory")
+	}
+	var files []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(arg, "*.csv"))
+			if err != nil {
+				return err
+			}
+			sort.Strings(matches)
+			files = append(files, matches...)
+		} else {
+			files = append(files, arg)
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no CSV files found")
+	}
+	for _, f := range files {
+		if err := renderFile(f, *svg, *outDir, *width, *height); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+func renderFile(path string, svg bool, outDir string, width, height int) error {
+	rows, err := csvio.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("empty CSV")
+	}
+	// One curve per (device, strategy, library).
+	type curveKey struct{ device, strategy, library string }
+	curves := map[curveKey]*plot.Curve{}
+	var order []curveKey
+	maxDim := func(r csvio.Row) float64 {
+		m := r.M
+		if r.N > m {
+			m = r.N
+		}
+		if r.K > m {
+			m = r.K
+		}
+		return float64(m)
+	}
+	for _, r := range rows {
+		k := curveKey{r.Device, r.Strategy, r.Library}
+		c, ok := curves[k]
+		if !ok {
+			label := r.Device
+			if r.Strategy != "" {
+				label += " " + r.Strategy
+			}
+			label += " (" + r.Library + ")"
+			c = &plot.Curve{Label: label}
+			curves[k] = c
+			order = append(order, k)
+		}
+		c.X = append(c.X, maxDim(r))
+		c.Y = append(c.Y, r.Gflops)
+	}
+	first := rows[0]
+	ch := plot.Chart{
+		Title:  fmt.Sprintf("%s %s (%s) on %s, %d iteration(s)", first.Kernel, first.Problem, first.Desc, first.System, first.Iterations),
+		XLabel: "largest dimension",
+		YLabel: "GFLOP/s",
+		LogY:   true,
+	}
+	for _, k := range order {
+		c := curves[k]
+		plot.SortByX(c)
+		ch.Curves = append(ch.Curves, plot.Downsample(*c, 160))
+	}
+	fmt.Print(ch.ASCII(width, height))
+	fmt.Println()
+	if svg {
+		dir := outDir
+		if dir == "" {
+			dir = filepath.Dir(path)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)) + ".svg"
+		if err := os.WriteFile(filepath.Join(dir, base), []byte(ch.SVG(800, 480)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, base))
+	}
+	return nil
+}

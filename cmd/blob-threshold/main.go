@@ -1,0 +1,88 @@
+// blob-threshold extracts GPU offload thresholds from GPU-BLOB CSV files —
+// the Go equivalent of the artifact's calculateOffloadThreshold.py. It is
+// used for LUMI-style split runs where the CPU and GPU sides were produced
+// by separate builds: pass the CPU CSV and the GPU CSV for the same problem
+// type (or a single combined/concatenated CSV) and it joins the rows on
+// problem size and reruns the §III-D detector per transfer strategy.
+//
+// Usage:
+//
+//	blob-threshold cpu.csv gpu.csv
+//	blob-threshold combined.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/csvio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blob-threshold:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: blob-threshold <cpu.csv> [gpu.csv ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("need at least one CSV file")
+	}
+	var rows []csvio.Row
+	for _, path := range flag.Args() {
+		r, err := csvio.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r...)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no data rows found")
+	}
+	// Group by (kernel, problem) so concatenated multi-problem inputs work.
+	type group struct{ kernel, problem, desc string }
+	byGroup := map[group][]csvio.Row{}
+	for _, r := range rows {
+		g := group{r.Kernel, r.Problem, r.Desc}
+		byGroup[g] = append(byGroup[g], r)
+	}
+	groups := make([]group, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].kernel != groups[b].kernel {
+			return groups[a].kernel < groups[b].kernel
+		}
+		return groups[a].problem < groups[b].problem
+	})
+	for _, g := range groups {
+		th, err := csvio.Thresholds(byGroup[g])
+		if err != nil {
+			return err
+		}
+		strategies := make([]string, 0, len(th))
+		for s := range th {
+			strategies = append(strategies, s)
+		}
+		sort.Strings(strategies)
+		fmt.Printf("%s %s (%s):\n", g.kernel, g.problem, g.desc)
+		if len(strategies) == 0 {
+			fmt.Println("  no GPU rows found (is this a CPU-only CSV? pass the GPU CSV too)")
+			continue
+		}
+		for _, s := range strategies {
+			fmt.Printf("  %-7s %s\n", s, th[s])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Offload advisor: the paper's §III-D use case as a tool.
+//
+// Given an application's BLAS profile — kernel, matrix shape, how many
+// back-to-back calls it makes, and how its data moves — the advisor
+// compares the modeled CPU and GPU times on each HPC system and answers
+// the question GPU-BLOB exists to answer: is porting this code to the GPU
+// worth it, and by how much? The speedup column addresses the paper's own
+// caveat that "the offload threshold alone does not indicate by how much
+// the GPU outperforms the CPU" (§V).
+//
+//	go run ./examples/offload-advisor -kernel gemm -m 2048 -n 2048 -k 64 -calls 32 -reuse high
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/flops"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		kernel = flag.String("kernel", "gemm", "gemm or gemv")
+		m      = flag.Int("m", 2048, "rows of A / C")
+		n      = flag.Int("n", 2048, "columns of B / C (GEMM) or of A (GEMV)")
+		k      = flag.Int("k", 64, "inner dimension (GEMM only)")
+		calls  = flag.Int("calls", 32, "back-to-back BLAS calls between data changes")
+		f64    = flag.Bool("f64", false, "double precision")
+		reuse  = flag.String("reuse", "high", "data re-use: high (Transfer-Once), low (Transfer-Always), or usm")
+	)
+	flag.Parse()
+
+	strategy, err := parseReuse(*reuse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prec := core.F32
+	if *f64 {
+		prec = core.F64
+	}
+	es := prec.ElemSize()
+	beta := flops.Beta{IsZero: true}
+
+	var flopsPerCall int64
+	var desc string
+	if *kernel == "gemv" {
+		flopsPerCall = flops.Gemv(*m, *n, beta)
+		desc = fmt.Sprintf("%sGEMV {%d, %d}", prec, *m, *n)
+	} else {
+		flopsPerCall = flops.Gemm(*m, *n, *k, beta)
+		desc = fmt.Sprintf("%sGEMM {%d, %d, %d}", prec, *m, *n, *k)
+	}
+	fmt.Printf("workload: %s, %d calls, %s data movement, %.3g FLOPs/call\n",
+		desc, *calls, strategy, float64(flopsPerCall))
+	if *kernel == "gemv" {
+		fmt.Printf("arithmetic intensity: %.3f FLOP/byte\n\n", flops.GemvIntensity(*m, *n, es, beta))
+	} else {
+		fmt.Printf("arithmetic intensity: %.3f FLOP/byte\n\n", flops.GemmIntensity(*m, *n, *k, es, beta))
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "System\tCPU time\tGPU time (%s)\tVerdict\tGPU speedup\n", strategy)
+	for _, sys := range systems.All() {
+		var cpu, gpu float64
+		if *kernel == "gemv" {
+			cpu = sys.CPU.GemvSeconds(es, *m, *n, true, *calls)
+			gpu = sys.GPU.GemvSeconds(strategy, es, *m, *n, true, *calls)
+		} else {
+			cpu = sys.CPU.GemmSeconds(es, *m, *n, *k, true, *calls)
+			gpu = sys.GPU.GemmSeconds(strategy, es, *m, *n, *k, true, *calls)
+		}
+		verdict := "keep on CPU"
+		if gpu < cpu {
+			verdict = "offload to GPU"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\n", sys.Name, fmtDur(cpu), fmtDur(gpu), verdict, cpu/gpu)
+	}
+	tw.Flush()
+
+	fmt.Println("\nnote: speedups below ~1.5x rarely justify a porting effort (§V);")
+	fmt.Println("re-run with -reuse low if the data changes between calls.")
+}
+
+func parseReuse(s string) (xfer.Strategy, error) {
+	switch s {
+	case "high":
+		return xfer.TransferOnce, nil
+	case "low":
+		return xfer.TransferAlways, nil
+	case "usm":
+		return xfer.Unified, nil
+	}
+	return 0, fmt.Errorf("unknown reuse %q (high, low, usm)", s)
+}
+
+func fmtDur(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2f s", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2f ms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1f µs", sec*1e6)
+	}
+}

@@ -1,0 +1,87 @@
+// SoC study: does a system-on-chip design change when to offload?
+//
+// The paper's second headline question (§I): do SoC devices like the GH200
+// change how we should approach GPU utilisation for GEMM and GEMV? This
+// example quantifies the contrast between the PCIe-attached systems (DAWN,
+// LUMI) and the NVLink-C2C GH200 (Isambard-AI) in three ways:
+//
+//  1. raw transfer cost of shipping a working set to the GPU,
+//  2. the fraction of total GPU time spent moving data, per strategy,
+//  3. the square GEMM and GEMV offload thresholds side by side.
+//
+// Run with: go run ./examples/soc-study
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+func main() {
+	log.SetFlags(0)
+	all := systems.All()
+
+	fmt.Println("step 1: cost of moving one square SGEMM working set (M=N=K=2048, 48 MiB) to the GPU")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  System\tInterconnect\tBandwidth\tLatency\tTransfer time\n")
+	for _, sys := range all {
+		toDev, _ := xfer.GemmBytes(4, 2048, 2048, 2048)
+		us := sys.GPU.Link.TransferTimeUS(toDev)
+		fmt.Fprintf(tw, "  %s\t%s\t%.0f GB/s\t%.1f µs\t%.0f µs\n",
+			sys.Name, sys.GPU.Link.Name, sys.GPU.Link.BWGBs, sys.GPU.Link.LatencyUS, us)
+	}
+	tw.Flush()
+
+	fmt.Println("\nstep 2: share of GPU time spent on data movement (SGEMM 1024³, 8 iterations)")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  System\tOnce\tAlways\tUSM\n")
+	for _, sys := range all {
+		fmt.Fprintf(tw, "  %s", sys.Name)
+		for _, st := range xfer.Strategies {
+			total := sys.GPU.GemmSeconds(st, 4, 1024, 1024, 1024, true, 8)
+			// Compute-only time: a hypothetical free interconnect.
+			free := sys.GPU
+			free.Link.BWGBs = 1e9
+			free.Link.LatencyUS = 0
+			free.USM.FaultLatencyUS = 0
+			free.USM.MigrationBWFactor = 1
+			compute := free.GemmSeconds(xfer.TransferOnce, 4, 1024, 1024, 1024, true, 8)
+			fmt.Fprintf(tw, "\t%.0f%%", 100*(total-compute)/total)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	fmt.Println("\nstep 3: square offload thresholds, GEMM vs GEMV (Transfer-Once, 8 iterations)")
+	cfg := core.DefaultConfig(8)
+	cfg.Validate.Enabled = false
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  System\tSGEMM\tSGEMV\n")
+	for _, sys := range all {
+		row := []string{}
+		for _, kernel := range []core.KernelKind{core.GEMM, core.GEMV} {
+			pt, err := core.FindProblem(kernel, "square")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ser, err := core.RunProblem(sys, pt, core.F32, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, ser.Thresholds[xfer.TransferOnce].String())
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", sys.Name, row[0], row[1])
+	}
+	tw.Flush()
+
+	fmt.Println("\nconclusion: on the SoC the offload penalty all but disappears — even GEMV,")
+	fmt.Println("traditionally kept on the CPU, crosses over at a small, static size (§V:")
+	fmt.Println("\"our GEMV-based mantra must change\"). On PCIe-attached systems the old")
+	fmt.Println("mantra survives, but only as a function of library, shape and re-use.")
+}

@@ -1,0 +1,141 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/plot"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// TestFullPipeline drives the whole stack the way cmd/gpu-blob does: sweep
+// with validation → CSV on disk → thresholds re-derived offline → chart
+// rendered — and checks every stage agrees with the others.
+func TestFullPipeline(t *testing.T) {
+	dir := t.TempDir()
+	sys := systems.LUMI()
+	cfg := core.DefaultConfig(8)
+	cfg.MaxDim = 512
+	cfg.Step = 4
+	cfg.Validate = core.Validation{Enabled: true, Every: 16, MaxFlops: 4e7}
+
+	series, err := core.Run(sys, core.GemmProblems[:2], []core.Precision{core.F32, core.F64}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	validated := 0
+	for _, ser := range series {
+		validated += ser.ValidatedCount()
+		if fails := ser.ValidationFailures(); len(fails) != 0 {
+			t.Fatalf("%s %s: %d checksum failures", ser.KernelName(), ser.Problem.Name, len(fails))
+		}
+	}
+	if validated == 0 {
+		t.Fatal("nothing was validated")
+	}
+
+	paths, err := csvio.WriteAll(dir, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("csv files = %d", len(paths))
+	}
+
+	// Offline threshold extraction must agree with the runner.
+	for i, p := range paths {
+		rows, err := csvio.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := csvio.Thresholds(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range xfer.Strategies {
+			want := series[i].Thresholds[st]
+			got := th[st.String()]
+			if got.Found != want.Found || (got.Found && got.Dims != want.Dims) {
+				t.Fatalf("%s %v: offline %v vs runner %v", filepath.Base(p), st, got, want)
+			}
+		}
+	}
+
+	// Charts render from the same CSVs.
+	rows, _ := csvio.ReadFile(paths[0])
+	curve := plot.Curve{Label: "cpu"}
+	for _, r := range rows {
+		if r.Device == "CPU" {
+			curve.X = append(curve.X, float64(r.M))
+			curve.Y = append(curve.Y, r.Gflops)
+		}
+	}
+	ch := plot.Chart{Title: "integration", Curves: []plot.Curve{curve}, LogY: true}
+	ascii := ch.ASCII(80, 16)
+	if !strings.Contains(ascii, "*") {
+		t.Fatal("chart did not render CSV data")
+	}
+	svgPath := filepath.Join(dir, "chart.svg")
+	if err := os.WriteFile(svgPath, []byte(ch.SVG(400, 300)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(svgPath); !strings.Contains(string(data), "<polyline") {
+		t.Fatal("svg chart missing data")
+	}
+}
+
+// TestPaperHeadlines pins the three headline numbers of the reproduction at
+// full sweep resolution so regressions in the models are caught at the
+// repository root.
+func TestPaperHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution sweeps")
+	}
+	cfg := core.DefaultConfig(1)
+	cfg.Validate.Enabled = false
+	squareGemm, _ := core.FindProblem(core.GEMM, "square")
+
+	// DAWN, 1 iteration: the oneMKL drop pins the SGEMM threshold at 629.
+	ser, err := core.RunProblem(systems.DAWN(), squareGemm, core.F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th := ser.Thresholds[xfer.TransferOnce]; !th.Found || th.Dims.M != 629 {
+		t.Fatalf("DAWN 1-iter SGEMM Once threshold = %v, want {629,629,629}", th)
+	}
+
+	// Isambard-AI: {26,26,26} across strategies at 8 iterations.
+	cfg8 := core.DefaultConfig(8)
+	cfg8.Validate.Enabled = false
+	ser, err = core.RunProblem(systems.IsambardAI(), squareGemm, core.F32, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range xfer.Strategies {
+		if th := ser.Thresholds[st]; !th.Found || th.Dims.M != 26 {
+			t.Fatalf("Isambard-AI 8-iter SGEMM %v threshold = %v, want {26,26,26}", st, th)
+		}
+	}
+
+	// Square GEMV Transfer-Always: never a threshold, on any system.
+	squareGemv, _ := core.FindProblem(core.GEMV, "square")
+	cfg128 := core.DefaultConfig(128)
+	cfg128.Validate.Enabled = false
+	for _, sys := range systems.All() {
+		ser, err := core.RunProblem(sys, squareGemv, core.F64, cfg128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ser.Thresholds[xfer.TransferAlways].Found {
+			t.Fatalf("%s: Transfer-Always GEMV produced a threshold %v", sys.Name, ser.Thresholds[xfer.TransferAlways])
+		}
+	}
+}

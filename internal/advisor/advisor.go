@@ -1,0 +1,225 @@
+// Package advisor turns GPU-BLOB's models into the decision tool the paper
+// sketches in §III-D: "by relating an application's matrix/vector shape and
+// size to those evaluated by GPU-BLOB, configuring the iteration count to
+// approximate the number of BLAS kernel computations, and relating the data
+// movement characteristics to one of the data transfer types, a user can
+// assess whether it would be worth porting their application to use a GPU".
+//
+// It consumes a trace of BLAS call groups (kernel, shape, precision,
+// back-to-back call count, data-movement pattern) and reports, per system,
+// the CPU and GPU times, the better device, and the speedup — including the
+// caveat the paper raises in §V: a threshold alone does not say by how
+// much, so the advisor always quantifies.
+package advisor
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/flops"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// Call is one group of identical BLAS calls in an application trace.
+type Call struct {
+	// Kernel is "gemm" or "gemv".
+	Kernel string
+	// M, N, K are the dimensions (K ignored for gemv).
+	M, N, K int
+	// ElemSize is 4 (f32) or 8 (f64).
+	ElemSize int
+	// Count is how many times the call repeats back to back on the same
+	// operands (GPU-BLOB's iteration count).
+	Count int
+	// Strategy is the data-movement pattern the application would use.
+	Strategy xfer.Strategy
+}
+
+// Validate reports whether the call is well-formed.
+func (c Call) Validate() error {
+	switch c.Kernel {
+	case "gemm":
+		if c.K < 1 {
+			return fmt.Errorf("advisor: gemm needs k >= 1, got %d", c.K)
+		}
+	case "gemv":
+	default:
+		return fmt.Errorf("advisor: unknown kernel %q", c.Kernel)
+	}
+	if c.M < 1 || c.N < 1 {
+		return fmt.Errorf("advisor: dimensions must be >= 1, got m=%d n=%d", c.M, c.N)
+	}
+	if c.ElemSize != 4 && c.ElemSize != 8 {
+		return fmt.Errorf("advisor: elem size must be 4 or 8, got %d", c.ElemSize)
+	}
+	if c.Count < 1 {
+		return fmt.Errorf("advisor: count must be >= 1, got %d", c.Count)
+	}
+	return nil
+}
+
+// Flops returns the exact per-call FLOP count (§III-A model, beta = 0).
+func (c Call) Flops() int64 {
+	if c.Kernel == "gemv" {
+		return flops.Gemv(c.M, c.N, flops.Beta{IsZero: true})
+	}
+	return flops.Gemm(c.M, c.N, c.K, flops.Beta{IsZero: true})
+}
+
+// Verdict is the advice for one call group on one system.
+type Verdict struct {
+	Call       Call
+	System     string
+	CPUSeconds float64
+	GPUSeconds float64
+	// Offload is true when the GPU (including data movement) wins.
+	Offload bool
+	// Speedup is CPU/GPU time (values < 1 mean the CPU wins).
+	Speedup float64
+}
+
+// Advise evaluates one call group on one system.
+func Advise(sys systems.System, c Call) (Verdict, error) {
+	if err := c.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	var cpu, gpu float64
+	if c.Kernel == "gemv" {
+		cpu = sys.CPU.GemvSeconds(c.ElemSize, c.M, c.N, true, c.Count)
+		gpu = sys.GPU.GemvSeconds(c.Strategy, c.ElemSize, c.M, c.N, true, c.Count)
+	} else {
+		cpu = sys.CPU.GemmSeconds(c.ElemSize, c.M, c.N, c.K, true, c.Count)
+		gpu = sys.GPU.GemmSeconds(c.Strategy, c.ElemSize, c.M, c.N, c.K, true, c.Count)
+	}
+	return Verdict{
+		Call: c, System: sys.Name,
+		CPUSeconds: cpu, GPUSeconds: gpu,
+		Offload: gpu < cpu,
+		Speedup: cpu / gpu,
+	}, nil
+}
+
+// AdviseAll evaluates every call on every system, preserving order.
+func AdviseAll(syss []systems.System, calls []Call) ([]Verdict, error) {
+	out := make([]Verdict, 0, len(syss)*len(calls))
+	for _, c := range calls {
+		for _, sys := range syss {
+			v, err := Advise(sys, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Summary aggregates verdicts for one system over a whole trace.
+type Summary struct {
+	System string
+	// AllCPU / AllGPU are the total trace times with every call on one
+	// device.
+	AllCPU, AllGPU float64
+	// Mixed is the total with each call on its better device (the paper's
+	// per-call offload decision).
+	Mixed float64
+	// OffloadedCalls counts the call groups the advisor sends to the GPU.
+	OffloadedCalls int
+}
+
+// Summarize folds verdicts into per-system totals.
+func Summarize(verdicts []Verdict) []Summary {
+	idx := map[string]int{}
+	var out []Summary
+	for _, v := range verdicts {
+		i, ok := idx[v.System]
+		if !ok {
+			i = len(out)
+			idx[v.System] = i
+			out = append(out, Summary{System: v.System})
+		}
+		out[i].AllCPU += v.CPUSeconds
+		out[i].AllGPU += v.GPUSeconds
+		if v.Offload {
+			out[i].Mixed += v.GPUSeconds
+			out[i].OffloadedCalls++
+		} else {
+			out[i].Mixed += v.CPUSeconds
+		}
+	}
+	return out
+}
+
+// --- trace files ------------------------------------------------------------
+
+// TraceHeader is the column layout of an advisor trace CSV:
+//
+//	kernel,m,n,k,precision,count,movement
+//	gemm,2048,2048,64,f64,32,once
+//	gemv,4096,4096,0,f32,128,always
+var TraceHeader = []string{"kernel", "m", "n", "k", "precision", "count", "movement"}
+
+// ReadTrace parses a trace CSV (header required, '#' comment lines allowed).
+func ReadTrace(r io.Reader) ([]Call, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = len(TraceHeader)
+	var calls []Call
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return calls, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if strings.EqualFold(rec[0], "kernel") {
+				continue
+			}
+		}
+		c, err := parseTraceRow(rec)
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, c)
+	}
+}
+
+func parseTraceRow(rec []string) (Call, error) {
+	var c Call
+	c.Kernel = strings.ToLower(strings.TrimSpace(rec[0]))
+	var err error
+	if c.M, err = strconv.Atoi(strings.TrimSpace(rec[1])); err != nil {
+		return c, fmt.Errorf("advisor: bad m %q", rec[1])
+	}
+	if c.N, err = strconv.Atoi(strings.TrimSpace(rec[2])); err != nil {
+		return c, fmt.Errorf("advisor: bad n %q", rec[2])
+	}
+	if c.K, err = strconv.Atoi(strings.TrimSpace(rec[3])); err != nil {
+		return c, fmt.Errorf("advisor: bad k %q", rec[3])
+	}
+	switch p := strings.ToLower(strings.TrimSpace(rec[4])); p {
+	case "f32", "s", "single":
+		c.ElemSize = 4
+	case "f64", "d", "double":
+		c.ElemSize = 8
+	default:
+		return c, fmt.Errorf("advisor: unknown precision %q", rec[4])
+	}
+	if c.Count, err = strconv.Atoi(strings.TrimSpace(rec[5])); err != nil {
+		return c, fmt.Errorf("advisor: bad count %q", rec[5])
+	}
+	st, err := xfer.ParseStrategy(strings.TrimSpace(rec[6]))
+	if err != nil {
+		return c, err
+	}
+	c.Strategy = st
+	return c, c.Validate()
+}

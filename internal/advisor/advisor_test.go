@@ -1,0 +1,132 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+func TestCallValidate(t *testing.T) {
+	good := Call{Kernel: "gemm", M: 10, N: 10, K: 10, ElemSize: 8, Count: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Call{
+		{Kernel: "trsm", M: 1, N: 1, K: 1, ElemSize: 8, Count: 1},
+		{Kernel: "gemm", M: 0, N: 1, K: 1, ElemSize: 8, Count: 1},
+		{Kernel: "gemm", M: 1, N: 1, K: 0, ElemSize: 8, Count: 1},
+		{Kernel: "gemm", M: 1, N: 1, K: 1, ElemSize: 2, Count: 1},
+		{Kernel: "gemm", M: 1, N: 1, K: 1, ElemSize: 8, Count: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d should be invalid: %+v", i, c)
+		}
+	}
+	// gemv ignores K.
+	gv := Call{Kernel: "gemv", M: 10, N: 10, ElemSize: 4, Count: 1}
+	if err := gv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdviseDirections(t *testing.T) {
+	isam := systems.IsambardAI()
+	// A big, high-reuse square GEMM must offload on the GH200.
+	v, err := Advise(isam, Call{Kernel: "gemm", M: 2048, N: 2048, K: 2048, ElemSize: 4, Count: 32, Strategy: xfer.TransferOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Offload || v.Speedup <= 1 {
+		t.Fatalf("large GEMM should offload on GH200: %+v", v)
+	}
+	// A tiny single-shot GEMM must not.
+	v, _ = Advise(isam, Call{Kernel: "gemv", M: 8, N: 8, ElemSize: 8, Count: 1, Strategy: xfer.TransferAlways})
+	if v.Offload {
+		t.Fatalf("tiny gemv should stay on CPU: %+v", v)
+	}
+	// Verdict internals are consistent.
+	if v.Offload != (v.GPUSeconds < v.CPUSeconds) {
+		t.Fatal("offload flag inconsistent with times")
+	}
+}
+
+func TestAdviseAllAndSummarize(t *testing.T) {
+	calls := []Call{
+		{Kernel: "gemm", M: 1024, N: 1024, K: 1024, ElemSize: 8, Count: 16, Strategy: xfer.TransferOnce},
+		{Kernel: "gemv", M: 512, N: 512, ElemSize: 8, Count: 1, Strategy: xfer.TransferAlways},
+	}
+	verdicts, err := AdviseAll(systems.All(), calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 6 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	sums := Summarize(verdicts)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	for _, s := range sums {
+		// Mixed placement can never lose to either single-device plan.
+		if s.Mixed > s.AllCPU+1e-15 || s.Mixed > s.AllGPU+1e-15 {
+			t.Fatalf("%s: mixed %g worse than single-device (cpu %g, gpu %g)",
+				s.System, s.Mixed, s.AllCPU, s.AllGPU)
+		}
+		if s.OffloadedCalls < 0 || s.OffloadedCalls > len(calls) {
+			t.Fatalf("%s: offloaded %d of %d", s.System, s.OffloadedCalls, len(calls))
+		}
+	}
+}
+
+func TestReadTrace(t *testing.T) {
+	src := `kernel,m,n,k,precision,count,movement
+# an attention-style projection
+gemm,2048,2048,64,f64,32,once
+gemv,4096,4096,0,f32,128,always
+gemm,512,512,512,single,8,usm
+`
+	calls, err := ReadTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("calls = %d", len(calls))
+	}
+	if calls[0].Kernel != "gemm" || calls[0].K != 64 || calls[0].ElemSize != 8 || calls[0].Strategy != xfer.TransferOnce {
+		t.Fatalf("call 0: %+v", calls[0])
+	}
+	if calls[1].Kernel != "gemv" || calls[1].ElemSize != 4 || calls[1].Strategy != xfer.TransferAlways {
+		t.Fatalf("call 1: %+v", calls[1])
+	}
+	if calls[2].ElemSize != 4 || calls[2].Strategy != xfer.Unified {
+		t.Fatalf("call 2: %+v", calls[2])
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"kernel,m,n,k,precision,count,movement\ngemm,x,1,1,f64,1,once\n",
+		"kernel,m,n,k,precision,count,movement\ngemm,1,1,1,f16,1,once\n",
+		"kernel,m,n,k,precision,count,movement\ngemm,1,1,1,f64,1,sometimes\n",
+		"kernel,m,n,k,precision,count,movement\nspmm,1,1,1,f64,1,once\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadTrace(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCallFlops(t *testing.T) {
+	c := Call{Kernel: "gemm", M: 2, N: 3, K: 4, ElemSize: 8, Count: 1}
+	if got := c.Flops(); got != 2*2*3*4+2*3 {
+		t.Fatalf("gemm flops = %d", got)
+	}
+	c = Call{Kernel: "gemv", M: 3, N: 4, ElemSize: 8, Count: 1}
+	if got := c.Flops(); got != 2*3*4+3 {
+		t.Fatalf("gemv flops = %d", got)
+	}
+}

@@ -1,0 +1,159 @@
+package blas
+
+import "repro/internal/parallel"
+
+// Batched GEMM, the paper's first future-work item (§V): many small
+// independent GEMMs issued as one call so the fixed per-call overhead is
+// paid once and the batch can be spread across all workers even when each
+// individual problem is too small to parallelise internally.
+
+// DgemmBatchItem describes one GEMM of a float64 batch. All matrices are
+// column-major; semantics per item match RefDgemm.
+type DgemmBatchItem struct {
+	TransA, TransB Transpose
+	M, N, K        int
+	Alpha          float64
+	A              []float64
+	Lda            int
+	B              []float64
+	Ldb            int
+	Beta           float64
+	C              []float64
+	Ldc            int
+}
+
+// SgemmBatchItem describes one GEMM of a float32 batch.
+type SgemmBatchItem struct {
+	TransA, TransB Transpose
+	M, N, K        int
+	Alpha          float32
+	A              []float32
+	Lda            int
+	B              []float32
+	Ldb            int
+	Beta           float32
+	C              []float32
+	Ldc            int
+}
+
+// DgemmBatched executes every GEMM in the batch. Items are validated before
+// any is executed, so a malformed item panics without partial updates.
+// Items are distributed across the worker pool one-at-a-time (guided), and
+// each item is computed serially to avoid nested parallelism.
+func DgemmBatched(items []DgemmBatchItem) {
+	for i := range items {
+		it := &items[i]
+		checkGemm(it.TransA, it.TransB, it.M, it.N, it.K, it.Lda, it.Ldb, it.Ldc)
+	}
+	p := getPool()
+	run := func(it *DgemmBatchItem) {
+		if it.M == 0 || it.N == 0 {
+			return
+		}
+		for j := 0; j < it.N; j++ {
+			cj := it.C[j*it.Ldc : j*it.Ldc+it.M]
+			if it.Beta == 0 {
+				for i := range cj {
+					cj[i] = 0
+				}
+			} else if it.Beta != 1 {
+				for i := range cj {
+					cj[i] *= it.Beta
+				}
+			}
+		}
+		if it.Alpha == 0 || it.K == 0 {
+			return
+		}
+		gemmSerial64(it.TransA, it.TransB, it.M, it.N, it.K, it.Alpha, it.A, it.Lda, it.B, it.Ldb, it.C, it.Ldc)
+	}
+	if p.Workers() == 1 || len(items) == 1 {
+		for i := range items {
+			run(&items[i])
+		}
+		return
+	}
+	p.ForChunked(len(items), 1, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			run(&items[i])
+		}
+	})
+}
+
+// SgemmBatched executes every GEMM in the float32 batch; see DgemmBatched.
+func SgemmBatched(items []SgemmBatchItem) {
+	for i := range items {
+		it := &items[i]
+		checkGemm(it.TransA, it.TransB, it.M, it.N, it.K, it.Lda, it.Ldb, it.Ldc)
+	}
+	p := getPool()
+	run := func(it *SgemmBatchItem) {
+		if it.M == 0 || it.N == 0 {
+			return
+		}
+		for j := 0; j < it.N; j++ {
+			cj := it.C[j*it.Ldc : j*it.Ldc+it.M]
+			if it.Beta == 0 {
+				for i := range cj {
+					cj[i] = 0
+				}
+			} else if it.Beta != 1 {
+				for i := range cj {
+					cj[i] *= it.Beta
+				}
+			}
+		}
+		if it.Alpha == 0 || it.K == 0 {
+			return
+		}
+		gemmSerial32(it.TransA, it.TransB, it.M, it.N, it.K, it.Alpha, it.A, it.Lda, it.B, it.Ldb, it.C, it.Ldc)
+	}
+	if p.Workers() == 1 || len(items) == 1 {
+		for i := range items {
+			run(&items[i])
+		}
+		return
+	}
+	p.ForChunked(len(items), 1, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			run(&items[i])
+		}
+	})
+}
+
+// DgemmStridedBatched runs batchCount GEMMs of identical shape whose
+// operands sit at fixed strides within contiguous buffers, mirroring
+// cublasDgemmStridedBatched.
+func DgemmStridedBatched(transA, transB Transpose, m, n, k int, alpha float64,
+	a []float64, lda int, strideA int,
+	b []float64, ldb int, strideB int,
+	beta float64, c []float64, ldc int, strideC int, batchCount int) {
+	items := make([]DgemmBatchItem, batchCount)
+	for i := 0; i < batchCount; i++ {
+		items[i] = DgemmBatchItem{
+			TransA: transA, TransB: transB, M: m, N: n, K: k,
+			Alpha: alpha, A: a[i*strideA:], Lda: lda,
+			B: b[i*strideB:], Ldb: ldb,
+			Beta: beta, C: c[i*strideC:], Ldc: ldc,
+		}
+	}
+	DgemmBatched(items)
+}
+
+// SgemmStridedBatched runs batchCount float32 GEMMs of identical shape at
+// fixed strides; see DgemmStridedBatched.
+func SgemmStridedBatched(transA, transB Transpose, m, n, k int, alpha float32,
+	a []float32, lda int, strideA int,
+	b []float32, ldb int, strideB int,
+	beta float32, c []float32, ldc int, strideC int, batchCount int) {
+	items := make([]SgemmBatchItem, batchCount)
+	for i := 0; i < batchCount; i++ {
+		items[i] = SgemmBatchItem{
+			TransA: transA, TransB: transB, M: m, N: n, K: k,
+			Alpha: alpha, A: a[i*strideA:], Lda: lda,
+			B: b[i*strideB:], Ldb: ldb,
+			Beta: beta, C: c[i*strideC:], Ldc: ldc,
+		}
+	}
+	SgemmBatched(items)
+}

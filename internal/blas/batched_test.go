@@ -1,0 +1,111 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDgemmBatchedMatchesLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	const batch = 17
+	items := make([]DgemmBatchItem, batch)
+	want := make([][]float64, batch)
+	for i := range items {
+		m, n, k := 1+r.Intn(20), 1+r.Intn(20), 1+r.Intn(20)
+		a := randSlice64(r, m*k)
+		b := randSlice64(r, k*n)
+		c := randSlice64(r, m*n)
+		want[i] = append([]float64(nil), c...)
+		RefDgemm(NoTrans, NoTrans, m, n, k, 1.5, a, m, b, k, 0.5, want[i], m)
+		items[i] = DgemmBatchItem{
+			TransA: NoTrans, TransB: NoTrans, M: m, N: n, K: k,
+			Alpha: 1.5, A: a, Lda: m, B: b, Ldb: k, Beta: 0.5, C: c, Ldc: m,
+		}
+	}
+	DgemmBatched(items)
+	for i := range items {
+		if d := maxDiff64(items[i].C, want[i]); d > 1e-11 {
+			t.Fatalf("batch item %d: diff %g", i, d)
+		}
+	}
+}
+
+func TestSgemmBatchedMatchesLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	const batch = 9
+	items := make([]SgemmBatchItem, batch)
+	want := make([][]float32, batch)
+	for i := range items {
+		m, n, k := 1+r.Intn(16), 1+r.Intn(16), 1+r.Intn(16)
+		a := randSlice32(r, m*k)
+		b := randSlice32(r, k*n)
+		c := randSlice32(r, m*n)
+		want[i] = append([]float32(nil), c...)
+		RefSgemm(NoTrans, NoTrans, m, n, k, 2, a, m, b, k, 1, want[i], m)
+		items[i] = SgemmBatchItem{
+			TransA: NoTrans, TransB: NoTrans, M: m, N: n, K: k,
+			Alpha: 2, A: a, Lda: m, B: b, Ldb: k, Beta: 1, C: c, Ldc: m,
+		}
+	}
+	SgemmBatched(items)
+	for i := range items {
+		if d := maxDiff32(items[i].C, want[i]); d > 1e-3 {
+			t.Fatalf("batch item %d: diff %g", i, d)
+		}
+	}
+}
+
+func TestDgemmStridedBatched(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	m, n, k, batch := 8, 6, 5, 11
+	a := randSlice64(r, m*k*batch)
+	b := randSlice64(r, k*n*batch)
+	c := make([]float64, m*n*batch)
+	want := make([]float64, m*n*batch)
+	for i := 0; i < batch; i++ {
+		RefDgemm(NoTrans, NoTrans, m, n, k, 1, a[i*m*k:], m, b[i*k*n:], k, 0, want[i*m*n:], m)
+	}
+	DgemmStridedBatched(NoTrans, NoTrans, m, n, k, 1, a, m, m*k, b, k, k*n, 0, c, m, m*n, batch)
+	if d := maxDiff64(c, want); d > 1e-11 {
+		t.Fatalf("strided batch diff %g", d)
+	}
+}
+
+func TestSgemmStridedBatched(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	m, n, k, batch := 4, 4, 4, 6
+	a := randSlice32(r, m*k*batch)
+	b := randSlice32(r, k*n*batch)
+	c := make([]float32, m*n*batch)
+	want := make([]float32, m*n*batch)
+	for i := 0; i < batch; i++ {
+		RefSgemm(NoTrans, NoTrans, m, n, k, 1, a[i*m*k:], m, b[i*k*n:], k, 0, want[i*m*n:], m)
+	}
+	SgemmStridedBatched(NoTrans, NoTrans, m, n, k, 1, a, m, m*k, b, k, k*n, 0, c, m, m*n, batch)
+	if d := maxDiff32(c, want); d > 1e-4 {
+		t.Fatalf("strided batch diff %g", d)
+	}
+}
+
+func TestBatchedValidatesBeforeExecuting(t *testing.T) {
+	c := []float64{7}
+	items := []DgemmBatchItem{
+		{TransA: NoTrans, TransB: NoTrans, M: 1, N: 1, K: 1, Alpha: 1,
+			A: []float64{2}, Lda: 1, B: []float64{3}, Ldb: 1, Beta: 0, C: c, Ldc: 1},
+		{TransA: 'X', TransB: NoTrans, M: 1, N: 1, K: 1}, // malformed
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for malformed batch item")
+		}
+		if c[0] != 7 {
+			t.Fatalf("batch executed before validation: c=%v", c[0])
+		}
+	}()
+	DgemmBatched(items)
+}
+
+func TestBatchedEmpty(t *testing.T) {
+	DgemmBatched(nil)
+	SgemmBatched(nil)
+}

@@ -1,0 +1,187 @@
+package blas
+
+import "repro/internal/parallel"
+
+// Optimized float32 GEMM. Same five-loop structure as gemm64.go, with a
+// wider 8x4 microkernel: float32 halves the register footprint, so the tile
+// doubles in M to raise arithmetic intensity per packed-panel load.
+const (
+	mc32 = 256
+	kc32 = 256
+	nc32 = 1024
+	mr32 = 8
+	nr32 = 4
+)
+
+// OptSgemm computes C = alpha*op(A)*op(B) + beta*C with cache blocking and
+// multi-threading. Semantics match RefSgemm exactly.
+func OptSgemm(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range cj {
+				cj[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	p := getPool()
+	flops := 2 * int64(m) * int64(n) * int64(k)
+	if p.Workers() == 1 || flops < parallelGrainFlops {
+		gemmSerial32(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	if n >= m {
+		p.For(n, func(_ int, r parallel.Range) {
+			bOff, cOff := r.Lo*ldb, r.Lo*ldc
+			if isTrans(transB) {
+				bOff = r.Lo
+			}
+			gemmSerial32(transA, transB, m, r.Len(), k, alpha, a, lda, b[bOff:], ldb, c[cOff:], ldc)
+		})
+		return
+	}
+	p.For(m, func(_ int, r parallel.Range) {
+		aOff, cOff := r.Lo, r.Lo
+		if isTrans(transA) {
+			aOff = r.Lo * lda
+		}
+		gemmSerial32(transA, transB, r.Len(), n, k, alpha, a[aOff:], lda, b, ldb, c[cOff:], ldc)
+	})
+}
+
+// gemmSerial32 performs the packed, blocked update C += alpha*op(A)*op(B)
+// on a single thread. C must already hold beta*C.
+func gemmSerial32(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	// Pack buffers sized to the actual block extents (padded to whole
+	// micro-panels), so small and batched GEMMs don't allocate full-size
+	// panels.
+	mcMax, kcMax, ncMax := min(mc32, m), min(kc32, k), min(nc32, n)
+	aPack := make([]float32, (mcMax+mr32-1)/mr32*mr32*kcMax)
+	bPack := make([]float32, (ncMax+nr32-1)/nr32*nr32*kcMax)
+	var acc [mr32 * nr32]float32
+	for jc := 0; jc < n; jc += nc32 {
+		nc := min(nc32, n-jc)
+		for pc := 0; pc < k; pc += kc32 {
+			kc := min(kc32, k-pc)
+			packB32(transB, b, ldb, pc, jc, kc, nc, bPack)
+			for ic := 0; ic < m; ic += mc32 {
+				mc := min(mc32, m-ic)
+				packA32(transA, a, lda, ic, pc, mc, kc, aPack)
+				nPanels := (nc + nr32 - 1) / nr32
+				mPanels := (mc + mr32 - 1) / mr32
+				for jp := 0; jp < nPanels; jp++ {
+					bp := bPack[jp*kc*nr32 : (jp+1)*kc*nr32]
+					jr := jp * nr32
+					njr := min(nr32, nc-jr)
+					for ip := 0; ip < mPanels; ip++ {
+						ap := aPack[ip*kc*mr32 : (ip+1)*kc*mr32]
+						microKernel32(kc, ap, bp, &acc)
+						ir := ip * mr32
+						mir := min(mr32, mc-ir)
+						for jj := 0; jj < njr; jj++ {
+							ccol := c[(jc+jr+jj)*ldc+ic+ir : (jc+jr+jj)*ldc+ic+ir+mir]
+							for ii := 0; ii < mir; ii++ {
+								ccol[ii] += alpha * acc[ii*nr32+jj]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// microKernel32 computes acc = ap * bp for one 8x4 tile.
+func microKernel32(kc int, ap, bp []float32, acc *[mr32 * nr32]float32) {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for l := 0; l < kc; l++ {
+		b0, b1, b2, b3 := bp[l*nr32], bp[l*nr32+1], bp[l*nr32+2], bp[l*nr32+3]
+		arow := ap[l*mr32 : l*mr32+mr32]
+		for ii := 0; ii < mr32; ii++ {
+			av := arow[ii]
+			acc[ii*nr32] += av * b0
+			acc[ii*nr32+1] += av * b1
+			acc[ii*nr32+2] += av * b2
+			acc[ii*nr32+3] += av * b3
+		}
+	}
+}
+
+// packA32 packs the mc x kc block of op(A) into MR-row panels (see
+// packA64 for the layout).
+func packA32(transA Transpose, a []float32, lda, ic, pc, mc, kc int, ap []float32) {
+	mPanels := (mc + mr32 - 1) / mr32
+	for ipn := 0; ipn < mPanels; ipn++ {
+		base := ipn * kc * mr32
+		ir := ipn * mr32
+		rows := min(mr32, mc-ir)
+		if isTrans(transA) {
+			for l := 0; l < kc; l++ {
+				dst := ap[base+l*mr32 : base+l*mr32+mr32]
+				for ii := 0; ii < rows; ii++ {
+					dst[ii] = a[(pc+l)+(ic+ir+ii)*lda]
+				}
+				for ii := rows; ii < mr32; ii++ {
+					dst[ii] = 0
+				}
+			}
+			continue
+		}
+		for l := 0; l < kc; l++ {
+			src := a[(ic+ir)+(pc+l)*lda:]
+			dst := ap[base+l*mr32 : base+l*mr32+mr32]
+			for ii := 0; ii < rows; ii++ {
+				dst[ii] = src[ii]
+			}
+			for ii := rows; ii < mr32; ii++ {
+				dst[ii] = 0
+			}
+		}
+	}
+}
+
+// packB32 packs the kc x nc block of op(B) into NR-column panels (see
+// packB64 for the layout).
+func packB32(transB Transpose, b []float32, ldb, pc, jc, kc, nc int, bp []float32) {
+	nPanels := (nc + nr32 - 1) / nr32
+	for jpn := 0; jpn < nPanels; jpn++ {
+		base := jpn * kc * nr32
+		jr := jpn * nr32
+		cols := min(nr32, nc-jr)
+		if isTrans(transB) {
+			for l := 0; l < kc; l++ {
+				dst := bp[base+l*nr32 : base+l*nr32+nr32]
+				src := b[(jc+jr)+(pc+l)*ldb:]
+				for jj := 0; jj < cols; jj++ {
+					dst[jj] = src[jj]
+				}
+				for jj := cols; jj < nr32; jj++ {
+					dst[jj] = 0
+				}
+			}
+			continue
+		}
+		for l := 0; l < kc; l++ {
+			dst := bp[base+l*nr32 : base+l*nr32+nr32]
+			for jj := 0; jj < cols; jj++ {
+				dst[jj] = b[(pc+l)+(jc+jr+jj)*ldb]
+			}
+			for jj := cols; jj < nr32; jj++ {
+				dst[jj] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package blas
+
+import "repro/internal/parallel"
+
+// Optimized float64 GEMM in the GotoBLAS/BLIS style:
+//
+//	for jc in N by nc64:                 (parallelised across workers)
+//	  for pc in K by kc64:   pack B(pc,jc) into bPack (kc x nc, NR-panels)
+//	    for ic in M by mc64: pack A(ic,pc) into aPack (mc x kc, MR-panels)
+//	      for jr in nc by nr64, ir in mc by mr64:  4x4 microkernel
+//
+// Packing rearranges panels so the microkernel streams both operands
+// contiguously, and absorbs transposition: packing op(A) and op(B) makes the
+// inner loops transpose-free. Partial edge tiles are zero-padded in the
+// packed buffers, so the microkernel is branch-free; stores clip to C.
+const (
+	mc64 = 128
+	kc64 = 256
+	nc64 = 1024
+	mr64 = 4
+	nr64 = 4
+)
+
+// OptDgemm computes C = alpha*op(A)*op(B) + beta*C with cache blocking and
+// multi-threading. Semantics match RefDgemm exactly.
+func OptDgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	// beta pass over C.
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range cj {
+				cj[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	p := getPool()
+	flops := 2 * int64(m) * int64(n) * int64(k)
+	if p.Workers() == 1 || flops < parallelGrainFlops {
+		gemmSerial64(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	// Split the larger output dimension across workers; each worker runs the
+	// full serial blocked algorithm on its slice of C.
+	if n >= m {
+		p.For(n, func(_ int, r parallel.Range) {
+			bOff, cOff := r.Lo*ldb, r.Lo*ldc
+			if isTrans(transB) {
+				bOff = r.Lo
+			}
+			gemmSerial64(transA, transB, m, r.Len(), k, alpha, a, lda, b[bOff:], ldb, c[cOff:], ldc)
+		})
+		return
+	}
+	p.For(m, func(_ int, r parallel.Range) {
+		aOff, cOff := r.Lo, r.Lo
+		if isTrans(transA) {
+			aOff = r.Lo * lda
+		}
+		gemmSerial64(transA, transB, r.Len(), n, k, alpha, a[aOff:], lda, b, ldb, c[cOff:], ldc)
+	})
+}
+
+// gemmSerial64 performs the packed, blocked update C += alpha*op(A)*op(B)
+// on a single thread. C must already hold beta*C.
+func gemmSerial64(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	// Pack buffers sized to the actual block extents (padded to whole
+	// micro-panels), so small and batched GEMMs don't allocate full-size
+	// panels.
+	mcMax, kcMax, ncMax := min(mc64, m), min(kc64, k), min(nc64, n)
+	aPack := make([]float64, (mcMax+mr64-1)/mr64*mr64*kcMax)
+	bPack := make([]float64, (ncMax+nr64-1)/nr64*nr64*kcMax)
+	var acc [mr64 * nr64]float64
+	for jc := 0; jc < n; jc += nc64 {
+		nc := min(nc64, n-jc)
+		for pc := 0; pc < k; pc += kc64 {
+			kc := min(kc64, k-pc)
+			packB64(transB, b, ldb, pc, jc, kc, nc, bPack)
+			for ic := 0; ic < m; ic += mc64 {
+				mc := min(mc64, m-ic)
+				packA64(transA, a, lda, ic, pc, mc, kc, aPack)
+				nPanels := (nc + nr64 - 1) / nr64
+				mPanels := (mc + mr64 - 1) / mr64
+				for jp := 0; jp < nPanels; jp++ {
+					bp := bPack[jp*kc*nr64 : (jp+1)*kc*nr64]
+					jr := jp * nr64
+					njr := min(nr64, nc-jr)
+					for ip := 0; ip < mPanels; ip++ {
+						ap := aPack[ip*kc*mr64 : (ip+1)*kc*mr64]
+						microKernel64(kc, ap, bp, &acc)
+						ir := ip * mr64
+						mir := min(mr64, mc-ir)
+						// Accumulate alpha*acc into C, clipping the tile.
+						for jj := 0; jj < njr; jj++ {
+							ccol := c[(jc+jr+jj)*ldc+ic+ir : (jc+jr+jj)*ldc+ic+ir+mir]
+							for ii := 0; ii < mir; ii++ {
+								ccol[ii] += alpha * acc[ii*nr64+jj]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// microKernel64 computes acc = ap * bp for one mr x nr tile, where ap holds
+// kc rows of an MR-wide packed panel and bp kc rows of an NR-wide panel.
+func microKernel64(kc int, ap, bp []float64, acc *[mr64 * nr64]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for l := 0; l < kc; l++ {
+		a0, a1, a2, a3 := ap[l*mr64], ap[l*mr64+1], ap[l*mr64+2], ap[l*mr64+3]
+		b0, b1, b2, b3 := bp[l*nr64], bp[l*nr64+1], bp[l*nr64+2], bp[l*nr64+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// packA64 packs the mc x kc block of op(A) starting at logical (ic, pc) into
+// MR-row panels: panel ip holds rows [ip*MR, ip*MR+MR) stored row-major
+// within the panel ((l, ii) -> ap[ip*kc*MR + l*MR + ii]). Rows beyond mc pad
+// with zeros.
+func packA64(transA Transpose, a []float64, lda, ic, pc, mc, kc int, ap []float64) {
+	mPanels := (mc + mr64 - 1) / mr64
+	for ipn := 0; ipn < mPanels; ipn++ {
+		base := ipn * kc * mr64
+		ir := ipn * mr64
+		rows := min(mr64, mc-ir)
+		if isTrans(transA) {
+			// op(A)(i, l) = A(l, i) = a[(pc+l) + (ic+i)*lda]
+			for l := 0; l < kc; l++ {
+				dst := ap[base+l*mr64 : base+l*mr64+mr64]
+				for ii := 0; ii < rows; ii++ {
+					dst[ii] = a[(pc+l)+(ic+ir+ii)*lda]
+				}
+				for ii := rows; ii < mr64; ii++ {
+					dst[ii] = 0
+				}
+			}
+			continue
+		}
+		for l := 0; l < kc; l++ {
+			src := a[(ic+ir)+(pc+l)*lda:]
+			dst := ap[base+l*mr64 : base+l*mr64+mr64]
+			for ii := 0; ii < rows; ii++ {
+				dst[ii] = src[ii]
+			}
+			for ii := rows; ii < mr64; ii++ {
+				dst[ii] = 0
+			}
+		}
+	}
+}
+
+// packB64 packs the kc x nc block of op(B) starting at logical (pc, jc) into
+// NR-column panels: panel jp holds columns [jp*NR, jp*NR+NR) stored
+// ((l, jj) -> bp[jp*kc*NR + l*NR + jj]). Columns beyond nc pad with zeros.
+func packB64(transB Transpose, b []float64, ldb, pc, jc, kc, nc int, bp []float64) {
+	nPanels := (nc + nr64 - 1) / nr64
+	for jpn := 0; jpn < nPanels; jpn++ {
+		base := jpn * kc * nr64
+		jr := jpn * nr64
+		cols := min(nr64, nc-jr)
+		if isTrans(transB) {
+			// op(B)(l, j) = B(j, l) = b[(jc+j) + (pc+l)*ldb]
+			for l := 0; l < kc; l++ {
+				dst := bp[base+l*nr64 : base+l*nr64+nr64]
+				src := b[(jc+jr)+(pc+l)*ldb:]
+				for jj := 0; jj < cols; jj++ {
+					dst[jj] = src[jj]
+				}
+				for jj := cols; jj < nr64; jj++ {
+					dst[jj] = 0
+				}
+			}
+			continue
+		}
+		for l := 0; l < kc; l++ {
+			dst := bp[base+l*nr64 : base+l*nr64+nr64]
+			for jj := 0; jj < cols; jj++ {
+				dst[jj] = b[(pc+l)+(jc+jr+jj)*ldb]
+			}
+			for jj := cols; jj < nr64; jj++ {
+				dst[jj] = 0
+			}
+		}
+	}
+}

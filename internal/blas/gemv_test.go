@@ -1,0 +1,195 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tolGemv64(m int) float64 { return 1e-12 * float64(m+1) }
+func tolGemv32(m int) float64 { return 2e-5 * float64(m+1) }
+
+func TestOptDgemvMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	shapes := [][2]int{
+		{1, 1}, {2, 3}, {4, 4}, {7, 5}, {16, 16}, {17, 33},
+		{64, 64}, {100, 3}, {3, 100}, {512, 32}, {32, 512}, {1023, 1025},
+	}
+	coeffs := [][2]float64{{1, 0}, {1, 1}, {-2, 0.5}, {0, 3}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		for _, tr := range []Transpose{NoTrans, Trans} {
+			for _, ab := range coeffs {
+				alpha, beta := ab[0], ab[1]
+				lda := m + 1
+				a := randSlice64(r, lda*n)
+				xLen := lenGemvX(tr, m, n)
+				yLen := lenGemvY(tr, m, n)
+				x := randSlice64(r, xLen)
+				y := randSlice64(r, yLen)
+				yRef := append([]float64(nil), y...)
+				yOpt := append([]float64(nil), y...)
+				RefDgemv(tr, m, n, alpha, a, lda, x, 1, beta, yRef, 1)
+				OptDgemv(tr, m, n, alpha, a, lda, x, 1, beta, yOpt, 1)
+				if d := maxDiff64(yRef, yOpt); d > tolGemv64(max(m, n)) {
+					t.Fatalf("dgemv %dx%d tr=%c alpha=%v beta=%v: diff %g", m, n, tr, alpha, beta, d)
+				}
+			}
+		}
+	}
+}
+
+func TestOptSgemvMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	shapes := [][2]int{{1, 1}, {5, 9}, {33, 17}, {128, 128}, {1000, 10}, {10, 1000}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		for _, tr := range []Transpose{NoTrans, Trans} {
+			a := randSlice32(r, m*n)
+			xLen := lenGemvX(tr, m, n)
+			yLen := lenGemvY(tr, m, n)
+			x := randSlice32(r, xLen)
+			y := randSlice32(r, yLen)
+			yRef := append([]float32(nil), y...)
+			yOpt := append([]float32(nil), y...)
+			RefSgemv(tr, m, n, 1.25, a, m, x, 1, 0.75, yRef, 1)
+			OptSgemv(tr, m, n, 1.25, a, m, x, 1, 0.75, yOpt, 1)
+			if d := maxDiff32(yRef, yOpt); d > tolGemv32(max(m, n)) {
+				t.Fatalf("sgemv %dx%d tr=%c: diff %g", m, n, tr, d)
+			}
+		}
+	}
+}
+
+func TestGemvStridedFallsBackCorrectly(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m, n := 23, 31
+	a := randSlice64(r, m*n)
+	x := randSlice64(r, 3*n)
+	y := randSlice64(r, 2*m)
+	yRef := append([]float64(nil), y...)
+	yOpt := append([]float64(nil), y...)
+	RefDgemv(NoTrans, m, n, 2, a, m, x, 3, 1, yRef, 2)
+	OptDgemv(NoTrans, m, n, 2, a, m, x, 3, 1, yOpt, 2)
+	if d := maxDiff64(yRef, yOpt); d > 1e-12 {
+		t.Fatalf("strided gemv diff %g", d)
+	}
+}
+
+func TestGemvNegativeIncrements(t *testing.T) {
+	// With incX = -1, logical element 0 is at the buffer's end (BLAS
+	// convention); verify against an explicitly reversed vector.
+	m, n := 4, 3
+	a := []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+	}
+	x := []float64{1, 2, 3}    // logical x = [3, 2, 1] with inc=-1
+	xRev := []float64{3, 2, 1} // same thing with inc=+1
+	y1 := make([]float64, m)
+	y2 := make([]float64, m)
+	RefDgemv(NoTrans, m, n, 1, a, m, x, -1, 0, y1, 1)
+	RefDgemv(NoTrans, m, n, 1, a, m, xRev, 1, 0, y2, 1)
+	if d := maxDiff64(y1, y2); d > 1e-15 {
+		t.Fatalf("negative increment mismatch: %v vs %v", y1, y2)
+	}
+}
+
+func TestGemvBetaZeroIgnoresY(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m, n := 40, 30
+	a := randSlice64(r, m*n)
+	x := randSlice64(r, n)
+	y := make([]float64, m)
+	for _, f := range []func(){
+		func() { RefDgemv(NoTrans, m, n, 1, a, m, x, 1, 0, y, 1) },
+		func() { OptDgemv(NoTrans, m, n, 1, a, m, x, 1, 0, y, 1) },
+	} {
+		for i := range y {
+			y[i] = math.NaN()
+		}
+		f()
+		for i, v := range y {
+			if math.IsNaN(v) {
+				t.Fatalf("beta=0 read y at %d", i)
+			}
+		}
+	}
+}
+
+// Property: gemv(Trans) on A equals gemv(NoTrans) on an explicitly
+// transposed copy of A.
+func TestDgemvTransposeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m, n := 1+rr.Intn(40), 1+rr.Intn(40)
+		a := randSlice64(rr, m*n)
+		at := make([]float64, n*m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				at[j+i*n] = a[i+j*m]
+			}
+		}
+		x := randSlice64(rr, m)
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		OptDgemv(Trans, m, n, 1, a, m, x, 1, 0, y1, 1)
+		OptDgemv(NoTrans, n, m, 1, at, n, x, 1, 0, y2, 1)
+		return maxDiff64(y1, y2) <= tolGemv64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gemv distributes over vector addition in x.
+func TestDgemvAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m, n := 1+rr.Intn(32), 1+rr.Intn(32)
+		a := randSlice64(rr, m*n)
+		x1 := randSlice64(rr, n)
+		x2 := randSlice64(rr, n)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = x1[i] + x2[i]
+		}
+		ySum := make([]float64, m)
+		yParts := make([]float64, m)
+		OptDgemv(NoTrans, m, n, 1, a, m, xs, 1, 0, ySum, 1)
+		OptDgemv(NoTrans, m, n, 1, a, m, x1, 1, 0, yParts, 1)
+		OptDgemv(NoTrans, m, n, 1, a, m, x2, 1, 1, yParts, 1)
+		return maxDiff64(ySum, yParts) <= tolGemv64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GEMV must agree with GEMM on an n-vector treated as an n x 1 matrix.
+func TestGemvAgreesWithGemm(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	m, n := 57, 43
+	a := randSlice64(r, m*n)
+	x := randSlice64(r, n)
+	yGemv := make([]float64, m)
+	yGemm := make([]float64, m)
+	OptDgemv(NoTrans, m, n, 1, a, m, x, 1, 0, yGemv, 1)
+	OptDgemm(NoTrans, NoTrans, m, 1, n, 1, a, m, x, n, 0, yGemm, m)
+	if d := maxDiff64(yGemv, yGemm); d > tolGemv64(n) {
+		t.Fatalf("gemv vs gemm diff %g", d)
+	}
+}
+
+func TestGemvZeroDims(t *testing.T) {
+	y := []float64{7}
+	// n == 0, beta=2: y scales.
+	OptDgemv(NoTrans, 1, 0, 1, []float64{1}, 1, nil, 1, 2, y, 1)
+	if y[0] != 14 {
+		t.Fatalf("n=0 gemv should scale y, got %v", y[0])
+	}
+	// m == 0: nothing to do, must not panic.
+	OptDgemv(NoTrans, 0, 5, 1, make([]float64, 5), 1, make([]float64, 5), 1, 0, nil, 1)
+}

@@ -1,0 +1,218 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDdotBasic(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 6, 7, 8}
+	if got := RefDdot(4, x, 1, y, 1); got != 70 {
+		t.Fatalf("ddot = %v, want 70", got)
+	}
+	if got := RefDdot(0, x, 1, y, 1); got != 0 {
+		t.Fatalf("ddot n=0 = %v, want 0", got)
+	}
+	if got := RefDdot(-3, x, 1, y, 1); got != 0 {
+		t.Fatalf("ddot n<0 = %v, want 0", got)
+	}
+	// Strided: every other element of x.
+	if got := RefDdot(2, x, 2, y, 1); got != 1*5+3*6 {
+		t.Fatalf("strided ddot = %v", got)
+	}
+}
+
+func TestDdotCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		x := randSlice64(r, n)
+		y := randSlice64(r, n)
+		return math.Abs(RefDdot(n, x, 1, y, 1)-RefDdot(n, y, 1, x, 1)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	RefDaxpy(3, 2, x, 1, y, 1)
+	want := []float64{12, 24, 36}
+	if maxDiff64(y, want) != 0 {
+		t.Fatalf("daxpy = %v, want %v", y, want)
+	}
+	// alpha == 0 is a no-op.
+	RefDaxpy(3, 0, x, 1, y, 1)
+	if maxDiff64(y, want) != 0 {
+		t.Fatalf("daxpy alpha=0 modified y: %v", y)
+	}
+}
+
+func TestDscal(t *testing.T) {
+	x := []float64{1, -2, 3, -4}
+	RefDscal(4, -2, x, 1)
+	want := []float64{-2, 4, -6, 8}
+	if maxDiff64(x, want) != 0 {
+		t.Fatalf("dscal = %v, want %v", x, want)
+	}
+	// Strided scal touches only the strided elements.
+	x = []float64{1, 1, 1, 1}
+	RefDscal(2, 5, x, 2)
+	want = []float64{5, 1, 5, 1}
+	if maxDiff64(x, want) != 0 {
+		t.Fatalf("strided dscal = %v, want %v", x, want)
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	x := []float64{3, 4}
+	if got := RefDnrm2(2, x, 1); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("dnrm2 = %v, want 5", got)
+	}
+	if got := RefDnrm2(0, x, 1); got != 0 {
+		t.Fatalf("dnrm2 n=0 = %v", got)
+	}
+	// Overflow guard: huge values must not overflow to +Inf.
+	h := []float64{1e308, 1e308}
+	got := RefDnrm2(2, h, 1)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("dnrm2 overflowed: %v", got)
+	}
+	if math.Abs(got-1e308*math.Sqrt2) > 1e293 {
+		t.Fatalf("dnrm2 big = %v", got)
+	}
+	// Underflow guard: tiny values must not round to 0.
+	tiny := []float64{1e-160, 1e-160}
+	got = RefDnrm2(2, tiny, 1)
+	if got == 0 {
+		t.Fatal("dnrm2 underflowed to 0")
+	}
+}
+
+func TestDnrm2ScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		x := randSlice64(r, n)
+		base := RefDnrm2(n, x, 1)
+		scaled := append([]float64(nil), x...)
+		RefDscal(n, 3, scaled, 1)
+		return math.Abs(RefDnrm2(n, scaled, 1)-3*base) < 1e-10*(base+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDasum(t *testing.T) {
+	x := []float64{1, -2, 3, -4}
+	if got := RefDasum(4, x, 1); got != 10 {
+		t.Fatalf("dasum = %v, want 10", got)
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	x := []float64{1, -7, 3, 7}
+	if got := RefIdamax(4, x, 1); got != 1 {
+		t.Fatalf("idamax = %v, want 1 (ties resolve to lowest index)", got)
+	}
+	if got := RefIdamax(0, x, 1); got != -1 {
+		t.Fatalf("idamax n=0 = %v, want -1", got)
+	}
+}
+
+func TestDcopyDswap(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	RefDcopy(3, x, 1, y, 1)
+	if maxDiff64(x, y) != 0 {
+		t.Fatalf("dcopy: %v", y)
+	}
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	RefDswap(2, a, 1, b, 1)
+	if a[0] != 3 || a[1] != 4 || b[0] != 1 || b[1] != 2 {
+		t.Fatalf("dswap: %v %v", a, b)
+	}
+}
+
+func TestDrotPreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		x := randSlice64(r, n)
+		y := randSlice64(r, n)
+		before := RefDdot(n, x, 1, x, 1) + RefDdot(n, y, 1, y, 1)
+		theta := r.Float64() * 2 * math.Pi
+		RefDrot(n, x, 1, y, 1, math.Cos(theta), math.Sin(theta))
+		after := RefDdot(n, x, 1, x, 1) + RefDdot(n, y, 1, y, 1)
+		return math.Abs(before-after) < 1e-10*(before+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Float32 variants.
+
+func TestSdotSaxpySscal(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	y := []float32{5, 6, 7, 8}
+	if got := RefSdot(4, x, 1, y, 1); got != 70 {
+		t.Fatalf("sdot = %v", got)
+	}
+	RefSaxpy(4, 2, x, 1, y, 1)
+	if y[0] != 7 || y[3] != 16 {
+		t.Fatalf("saxpy = %v", y)
+	}
+	RefSscal(4, 0.5, x, 1)
+	if x[0] != 0.5 || x[3] != 2 {
+		t.Fatalf("sscal = %v", x)
+	}
+}
+
+func TestSnrm2(t *testing.T) {
+	x := []float32{3, 4}
+	if got := RefSnrm2(2, x, 1); math.Abs(float64(got)-5) > 1e-6 {
+		t.Fatalf("snrm2 = %v", got)
+	}
+	// float64 accumulation means large float32 values don't overflow.
+	h := []float32{1e19, 1e19}
+	if got := RefSnrm2(2, h, 1); math.IsInf(float64(got), 0) {
+		t.Fatalf("snrm2 overflowed: %v", got)
+	}
+}
+
+func TestSasumIsamax(t *testing.T) {
+	x := []float32{-1, 5, -3}
+	if got := RefSasum(3, x, 1); got != 9 {
+		t.Fatalf("sasum = %v", got)
+	}
+	if got := RefIsamax(3, x, 1); got != 1 {
+		t.Fatalf("isamax = %v", got)
+	}
+}
+
+func TestScopySswapSrot(t *testing.T) {
+	x := []float32{1, 2}
+	y := make([]float32, 2)
+	RefScopy(2, x, 1, y, 1)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("scopy = %v", y)
+	}
+	RefSswap(2, x, 1, y, 1)
+	if x[0] != 1 || y[0] != 1 {
+		t.Fatalf("sswap = %v %v", x, y)
+	}
+	a := []float32{1}
+	b := []float32{0}
+	RefSrot(1, a, 1, b, 1, 0, 1)
+	if math.Abs(float64(a[0])) > 1e-7 || math.Abs(float64(b[0])+1) > 1e-7 {
+		t.Fatalf("srot = %v %v", a, b)
+	}
+}

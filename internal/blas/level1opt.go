@@ -1,0 +1,235 @@
+package blas
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Optimized Level-1 kernels: 4-way unrolled serial loops, with worker-pool
+// parallelism for long vectors. Reductions combine per-worker partials
+// deterministically (in worker order), so results are reproducible for a
+// fixed thread count. Strided calls fall back to the reference kernels.
+
+// level1ParallelMin is the vector length above which forking workers pays.
+const level1ParallelMin = 1 << 16
+
+// OptDdot returns xᵀy over n elements. Semantics match RefDdot.
+func OptDdot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if incX != 1 || incY != 1 {
+		return RefDdot(n, x, incX, y, incY)
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		return dotSerial64(x[:n], y[:n])
+	}
+	partials := make([]float64, p.Workers())
+	p.For(n, func(w int, r parallel.Range) {
+		partials[w] = dotSerial64(x[r.Lo:r.Hi], y[r.Lo:r.Hi])
+	})
+	var sum float64
+	for _, v := range partials {
+		sum += v
+	}
+	return sum
+}
+
+func dotSerial64(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	sum := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// OptDaxpy computes y += alpha*x over n elements. Semantics match RefDaxpy.
+func OptDaxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	if incX != 1 || incY != 1 {
+		RefDaxpy(n, alpha, x, incX, y, incY)
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		axpySerial64(alpha, x[:n], y[:n])
+		return
+	}
+	p.For(n, func(_ int, r parallel.Range) {
+		axpySerial64(alpha, x[r.Lo:r.Hi], y[r.Lo:r.Hi])
+	})
+}
+
+func axpySerial64(alpha float64, x, y []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// OptDscal computes x *= alpha over n elements. Semantics match RefDscal.
+func OptDscal(n int, alpha float64, x []float64, incX int) {
+	if n <= 0 || incX <= 0 {
+		return
+	}
+	if incX != 1 {
+		RefDscal(n, alpha, x, incX)
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		for i := range x[:n] {
+			x[i] *= alpha
+		}
+		return
+	}
+	p.For(n, func(_ int, r parallel.Range) {
+		seg := x[r.Lo:r.Hi]
+		for i := range seg {
+			seg[i] *= alpha
+		}
+	})
+}
+
+// OptDasum returns the sum of absolute values of x. Semantics match
+// RefDasum.
+func OptDasum(n int, x []float64, incX int) float64 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	if incX != 1 {
+		return RefDasum(n, x, incX)
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		return asumSerial64(x[:n])
+	}
+	partials := make([]float64, p.Workers())
+	p.For(n, func(w int, r parallel.Range) {
+		partials[w] = asumSerial64(x[r.Lo:r.Hi])
+	})
+	var sum float64
+	for _, v := range partials {
+		sum += v
+	}
+	return sum
+}
+
+func asumSerial64(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += math.Abs(v)
+	}
+	return sum
+}
+
+// OptDnrm2 returns the Euclidean norm of x. Long unit-stride vectors use a
+// parallel two-pass scheme (max |x|, then a scaled sum of squares), which
+// keeps the overflow/underflow guarantees of the reference kernel.
+func OptDnrm2(n int, x []float64, incX int) float64 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	if incX != 1 {
+		return RefDnrm2(n, x, incX)
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		return RefDnrm2(n, x, 1)
+	}
+	// Pass 1: the scale.
+	maxs := make([]float64, p.Workers())
+	p.For(n, func(w int, r parallel.Range) {
+		m := 0.0
+		for _, v := range x[r.Lo:r.Hi] {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		maxs[w] = m
+	})
+	scale := 0.0
+	for _, m := range maxs {
+		if m > scale {
+			scale = m
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	// Pass 2: sum of squares of x/scale.
+	partials := make([]float64, p.Workers())
+	p.For(n, func(w int, r parallel.Range) {
+		var s float64
+		for _, v := range x[r.Lo:r.Hi] {
+			t := v / scale
+			s += t * t
+		}
+		partials[w] = s
+	})
+	var ssq float64
+	for _, v := range partials {
+		ssq += v
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// OptIdamax returns the index of the element with the largest absolute
+// value (lowest index on ties), or -1 when n <= 0. Semantics match
+// RefIdamax.
+func OptIdamax(n int, x []float64, incX int) int {
+	if n <= 0 || incX <= 0 {
+		return -1
+	}
+	if incX != 1 {
+		return RefIdamax(n, x, incX)
+	}
+	p := getPool()
+	if p.Workers() == 1 || n < level1ParallelMin {
+		return RefIdamax(n, x, 1)
+	}
+	type best struct {
+		val float64
+		idx int
+	}
+	bests := make([]best, p.Workers())
+	for i := range bests {
+		bests[i].idx = -1
+	}
+	p.For(n, func(w int, r parallel.Range) {
+		b := best{val: -1, idx: -1}
+		for i := r.Lo; i < r.Hi; i++ {
+			if v := math.Abs(x[i]); v > b.val {
+				b = best{val: v, idx: i}
+			}
+		}
+		bests[w] = b
+	})
+	out := best{val: -1, idx: -1}
+	for _, b := range bests {
+		// Strictly greater keeps the lowest index on ties, because worker
+		// ranges ascend with the worker id.
+		if b.idx >= 0 && b.val > out.val {
+			out = b
+		}
+	}
+	return out.idx
+}

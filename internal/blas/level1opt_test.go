@@ -1,0 +1,150 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Large enough to cross the parallel threshold.
+const bigN = 1<<16 + 123
+
+func TestOptDdotMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := randSlice64(r, bigN)
+	y := randSlice64(r, bigN)
+	want := RefDdot(bigN, x, 1, y, 1)
+	got := OptDdot(bigN, x, 1, y, 1)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("dot %g vs %g", got, want)
+	}
+	// Small sizes (serial path) and strided fall-back.
+	if OptDdot(3, x, 1, y, 1) != dotSerial64(x[:3], y[:3]) {
+		t.Fatal("small dot")
+	}
+	if OptDdot(100, x, 2, y, 1) != RefDdot(100, x, 2, y, 1) {
+		t.Fatal("strided dot should match ref")
+	}
+	if OptDdot(0, x, 1, y, 1) != 0 {
+		t.Fatal("n=0")
+	}
+}
+
+func TestOptDdotDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randSlice64(r, bigN)
+	y := randSlice64(r, bigN)
+	a := OptDdot(bigN, x, 1, y, 1)
+	b := OptDdot(bigN, x, 1, y, 1)
+	if a != b {
+		t.Fatalf("parallel dot not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestOptDaxpyMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x := randSlice64(r, bigN)
+	y0 := randSlice64(r, bigN)
+	yRef := append([]float64(nil), y0...)
+	yOpt := append([]float64(nil), y0...)
+	RefDaxpy(bigN, 1.5, x, 1, yRef, 1)
+	OptDaxpy(bigN, 1.5, x, 1, yOpt, 1)
+	if d := maxDiff64(yRef, yOpt); d != 0 {
+		t.Fatalf("axpy diff %g", d)
+	}
+	OptDaxpy(bigN, 0, x, 1, yOpt, 1) // alpha=0 no-op
+	if d := maxDiff64(yRef, yOpt); d != 0 {
+		t.Fatal("alpha=0 modified y")
+	}
+}
+
+func TestOptDscal(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x0 := randSlice64(r, bigN)
+	xRef := append([]float64(nil), x0...)
+	xOpt := append([]float64(nil), x0...)
+	RefDscal(bigN, -2.5, xRef, 1)
+	OptDscal(bigN, -2.5, xOpt, 1)
+	if d := maxDiff64(xRef, xOpt); d != 0 {
+		t.Fatalf("scal diff %g", d)
+	}
+}
+
+func TestOptDasum(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := randSlice64(r, bigN)
+	want := RefDasum(bigN, x, 1)
+	got := OptDasum(bigN, x, 1)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("asum %g vs %g", got, want)
+	}
+}
+
+func TestOptDnrm2(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	x := randSlice64(r, bigN)
+	want := RefDnrm2(bigN, x, 1)
+	got := OptDnrm2(bigN, x, 1)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("nrm2 %g vs %g", got, want)
+	}
+	// Overflow guard carries over to the parallel path.
+	huge := make([]float64, bigN)
+	for i := range huge {
+		huge[i] = 1e300
+	}
+	got = OptDnrm2(bigN, huge, 1)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("parallel nrm2 overflowed: %g", got)
+	}
+	want = 1e300 * math.Sqrt(float64(bigN))
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("parallel nrm2 %g, want %g", got, want)
+	}
+	// All zeros.
+	zero := make([]float64, bigN)
+	if OptDnrm2(bigN, zero, 1) != 0 {
+		t.Fatal("nrm2 of zeros")
+	}
+}
+
+func TestOptIdamax(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := randSlice64(r, bigN)
+	// Plant the max deep in the vector.
+	x[bigN-7] = 100
+	if got := OptIdamax(bigN, x, 1); got != bigN-7 {
+		t.Fatalf("idamax = %d, want %d", got, bigN-7)
+	}
+	// Tie resolution: lowest index wins, also across worker boundaries.
+	x[3] = -100
+	if got := OptIdamax(bigN, x, 1); got != 3 {
+		t.Fatalf("idamax tie = %d, want 3", got)
+	}
+	if OptIdamax(0, x, 1) != -1 {
+		t.Fatal("n=0")
+	}
+	if OptIdamax(bigN/2, x, 2) != RefIdamax(bigN/2, x, 2) {
+		t.Fatal("strided idamax should match ref")
+	}
+}
+
+func TestOptLevel1SingleThreadEquivalence(t *testing.T) {
+	old := Threads()
+	defer SetThreads(old)
+	r := rand.New(rand.NewSource(8))
+	x := randSlice64(r, bigN)
+	y := randSlice64(r, bigN)
+	SetThreads(8)
+	d8 := OptDdot(bigN, x, 1, y, 1)
+	n8 := OptDnrm2(bigN, x, 1)
+	SetThreads(1)
+	d1 := OptDdot(bigN, x, 1, y, 1)
+	n1 := OptDnrm2(bigN, x, 1)
+	if math.Abs(d8-d1) > 1e-9*math.Abs(d1) {
+		t.Fatalf("dot thread sensitivity: %g vs %g", d8, d1)
+	}
+	if math.Abs(n8-n1) > 1e-9*n1 {
+		t.Fatalf("nrm2 thread sensitivity: %g vs %g", n8, n1)
+	}
+}

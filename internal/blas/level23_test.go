@@ -1,0 +1,295 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// symmetrize builds a full symmetric matrix from random data so symv/symm
+// results can be checked against plain gemv/gemm.
+func symmetrize(r *rand.Rand, n int) []float64 {
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := r.Float64()*2 - 1
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	return a
+}
+
+// poisonTriangle overwrites the NOT-referenced triangle with NaN to prove a
+// kernel only reads the uplo triangle it was told to.
+func poisonTriangle(a []float64, n int, uplo Uplo) []float64 {
+	p := append([]float64(nil), a...)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+				p[i+j*n] = math.NaN()
+			}
+		}
+	}
+	return p
+}
+
+func TestDsymvMatchesGemv(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(40)
+			full := symmetrize(r, n)
+			poisoned := poisonTriangle(full, n, uplo)
+			x := randSlice64(r, n)
+			y0 := randSlice64(r, n)
+			ySym := append([]float64(nil), y0...)
+			yGemv := append([]float64(nil), y0...)
+			RefDsymv(uplo, n, 1.5, poisoned, n, x, 1, 0.5, ySym, 1)
+			RefDgemv(NoTrans, n, n, 1.5, full, n, x, 1, 0.5, yGemv, 1)
+			return maxDiff64(ySym, yGemv) <= 1e-12*float64(n+1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("uplo=%c: %v", uplo, err)
+		}
+	}
+}
+
+func TestSsymvMatchesSgemv(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	n := 37
+	full := make([]float32, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := r.Float32()
+			full[i+j*n] = v
+			full[j+i*n] = v
+		}
+	}
+	x := randSlice32(r, n)
+	y1 := make([]float32, n)
+	y2 := make([]float32, n)
+	RefSsymv(Upper, n, 1, full, n, x, 1, 0, y1, 1)
+	RefSgemv(NoTrans, n, n, 1, full, n, x, 1, 0, y2, 1)
+	if d := maxDiff32(y1, y2); d > 1e-4 {
+		t.Fatalf("ssymv vs sgemv diff %g", d)
+	}
+}
+
+func TestDgerMatchesGemm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(30), 1+r.Intn(30)
+		x := randSlice64(r, m)
+		y := randSlice64(r, n)
+		a0 := randSlice64(r, m*n)
+		aGer := append([]float64(nil), a0...)
+		aGemm := append([]float64(nil), a0...)
+		RefDger(m, n, 2, x, 1, y, 1, aGer, m)
+		// x*yᵀ as an m x n gemm with k=1, beta=1.
+		RefDgemm(NoTrans, NoTrans, m, n, 1, 2, x, m, y, 1, 1, aGemm, m)
+		return maxDiff64(aGer, aGemm) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// trsv(trmv(x)) must restore x for well-conditioned triangular systems.
+func TestDtrmvTrsvRoundTrip(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				f := func(seed int64) bool {
+					r := rand.New(rand.NewSource(seed))
+					n := 1 + r.Intn(30)
+					a := make([]float64, n*n)
+					for j := 0; j < n; j++ {
+						for i := 0; i < n; i++ {
+							inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+							if !inTri {
+								continue
+							}
+							if i == j {
+								a[i+j*n] = 2 + r.Float64() // dominant diagonal
+							} else {
+								a[i+j*n] = (r.Float64()*2 - 1) / float64(n)
+							}
+						}
+					}
+					x := randSlice64(r, n)
+					got := append([]float64(nil), x...)
+					RefDtrmv(uplo, trans, diag, n, a, n, got, 1)
+					RefDtrsv(uplo, trans, diag, n, a, n, got, 1)
+					return maxDiff64(got, x) <= 1e-9
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+					t.Fatalf("uplo=%c trans=%c diag=%c: %v", uplo, trans, diag, err)
+				}
+			}
+		}
+	}
+}
+
+func TestStrmvStrsvRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	n := 25
+	a := make([]float32, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if i == j {
+				a[i+j*n] = 2 + r.Float32()
+			} else {
+				a[i+j*n] = (r.Float32()*2 - 1) / float32(n)
+			}
+		}
+	}
+	x := randSlice32(r, n)
+	got := append([]float32(nil), x...)
+	RefStrmv(Lower, NoTrans, NonUnit, n, a, n, got, 1)
+	RefStrsv(Lower, NoTrans, NonUnit, n, a, n, got, 1)
+	if d := maxDiff32(got, x); d > 1e-4 {
+		t.Fatalf("strmv/strsv round trip diff %g", d)
+	}
+}
+
+func TestDsymmMatchesGemm(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				m, n := 1+r.Intn(20), 1+r.Intn(20)
+				na := m
+				if side == Right {
+					na = n
+				}
+				full := symmetrize(r, na)
+				poisoned := poisonTriangle(full, na, uplo)
+				b := randSlice64(r, m*n)
+				c0 := randSlice64(r, m*n)
+				cSymm := append([]float64(nil), c0...)
+				cGemm := append([]float64(nil), c0...)
+				RefDsymm(side, uplo, m, n, 1.5, poisoned, na, b, m, 0.5, cSymm, m)
+				if side == Left {
+					RefDgemm(NoTrans, NoTrans, m, n, m, 1.5, full, m, b, m, 0.5, cGemm, m)
+				} else {
+					RefDgemm(NoTrans, NoTrans, m, n, n, 1.5, b, m, full, n, 0.5, cGemm, m)
+				}
+				return maxDiff64(cSymm, cGemm) <= 1e-12*float64(na+1)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatalf("side=%c uplo=%c: %v", side, uplo, err)
+			}
+		}
+	}
+}
+
+func TestDsyrkMatchesGemm(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				n, k := 1+r.Intn(20), 1+r.Intn(20)
+				rows, cols := n, k
+				if trans == Trans {
+					rows, cols = k, n
+				}
+				a := randSlice64(r, rows*cols)
+				cFull := make([]float64, n*n)
+				// Full product via gemm: C = A*Aᵀ (or Aᵀ*A).
+				if trans == NoTrans {
+					RefDgemm(NoTrans, Trans, n, n, k, 1, a, n, a, n, 0, cFull, n)
+				} else {
+					RefDgemm(Trans, NoTrans, n, n, k, 1, a, k, a, k, 0, cFull, n)
+				}
+				cSyrk := make([]float64, n*n)
+				RefDsyrk(uplo, trans, n, k, 1, a, rows, 0, cSyrk, n)
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						inTri := (uplo == Upper && i <= j) || (uplo == Lower && i >= j)
+						if inTri && math.Abs(cSyrk[i+j*n]-cFull[i+j*n]) > 1e-12*float64(k+1) {
+							return false
+						}
+						if !inTri && cSyrk[i+j*n] != 0 {
+							return false // other triangle untouched (buffer was zero)
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatalf("uplo=%c trans=%c: %v", uplo, trans, err)
+			}
+		}
+	}
+}
+
+// trsm must invert trmm: B == trsm(trmm(B)).
+func TestDtrmmTrsmRoundTrip(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					f := func(seed int64) bool {
+						r := rand.New(rand.NewSource(seed))
+						m, n := 1+r.Intn(15), 1+r.Intn(15)
+						na := m
+						if side == Right {
+							na = n
+						}
+						a := make([]float64, na*na)
+						for j := 0; j < na; j++ {
+							for i := 0; i < na; i++ {
+								inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+								if !inTri {
+									continue
+								}
+								if i == j {
+									a[i+j*na] = 2 + r.Float64()
+								} else {
+									a[i+j*na] = (r.Float64()*2 - 1) / float64(na)
+								}
+							}
+						}
+						b := randSlice64(r, m*n)
+						got := append([]float64(nil), b...)
+						RefDtrmm(side, uplo, trans, diag, m, n, 2, a, na, got, m)
+						RefDtrsm(side, uplo, trans, diag, m, n, 0.5, a, na, got, m)
+						return maxDiff64(got, b) <= 1e-9
+					}
+					if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+						t.Fatalf("side=%c uplo=%c trans=%c diag=%c: %v", side, uplo, trans, diag, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// trsm Left solves op(A)*X = alpha*B: verify residual directly.
+func TestDtrsmResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m, n := 12, 9
+	a := make([]float64, m*m)
+	for j := 0; j < m; j++ {
+		for i := j; i < m; i++ {
+			if i == j {
+				a[i+j*m] = 3 + r.Float64()
+			} else {
+				a[i+j*m] = (r.Float64()*2 - 1) / float64(m)
+			}
+		}
+	}
+	b := randSlice64(r, m*n)
+	x := append([]float64(nil), b...)
+	RefDtrsm(Left, Lower, NoTrans, NonUnit, m, n, 2, a, m, x, m)
+	// Residual: A*X should equal 2*B. Build full lower-triangular A.
+	ax := make([]float64, m*n)
+	RefDgemm(NoTrans, NoTrans, m, n, m, 1, a, m, x, m, 0, ax, m)
+	for i := range ax {
+		if math.Abs(ax[i]-2*b[i]) > 1e-10 {
+			t.Fatalf("trsm residual at %d: %g vs %g", i, ax[i], 2*b[i])
+		}
+	}
+}

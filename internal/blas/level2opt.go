@@ -1,0 +1,192 @@
+package blas
+
+import "repro/internal/parallel"
+
+// Optimized Level-2 kernels beyond GEMV. GER and SYMV parallelise cleanly
+// (columns of A, rows of y); TRMV and TRSV stay serial in their Opt form —
+// the forward/backward substitution recurrence makes row-level parallelism
+// a loss at BLAS-2 arithmetic intensities — so OptDtrsv/OptDtrmv simply
+// dispatch to the reference kernels and exist for API completeness.
+
+// OptDger computes the rank-1 update A += alpha*x*yᵀ, parallelised over
+// column blocks of A. Semantics match RefDger.
+func OptDger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	if m < 0 || n < 0 {
+		panic("blas: negative ger dimension")
+	}
+	if lda < max(1, m) {
+		panic("blas: ger lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || int64(m)*int64(n) < parallelGrainFlops || incX != 1 {
+		RefDger(m, n, alpha, x, incX, y, incY, a, lda)
+		return
+	}
+	ky := vecStart(n, incY)
+	p.For(n, func(_ int, r parallel.Range) {
+		for j := r.Lo; j < r.Hi; j++ {
+			yv := alpha * y[ky+j*incY]
+			if yv == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i := 0; i < m; i++ {
+				col[i] += x[i] * yv
+			}
+		}
+	})
+}
+
+// OptSger computes the rank-1 update A += alpha*x*yᵀ. Semantics match
+// RefSger.
+func OptSger(m, n int, alpha float32, x []float32, incX int, y []float32, incY int, a []float32, lda int) {
+	if m < 0 || n < 0 {
+		panic("blas: negative ger dimension")
+	}
+	if lda < max(1, m) {
+		panic("blas: ger lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || int64(m)*int64(n) < parallelGrainFlops || incX != 1 {
+		RefSger(m, n, alpha, x, incX, y, incY, a, lda)
+		return
+	}
+	ky := vecStart(n, incY)
+	p.For(n, func(_ int, r parallel.Range) {
+		for j := r.Lo; j < r.Hi; j++ {
+			yv := alpha * y[ky+j*incY]
+			if yv == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i := 0; i < m; i++ {
+				col[i] += x[i] * yv
+			}
+		}
+	})
+}
+
+// OptDsymv computes y = alpha*A*x + beta*y for symmetric A (uplo triangle
+// stored), parallelised over output rows with each worker reading the
+// stored triangle only. Semantics match RefDsymv.
+func OptDsymv(uplo Uplo, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if n < 0 {
+		panic("blas: negative symv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: symv lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || 2*int64(n)*int64(n) < parallelGrainFlops || incX != 1 || incY != 1 {
+		RefDsymv(uplo, n, alpha, a, lda, x, incX, beta, y, incY)
+		return
+	}
+	for i := 0; i < n; i++ {
+		if beta == 0 {
+			y[i] = 0
+		} else if beta != 1 {
+			y[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	at := func(i, j int) float64 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	p.For(n, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				sum += at(i, j) * x[j]
+			}
+			y[i] += alpha * sum
+		}
+	})
+}
+
+// OptSsymv computes y = alpha*A*x + beta*y for symmetric float32 A.
+// Semantics match RefSsymv.
+func OptSsymv(uplo Uplo, n int, alpha float32, a []float32, lda int, x []float32, incX int, beta float32, y []float32, incY int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if n < 0 {
+		panic("blas: negative symv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: symv lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	p := getPool()
+	if p.Workers() == 1 || 2*int64(n)*int64(n) < parallelGrainFlops || incX != 1 || incY != 1 {
+		RefSsymv(uplo, n, alpha, a, lda, x, incX, beta, y, incY)
+		return
+	}
+	for i := 0; i < n; i++ {
+		if beta == 0 {
+			y[i] = 0
+		} else if beta != 1 {
+			y[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	at := func(i, j int) float32 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	p.For(n, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			var sum float32
+			for j := 0; j < n; j++ {
+				sum += at(i, j) * x[j]
+			}
+			y[i] += alpha * sum
+		}
+	})
+}
+
+// OptDtrmv computes x = op(A)*x. The triangular recurrence defeats
+// data-parallel decomposition at Level-2 intensity, so this dispatches to
+// the reference kernel; it exists so callers can uniformly use Opt*.
+func OptDtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	RefDtrmv(uplo, trans, diag, n, a, lda, x, incX)
+}
+
+// OptDtrsv solves op(A)*x = b in place; see OptDtrmv for why it is serial.
+func OptDtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	RefDtrsv(uplo, trans, diag, n, a, lda, x, incX)
+}

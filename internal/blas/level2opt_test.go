@@ -1,0 +1,126 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptDgerMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(400), 1+r.Intn(400)
+		x := randSlice64(r, m)
+		y := randSlice64(r, n)
+		a0 := randSlice64(r, m*n)
+		aRef := append([]float64(nil), a0...)
+		aOpt := append([]float64(nil), a0...)
+		RefDger(m, n, 1.5, x, 1, y, 1, aRef, m)
+		OptDger(m, n, 1.5, x, 1, y, 1, aOpt, m)
+		return maxDiff64(aRef, aOpt) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptSgerMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m, n := 500, 500
+	x := randSlice32(r, m)
+	y := randSlice32(r, n)
+	a0 := randSlice32(r, m*n)
+	aRef := append([]float32(nil), a0...)
+	aOpt := append([]float32(nil), a0...)
+	RefSger(m, n, -0.5, x, 1, y, 1, aRef, m)
+	OptSger(m, n, -0.5, x, 1, y, 1, aOpt, m)
+	if d := maxDiff32(aRef, aOpt); d != 0 {
+		t.Fatalf("sger diff %g", d)
+	}
+}
+
+func TestOptGerStridedFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m, n := 600, 600
+	x := randSlice64(r, 2*m)
+	y := randSlice64(r, n)
+	a0 := randSlice64(r, m*n)
+	aRef := append([]float64(nil), a0...)
+	aOpt := append([]float64(nil), a0...)
+	RefDger(m, n, 2, x, 2, y, 1, aRef, m)
+	OptDger(m, n, 2, x, 2, y, 1, aOpt, m)
+	if d := maxDiff64(aRef, aOpt); d != 0 {
+		t.Fatalf("strided ger diff %g", d)
+	}
+}
+
+func TestOptGerAlphaZeroNoop(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	OptDger(2, 2, 0, []float64{9, 9}, 1, []float64{9, 9}, 1, a, 2)
+	if a[0] != 1 || a[3] != 4 {
+		t.Fatal("alpha=0 ger modified A")
+	}
+}
+
+func TestOptDsymvMatchesRef(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(500)
+			a := symmetrize(r, n)
+			x := randSlice64(r, n)
+			y0 := randSlice64(r, n)
+			yRef := append([]float64(nil), y0...)
+			yOpt := append([]float64(nil), y0...)
+			RefDsymv(uplo, n, 1.25, a, n, x, 1, 0.75, yRef, 1)
+			OptDsymv(uplo, n, 1.25, a, n, x, 1, 0.75, yOpt, 1)
+			return maxDiff64(yRef, yOpt) <= 1e-11*float64(n+1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Fatalf("uplo=%c: %v", uplo, err)
+		}
+	}
+}
+
+func TestOptSsymvMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 700
+	a := make([]float32, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v := r.Float32()
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	x := randSlice32(r, n)
+	yRef := make([]float32, n)
+	yOpt := make([]float32, n)
+	RefSsymv(Upper, n, 1, a, n, x, 1, 0, yRef, 1)
+	OptSsymv(Upper, n, 1, a, n, x, 1, 0, yOpt, 1)
+	if d := maxDiff32(yRef, yOpt); d > 1e-3 {
+		t.Fatalf("ssymv diff %g", d)
+	}
+}
+
+func TestOptTrmvTrsvDelegate(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 60
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if i == j {
+				a[i+j*n] = 2 + r.Float64()
+			} else {
+				a[i+j*n] = (r.Float64()*2 - 1) / float64(n)
+			}
+		}
+	}
+	x := randSlice64(r, n)
+	got := append([]float64(nil), x...)
+	OptDtrmv(Lower, NoTrans, NonUnit, n, a, n, got, 1)
+	OptDtrsv(Lower, NoTrans, NonUnit, n, a, n, got, 1)
+	if d := maxDiff64(got, x); d > 1e-10 {
+		t.Fatalf("opt trmv/trsv round trip diff %g", d)
+	}
+}

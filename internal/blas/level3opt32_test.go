@@ -1,0 +1,169 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTriangular32(r *rand.Rand, na int, uplo Uplo) []float32 {
+	a := make([]float32, na*na)
+	for j := 0; j < na; j++ {
+		for i := 0; i < na; i++ {
+			inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			switch {
+			case i == j:
+				a[i+j*na] = 2 + r.Float32()
+			case inTri:
+				a[i+j*na] = (r.Float32()*2 - 1) / float32(na)
+			default:
+				a[i+j*na] = 1e30
+			}
+		}
+	}
+	return a
+}
+
+func TestOptStrsmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				f := func(seed int64) bool {
+					r := rand.New(rand.NewSource(seed))
+					m := 1 + r.Intn(140)
+					n := 1 + r.Intn(140)
+					na := m
+					if side == Right {
+						na = n
+					}
+					a := randTriangular32(r, na, uplo)
+					b := randSlice32(r, m*n)
+					bRef := append([]float32(nil), b...)
+					bOpt := append([]float32(nil), b...)
+					RefStrsm(side, uplo, trans, NonUnit, m, n, 1.5, a, na, bRef, m)
+					OptStrsm(side, uplo, trans, NonUnit, m, n, 1.5, a, na, bOpt, m)
+					return maxDiff32(bRef, bOpt) <= 1e-3
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+					t.Fatalf("side=%c uplo=%c trans=%c: %v", side, uplo, trans, err)
+				}
+			}
+		}
+	}
+}
+
+func TestOptStrmmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				f := func(seed int64) bool {
+					r := rand.New(rand.NewSource(seed))
+					m := 1 + r.Intn(140)
+					n := 1 + r.Intn(140)
+					na := m
+					if side == Right {
+						na = n
+					}
+					a := randTriangular32(r, na, uplo)
+					b := randSlice32(r, m*n)
+					bRef := append([]float32(nil), b...)
+					bOpt := append([]float32(nil), b...)
+					RefStrmm(side, uplo, trans, Unit, m, n, 0.5, a, na, bRef, m)
+					OptStrmm(side, uplo, trans, Unit, m, n, 0.5, a, na, bOpt, m)
+					return maxDiff32(bRef, bOpt) <= 1e-3
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+					t.Fatalf("side=%c uplo=%c trans=%c: %v", side, uplo, trans, err)
+				}
+			}
+		}
+	}
+}
+
+func TestOptSsyrkMatchesRef(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				n := 1 + r.Intn(150)
+				k := 1 + r.Intn(40)
+				rows := n
+				if trans == Trans {
+					rows = k
+				}
+				a := randSlice32(r, n*k)
+				c := randSlice32(r, n*n)
+				cRef := append([]float32(nil), c...)
+				cOpt := append([]float32(nil), c...)
+				RefSsyrk(uplo, trans, n, k, 1.25, a, rows, 0.5, cRef, n)
+				OptSsyrk(uplo, trans, n, k, 1.25, a, rows, 0.5, cOpt, n)
+				return maxDiff32(cRef, cOpt) <= 1e-3*float32Tol(k)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatalf("uplo=%c trans=%c: %v", uplo, trans, err)
+			}
+		}
+	}
+}
+
+func float32Tol(k int) float64 { return float64(k + 1) }
+
+func TestOptSsymmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				m := 1 + r.Intn(150)
+				n := 1 + r.Intn(150)
+				na := m
+				if side == Right {
+					na = n
+				}
+				a := make([]float32, na*na)
+				for j := 0; j < na; j++ {
+					for i := 0; i < na; i++ {
+						inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+						if inTri {
+							a[i+j*na] = r.Float32()*2 - 1
+						} else {
+							a[i+j*na] = 1e30
+						}
+					}
+				}
+				b := randSlice32(r, m*n)
+				c := randSlice32(r, m*n)
+				cRef := append([]float32(nil), c...)
+				cOpt := append([]float32(nil), c...)
+				RefSsymm(side, uplo, m, n, 1.5, a, na, b, m, 0.5, cRef, m)
+				OptSsymm(side, uplo, m, n, 1.5, a, na, b, m, 0.5, cOpt, m)
+				return maxDiff32(cRef, cOpt) <= 1e-3*float32Tol(na)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+				t.Fatalf("side=%c uplo=%c: %v", side, uplo, err)
+			}
+		}
+	}
+}
+
+// RefS and RefD Level-3 kernels must agree on identical (exactly
+// representable) inputs.
+func TestLevel3PrecisionConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n, k := 40, 12
+	a32 := make([]float32, n*k)
+	a64 := make([]float64, n*k)
+	for i := range a32 {
+		v := float32(r.Intn(7)) - 3 // small integers: exact in both types
+		a32[i] = v
+		a64[i] = float64(v)
+	}
+	c32 := make([]float32, n*n)
+	c64 := make([]float64, n*n)
+	RefSsyrk(Lower, NoTrans, n, k, 1, a32, n, 0, c32, n)
+	RefDsyrk(Lower, NoTrans, n, k, 1, a64, n, 0, c64, n)
+	for i := range c32 {
+		if float64(c32[i]) != c64[i] {
+			t.Fatalf("syrk precision divergence at %d: %v vs %v", i, c32[i], c64[i])
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTriangular64 builds a well-conditioned na x na triangular matrix with
+// the given uplo (the other triangle holds garbage to prove it is never
+// read).
+func randTriangular64(r *rand.Rand, na int, uplo Uplo) []float64 {
+	a := make([]float64, na*na)
+	for j := 0; j < na; j++ {
+		for i := 0; i < na; i++ {
+			inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			switch {
+			case i == j:
+				a[i+j*na] = 2 + r.Float64()
+			case inTri:
+				a[i+j*na] = (r.Float64()*2 - 1) / float64(na)
+			default:
+				a[i+j*na] = 1e30 // poison: must never be referenced
+			}
+		}
+	}
+	return a
+}
+
+func TestOptDtrsmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					f := func(seed int64) bool {
+						r := rand.New(rand.NewSource(seed))
+						// Sizes straddling the recursion block size.
+						m := 1 + r.Intn(150)
+						n := 1 + r.Intn(150)
+						na := m
+						if side == Right {
+							na = n
+						}
+						a := randTriangular64(r, na, uplo)
+						b := randSlice64(r, m*n)
+						bRef := append([]float64(nil), b...)
+						bOpt := append([]float64(nil), b...)
+						RefDtrsm(side, uplo, trans, diag, m, n, 1.5, a, na, bRef, m)
+						OptDtrsm(side, uplo, trans, diag, m, n, 1.5, a, na, bOpt, m)
+						return maxDiff64(bRef, bOpt) <= 1e-9
+					}
+					if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+						t.Fatalf("side=%c uplo=%c trans=%c diag=%c: %v", side, uplo, trans, diag, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOptDtrmmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					f := func(seed int64) bool {
+						r := rand.New(rand.NewSource(seed))
+						m := 1 + r.Intn(150)
+						n := 1 + r.Intn(150)
+						na := m
+						if side == Right {
+							na = n
+						}
+						a := randTriangular64(r, na, uplo)
+						b := randSlice64(r, m*n)
+						bRef := append([]float64(nil), b...)
+						bOpt := append([]float64(nil), b...)
+						RefDtrmm(side, uplo, trans, diag, m, n, 0.75, a, na, bRef, m)
+						OptDtrmm(side, uplo, trans, diag, m, n, 0.75, a, na, bOpt, m)
+						return maxDiff64(bRef, bOpt) <= 1e-9
+					}
+					if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+						t.Fatalf("side=%c uplo=%c trans=%c diag=%c: %v", side, uplo, trans, diag, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOptDsyrkMatchesRef(t *testing.T) {
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				n := 1 + r.Intn(180)
+				k := 1 + r.Intn(60)
+				rows, cols := n, k
+				if trans == Trans {
+					rows, cols = k, n
+				}
+				a := randSlice64(r, rows*cols)
+				c := randSlice64(r, n*n)
+				cRef := append([]float64(nil), c...)
+				cOpt := append([]float64(nil), c...)
+				RefDsyrk(uplo, trans, n, k, 1.25, a, rows, 0.5, cRef, n)
+				OptDsyrk(uplo, trans, n, k, 1.25, a, rows, 0.5, cOpt, n)
+				return maxDiff64(cRef, cOpt) <= 1e-10*float64(k+1)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatalf("uplo=%c trans=%c: %v", uplo, trans, err)
+			}
+		}
+	}
+}
+
+func TestOptDsyrkLeavesOtherTriangleUntouched(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n, k := 130, 20
+	a := randSlice64(r, n*k)
+	c := make([]float64, n*n)
+	for i := range c {
+		c[i] = 42
+	}
+	OptDsyrk(Lower, NoTrans, n, k, 1, a, n, 0, c, n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if c[i+j*n] != 42 {
+				t.Fatalf("upper triangle touched at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestOptDsymmMatchesRef(t *testing.T) {
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				m := 1 + r.Intn(160)
+				n := 1 + r.Intn(160)
+				na := m
+				if side == Right {
+					na = n
+				}
+				// Symmetric data in the uplo triangle, poison elsewhere.
+				a := make([]float64, na*na)
+				for j := 0; j < na; j++ {
+					for i := 0; i < na; i++ {
+						inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+						if inTri {
+							a[i+j*na] = r.Float64()*2 - 1
+						} else {
+							a[i+j*na] = 1e30
+						}
+					}
+				}
+				b := randSlice64(r, m*n)
+				c := randSlice64(r, m*n)
+				cRef := append([]float64(nil), c...)
+				cOpt := append([]float64(nil), c...)
+				RefDsymm(side, uplo, m, n, 1.5, a, na, b, m, 0.5, cRef, m)
+				OptDsymm(side, uplo, m, n, 1.5, a, na, b, m, 0.5, cOpt, m)
+				return maxDiff64(cRef, cOpt) <= 1e-10*float64(na+1)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatalf("side=%c uplo=%c: %v", side, uplo, err)
+			}
+		}
+	}
+}
+
+// Cholesky-style integration: factor a symmetric positive definite matrix
+// with the blocked kernels (syrk + trsm + gemm), then verify L*Lᵀ = A.
+// This is how the optimized Level-3 kernels compose in real applications
+// (the paper's LU-factorization motivation, §III-C).
+func TestBlockedCholeskyIntegration(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n, nb = 200, 48
+	// Build SPD A = M*Mᵀ + n*I.
+	m := randSlice64(r, n*n)
+	a := make([]float64, n*n)
+	OptDsyrk(Lower, NoTrans, n, n, 1, m, n, 0, a, n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] += float64(n)
+	}
+	orig := append([]float64(nil), a...)
+	// Blocked right-looking Cholesky on the lower triangle.
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		// Unblocked Cholesky of the diagonal block.
+		for c := j; c < j+jb; c++ {
+			var s float64
+			for l := j; l < c; l++ {
+				s += a[c+l*n] * a[c+l*n]
+			}
+			d := a[c+c*n] - s
+			if d <= 0 {
+				t.Fatal("matrix not positive definite")
+			}
+			a[c+c*n] = math.Sqrt(d)
+			for i := c + 1; i < j+jb; i++ {
+				var s2 float64
+				for l := j; l < c; l++ {
+					s2 += a[i+l*n] * a[c+l*n]
+				}
+				a[i+c*n] = (a[i+c*n] - s2) / a[c+c*n]
+			}
+		}
+		if j+jb < n {
+			// Panel solve: A21 = A21 * L11^-T  (X * L11ᵀ = A21).
+			OptDtrsm(Right, Lower, Trans, NonUnit, n-j-jb, jb, 1, a[j+j*n:], n, a[j+jb+j*n:], n)
+			// Trailing update: A22 -= L21*L21ᵀ.
+			OptDsyrk(Lower, NoTrans, n-j-jb, jb, -1, a[j+jb+j*n:], n, 1, a[j+jb+(j+jb)*n:], n)
+		}
+	}
+	// Reconstruct L*Lᵀ and compare with the original (lower triangle).
+	l := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			l[i+j*n] = a[i+j*n]
+		}
+	}
+	rec := make([]float64, n*n)
+	OptDgemm(NoTrans, Trans, n, n, n, 1, l, n, l, n, 0, rec, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			diff := rec[i+j*n] - orig[i+j*n]
+			if diff > 1e-8 || diff < -1e-8 {
+				t.Fatalf("L*Lt mismatch at (%d,%d): %g", i, j, diff)
+			}
+		}
+	}
+}

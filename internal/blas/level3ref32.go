@@ -1,0 +1,255 @@
+package blas
+
+// Float32 Level-3 reference kernels beyond GEMM; see ref64.go for the
+// semantic documentation of each.
+
+// RefSsymm computes C = alpha*A*B + beta*C (Left) or C = alpha*B*A + beta*C
+// (Right) for symmetric A.
+func RefSsymm(side Side, uplo Uplo, m, n int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative symm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: symm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: symm ldb too small")
+	}
+	if ldc < max(1, m) {
+		panic("blas: symm ldc too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	at := func(i, j int) float32 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum float32
+			if side == Left {
+				for l := 0; l < m; l++ {
+					sum += at(i, l) * b[l+j*ldb]
+				}
+			} else {
+				for l := 0; l < n; l++ {
+					sum += b[i+l*ldb] * at(l, j)
+				}
+			}
+			idx := i + j*ldc
+			if beta == 0 {
+				c[idx] = alpha * sum
+			} else {
+				c[idx] = alpha*sum + beta*c[idx]
+			}
+		}
+	}
+}
+
+// RefSsyrk computes the uplo triangle of C = alpha*A*Aᵀ + beta*C (NoTrans)
+// or C = alpha*Aᵀ*A + beta*C (Trans).
+func RefSsyrk(uplo Uplo, trans Transpose, n, k int, alpha float32, a []float32, lda int, beta float32, c []float32, ldc int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if n < 0 || k < 0 {
+		panic("blas: negative syrk dimension")
+	}
+	rows := n
+	if isTrans(trans) {
+		rows = k
+	}
+	if lda < max(1, rows) {
+		panic("blas: syrk lda too small")
+	}
+	if ldc < max(1, n) {
+		panic("blas: syrk ldc too small")
+	}
+	if n == 0 {
+		return
+	}
+	at := func(i, l int) float32 {
+		if isTrans(trans) {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	for j := 0; j < n; j++ {
+		iLo, iHi := 0, j+1
+		if uplo == Lower {
+			iLo, iHi = j, n
+		}
+		for i := iLo; i < iHi; i++ {
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += at(i, l) * at(j, l)
+			}
+			idx := i + j*ldc
+			if beta == 0 {
+				c[idx] = alpha * sum
+			} else {
+				c[idx] = alpha*sum + beta*c[idx]
+			}
+		}
+	}
+}
+
+// RefStrmm computes B = alpha*op(A)*B (Left) or B = alpha*B*op(A) (Right)
+// for triangular A.
+func RefStrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float32, a []float32, lda int, b []float32, ldb int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative trmm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: trmm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: trmm ldb too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	at := func(i, j int) float32 {
+		if i == j && diag == Unit {
+			return 1
+		}
+		lower := uplo == Lower
+		if isTrans(trans) {
+			i, j = j, i
+		}
+		if (lower && i < j) || (!lower && i > j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	tmp := make([]float32, na)
+	if side == Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := 0; i < m; i++ {
+				var sum float32
+				for l := 0; l < m; l++ {
+					v := at(i, l)
+					if v != 0 {
+						sum += v * col[l]
+					}
+				}
+				tmp[i] = alpha * sum
+			}
+			copy(col, tmp[:m])
+		}
+		return
+	}
+	row := make([]float32, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		for j := 0; j < n; j++ {
+			var sum float32
+			for l := 0; l < n; l++ {
+				v := at(l, j)
+				if v != 0 {
+					sum += row[l] * v
+				}
+			}
+			tmp[j] = alpha * sum
+		}
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = tmp[j]
+		}
+	}
+}
+
+// RefStrsm solves op(A)*X = alpha*B (Left) or X*op(A) = alpha*B (Right),
+// overwriting B with X.
+func RefStrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float32, a []float32, lda int, b []float32, ldb int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative trsm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: trsm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: trsm ldb too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			RefStrsv(uplo, trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	tr := Trans
+	if isTrans(trans) {
+		tr = NoTrans
+	}
+	row := make([]float32, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		RefStrsv(uplo, tr, diag, n, a, lda, row, 1)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package blas
+
+import "math"
+
+// Float32 reference kernels. These mirror ref64.go; see that file for the
+// semantic documentation. Accumulation is done in float32 to mirror what a
+// vendor SGEMM/SGEMV does, which matters for the paper's checksum tolerance.
+
+// RefSgemm computes C = alpha*op(A)*op(B) + beta*C.
+func RefSgemm(transA, transB Transpose, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range cj {
+				cj[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	at := isTrans(transA)
+	bt := isTrans(transB)
+	aAt := func(i, l int) float32 {
+		if at {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	bAt := func(l, j int) float32 {
+		if bt {
+			return b[j+l*ldb]
+		}
+		return b[l+j*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += aAt(i, l) * bAt(l, j)
+			}
+			c[i+j*ldc] += alpha * sum
+		}
+	}
+}
+
+// RefSgemv computes y = alpha*op(A)*x + beta*y for an m-by-n matrix A.
+func RefSgemv(trans Transpose, m, n int, alpha float32, a []float32, lda int, x []float32, incX int, beta float32, y []float32, incY int) {
+	checkGemv(trans, m, n, lda, incX, incY)
+	lenY := lenGemvY(trans, m, n)
+	if lenY == 0 {
+		return
+	}
+	ky := vecStart(lenY, incY)
+	for i := 0; i < lenY; i++ {
+		idx := ky + i*incY
+		if beta == 0 {
+			y[idx] = 0
+		} else if beta != 1 {
+			y[idx] *= beta
+		}
+	}
+	lenX := lenGemvX(trans, m, n)
+	if alpha == 0 || lenX == 0 {
+		return
+	}
+	kx := vecStart(lenX, incX)
+	if isTrans(trans) {
+		for j := 0; j < n; j++ {
+			var sum float32
+			col := a[j*lda : j*lda+m]
+			for i := 0; i < m; i++ {
+				sum += col[i] * x[kx+i*incX]
+			}
+			y[ky+j*incY] += alpha * sum
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		xv := alpha * x[kx+j*incX]
+		if xv == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i := 0; i < m; i++ {
+			y[ky+i*incY] += xv * col[i]
+		}
+	}
+}
+
+// RefSger computes the rank-1 update A += alpha*x*yᵀ.
+func RefSger(m, n int, alpha float32, x []float32, incX int, y []float32, incY int, a []float32, lda int) {
+	if m < 0 || n < 0 {
+		panic("blas: negative ger dimension")
+	}
+	if lda < max(1, m) {
+		panic("blas: ger lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	kx, ky := vecStart(m, incX), vecStart(n, incY)
+	for j := 0; j < n; j++ {
+		yv := alpha * y[ky+j*incY]
+		if yv == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i := 0; i < m; i++ {
+			col[i] += x[kx+i*incX] * yv
+		}
+	}
+}
+
+// RefSsymv computes y = alpha*A*x + beta*y for symmetric A.
+func RefSsymv(uplo Uplo, n int, alpha float32, a []float32, lda int, x []float32, incX int, beta float32, y []float32, incY int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if n < 0 {
+		panic("blas: negative symv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: symv lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	ky := vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		idx := ky + i*incY
+		if beta == 0 {
+			y[idx] = 0
+		} else if beta != 1 {
+			y[idx] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	at := func(i, j int) float32 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	for i := 0; i < n; i++ {
+		var sum float32
+		for j := 0; j < n; j++ {
+			sum += at(i, j) * x[kx+j*incX]
+		}
+		y[ky+i*incY] += alpha * sum
+	}
+}
+
+// RefStrmv computes x = op(A)*x for triangular A.
+func RefStrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float32, lda int, x []float32, incX int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if n < 0 {
+		panic("blas: negative trmv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: trmv lda too small")
+	}
+	if incX == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	at := func(i, j int) float32 {
+		if i == j && diag == Unit {
+			return 1
+		}
+		lower := uplo == Lower
+		if isTrans(trans) {
+			i, j = j, i
+		}
+		if (lower && i < j) || (!lower && i > j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var sum float32
+		for j := 0; j < n; j++ {
+			v := at(i, j)
+			if v != 0 {
+				sum += v * x[kx+j*incX]
+			}
+		}
+		out[i] = sum
+	}
+	for i := 0; i < n; i++ {
+		x[kx+i*incX] = out[i]
+	}
+}
+
+// RefStrsv solves op(A)*x = b in place for triangular A.
+func RefStrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float32, lda int, x []float32, incX int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if n < 0 {
+		panic("blas: negative trsv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: trsv lda too small")
+	}
+	if incX == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	lower := uplo == Lower
+	if isTrans(trans) {
+		lower = !lower
+	}
+	elem := func(i, j int) float32 {
+		if isTrans(trans) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	if lower {
+		for i := 0; i < n; i++ {
+			sum := x[kx+i*incX]
+			for j := 0; j < i; j++ {
+				sum -= elem(i, j) * x[kx+j*incX]
+			}
+			if diag == NonUnit {
+				sum /= elem(i, i)
+			}
+			x[kx+i*incX] = sum
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[kx+i*incX]
+		for j := i + 1; j < n; j++ {
+			sum -= elem(i, j) * x[kx+j*incX]
+		}
+		if diag == NonUnit {
+			sum /= elem(i, i)
+		}
+		x[kx+i*incX] = sum
+	}
+}
+
+// --- Level 1 references -------------------------------------------------
+
+// RefSdot returns xᵀy over n elements, accumulated in float32.
+func RefSdot(n int, x []float32, incX int, y []float32, incY int) float32 {
+	if n <= 0 {
+		return 0
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	var sum float32
+	for i := 0; i < n; i++ {
+		sum += x[kx+i*incX] * y[ky+i*incY]
+	}
+	return sum
+}
+
+// RefSaxpy computes y += alpha*x over n elements.
+func RefSaxpy(n int, alpha float32, x []float32, incX int, y []float32, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		y[ky+i*incY] += alpha * x[kx+i*incX]
+	}
+}
+
+// RefSscal computes x *= alpha over n elements.
+func RefSscal(n int, alpha float32, x []float32, incX int) {
+	if n <= 0 || incX <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		x[i*incX] *= alpha
+	}
+}
+
+// RefSnrm2 returns the Euclidean norm of x with float64 accumulation, as
+// reference SNRM2 implementations do.
+func RefSnrm2(n int, x []float32, incX int) float32 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(x[i*incX])
+		sum += v * v
+	}
+	return float32(math.Sqrt(sum))
+}
+
+// RefSasum returns the sum of absolute values of x.
+func RefSasum(n int, x []float32, incX int) float32 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	var sum float32
+	for i := 0; i < n; i++ {
+		v := x[i*incX]
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	return sum
+}
+
+// RefIsamax returns the index of the element with the largest absolute
+// value, or -1 when n <= 0.
+func RefIsamax(n int, x []float32, incX int) int {
+	if n <= 0 || incX <= 0 {
+		return -1
+	}
+	abs := func(v float32) float32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	best, bestIdx := abs(x[0]), 0
+	for i := 1; i < n; i++ {
+		if v := abs(x[i*incX]); v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// RefScopy copies x into y over n elements.
+func RefScopy(n int, x []float32, incX int, y []float32, incY int) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		y[ky+i*incY] = x[kx+i*incX]
+	}
+}
+
+// RefSswap exchanges x and y over n elements.
+func RefSswap(n int, x []float32, incX int, y []float32, incY int) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		x[kx+i*incX], y[ky+i*incY] = y[ky+i*incY], x[kx+i*incX]
+	}
+}
+
+// RefSrot applies the plane rotation (c, s) to x and y.
+func RefSrot(n int, x []float32, incX int, y []float32, incY int, c, s float32) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		xi, yi := x[kx+i*incX], y[ky+i*incY]
+		x[kx+i*incX] = c*xi + s*yi
+		y[ky+i*incY] = c*yi - s*xi
+	}
+}

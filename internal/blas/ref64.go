@@ -1,0 +1,677 @@
+package blas
+
+import "math"
+
+// This file holds the float64 reference kernels. They are deliberately
+// written as the textbook loops, with beta handling hoisted out, and serve
+// as both the semantic definition and the test oracle for the optimized
+// kernels. Column-major throughout.
+
+// RefDgemm computes C = alpha*op(A)*op(B) + beta*C where op(X) is X or Xᵀ.
+// C is m-by-n, op(A) is m-by-k, op(B) is k-by-n. When beta == 0, C is
+// written without being read (NaN-safe, matching vendor behaviour).
+func RefDgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	// Scale or clear C first.
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range cj {
+				cj[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	at := isTrans(transA)
+	bt := isTrans(transB)
+	aAt := func(i, l int) float64 {
+		if at {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	bAt := func(l, j int) float64 {
+		if bt {
+			return b[j+l*ldb]
+		}
+		return b[l+j*ldb]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += aAt(i, l) * bAt(l, j)
+			}
+			c[i+j*ldc] += alpha * sum
+		}
+	}
+}
+
+// RefDgemv computes y = alpha*op(A)*x + beta*y for an m-by-n matrix A.
+// When beta == 0, y is written without being read.
+func RefDgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	checkGemv(trans, m, n, lda, incX, incY)
+	lenY := lenGemvY(trans, m, n)
+	if lenY == 0 {
+		return
+	}
+	ky := vecStart(lenY, incY)
+	for i := 0; i < lenY; i++ {
+		idx := ky + i*incY
+		if beta == 0 {
+			y[idx] = 0
+		} else if beta != 1 {
+			y[idx] *= beta
+		}
+	}
+	lenX := lenGemvX(trans, m, n)
+	if alpha == 0 || lenX == 0 {
+		return
+	}
+	kx := vecStart(lenX, incX)
+	if isTrans(trans) {
+		// y_j += alpha * dot(A[:,j], x)
+		for j := 0; j < n; j++ {
+			var sum float64
+			col := a[j*lda : j*lda+m]
+			for i := 0; i < m; i++ {
+				sum += col[i] * x[kx+i*incX]
+			}
+			y[ky+j*incY] += alpha * sum
+		}
+		return
+	}
+	// y += alpha * A[:,j] * x_j, column by column.
+	for j := 0; j < n; j++ {
+		xv := alpha * x[kx+j*incX]
+		if xv == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i := 0; i < m; i++ {
+			y[ky+i*incY] += xv * col[i]
+		}
+	}
+}
+
+// RefDger computes the rank-1 update A += alpha*x*yᵀ for an m-by-n matrix A.
+func RefDger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	if m < 0 || n < 0 {
+		panic("blas: negative ger dimension")
+	}
+	if lda < max(1, m) {
+		panic("blas: ger lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	kx, ky := vecStart(m, incX), vecStart(n, incY)
+	for j := 0; j < n; j++ {
+		yv := alpha * y[ky+j*incY]
+		if yv == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i := 0; i < m; i++ {
+			col[i] += x[kx+i*incX] * yv
+		}
+	}
+}
+
+// RefDsymv computes y = alpha*A*x + beta*y for a symmetric n-by-n matrix A
+// of which only the uplo triangle is referenced.
+func RefDsymv(uplo Uplo, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if n < 0 {
+		panic("blas: negative symv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: symv lda too small")
+	}
+	if incX == 0 || incY == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	ky := vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		idx := ky + i*incY
+		if beta == 0 {
+			y[idx] = 0
+		} else if beta != 1 {
+			y[idx] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	at := func(i, j int) float64 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += at(i, j) * x[kx+j*incX]
+		}
+		y[ky+i*incY] += alpha * sum
+	}
+}
+
+// RefDtrmv computes x = op(A)*x for a triangular n-by-n matrix A.
+func RefDtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if n < 0 {
+		panic("blas: negative trmv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: trmv lda too small")
+	}
+	if incX == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	at := func(i, j int) float64 {
+		if i == j && diag == Unit {
+			return 1
+		}
+		lower := uplo == Lower
+		if isTrans(trans) {
+			i, j = j, i
+		}
+		if (lower && i < j) || (!lower && i > j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := at(i, j)
+			if v != 0 {
+				sum += v * x[kx+j*incX]
+			}
+		}
+		out[i] = sum
+	}
+	for i := 0; i < n; i++ {
+		x[kx+i*incX] = out[i]
+	}
+}
+
+// RefDtrsv solves op(A)*x = b in place (x holds b on entry, the solution on
+// exit) for a triangular n-by-n matrix A.
+func RefDtrsv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if n < 0 {
+		panic("blas: negative trsv dimension")
+	}
+	if lda < max(1, n) {
+		panic("blas: trsv lda too small")
+	}
+	if incX == 0 {
+		panic("blas: zero vector increment")
+	}
+	if n == 0 {
+		return
+	}
+	kx := vecStart(n, incX)
+	// Effective triangle after transposition: Lower+Trans acts like Upper.
+	lower := uplo == Lower
+	if isTrans(trans) {
+		lower = !lower
+	}
+	elem := func(i, j int) float64 {
+		if isTrans(trans) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	if lower {
+		for i := 0; i < n; i++ {
+			sum := x[kx+i*incX]
+			for j := 0; j < i; j++ {
+				sum -= elem(i, j) * x[kx+j*incX]
+			}
+			if diag == NonUnit {
+				sum /= elem(i, i)
+			}
+			x[kx+i*incX] = sum
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[kx+i*incX]
+		for j := i + 1; j < n; j++ {
+			sum -= elem(i, j) * x[kx+j*incX]
+		}
+		if diag == NonUnit {
+			sum /= elem(i, i)
+		}
+		x[kx+i*incX] = sum
+	}
+}
+
+// RefDsymm computes C = alpha*A*B + beta*C (side == Left) or
+// C = alpha*B*A + beta*C (side == Right) for symmetric A.
+func RefDsymm(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative symm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: symm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: symm ldb too small")
+	}
+	if ldc < max(1, m) {
+		panic("blas: symm ldc too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	at := func(i, j int) float64 {
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return a[j+i*lda]
+		}
+		return a[i+j*lda]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var sum float64
+			if side == Left {
+				for l := 0; l < m; l++ {
+					sum += at(i, l) * b[l+j*ldb]
+				}
+			} else {
+				for l := 0; l < n; l++ {
+					sum += b[i+l*ldb] * at(l, j)
+				}
+			}
+			idx := i + j*ldc
+			if beta == 0 {
+				c[idx] = alpha * sum
+			} else {
+				c[idx] = alpha*sum + beta*c[idx]
+			}
+		}
+	}
+}
+
+// RefDsyrk computes C = alpha*A*Aᵀ + beta*C (trans == NoTrans) or
+// C = alpha*Aᵀ*A + beta*C (trans == Trans), updating only the uplo triangle
+// of the symmetric n-by-n matrix C. A is n-by-k (or k-by-n when transposed).
+func RefDsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if n < 0 || k < 0 {
+		panic("blas: negative syrk dimension")
+	}
+	rows := n
+	if isTrans(trans) {
+		rows = k
+	}
+	if lda < max(1, rows) {
+		panic("blas: syrk lda too small")
+	}
+	if ldc < max(1, n) {
+		panic("blas: syrk ldc too small")
+	}
+	if n == 0 {
+		return
+	}
+	at := func(i, l int) float64 {
+		if isTrans(trans) {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	for j := 0; j < n; j++ {
+		iLo, iHi := 0, j+1
+		if uplo == Lower {
+			iLo, iHi = j, n
+		}
+		for i := iLo; i < iHi; i++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += at(i, l) * at(j, l)
+			}
+			idx := i + j*ldc
+			if beta == 0 {
+				c[idx] = alpha * sum
+			} else {
+				c[idx] = alpha*sum + beta*c[idx]
+			}
+		}
+	}
+}
+
+// RefDtrmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
+// (side == Right) for triangular A.
+func RefDtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative trmm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: trmm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: trmm ldb too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	at := func(i, j int) float64 {
+		if i == j && diag == Unit {
+			return 1
+		}
+		lower := uplo == Lower
+		if isTrans(trans) {
+			i, j = j, i
+		}
+		if (lower && i < j) || (!lower && i > j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	tmp := make([]float64, na)
+	if side == Left {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := 0; i < m; i++ {
+				var sum float64
+				for l := 0; l < m; l++ {
+					v := at(i, l)
+					if v != 0 {
+						sum += v * col[l]
+					}
+				}
+				tmp[i] = alpha * sum
+			}
+			copy(col, tmp[:m])
+		}
+		return
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		for j := 0; j < n; j++ {
+			var sum float64
+			for l := 0; l < n; l++ {
+				v := at(l, j)
+				if v != 0 {
+					sum += row[l] * v
+				}
+			}
+			tmp[j] = alpha * sum
+		}
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = tmp[j]
+		}
+	}
+}
+
+// RefDtrsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
+// (side == Right) for triangular A, overwriting B with X.
+func RefDtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if side != Left && side != Right {
+		panic("blas: invalid side")
+	}
+	if uplo != Upper && uplo != Lower {
+		panic("blas: invalid uplo")
+	}
+	if !trans.valid() {
+		panic("blas: invalid transpose")
+	}
+	if diag != Unit && diag != NonUnit {
+		panic("blas: invalid diag")
+	}
+	if m < 0 || n < 0 {
+		panic("blas: negative trsm dimension")
+	}
+	na := m
+	if side == Right {
+		na = n
+	}
+	if lda < max(1, na) {
+		panic("blas: trsm lda too small")
+	}
+	if ldb < max(1, m) {
+		panic("blas: trsm ldb too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		// Solve op(A)*X = B column by column via trsv.
+		for j := 0; j < n; j++ {
+			RefDtrsv(uplo, trans, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	// Right side: X*op(A) = B  <=>  op(A)ᵀ*Xᵀ = Bᵀ; solve row by row.
+	tr := Trans
+	if isTrans(trans) {
+		tr = NoTrans
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b[i+j*ldb]
+		}
+		RefDtrsv(uplo, tr, diag, n, a, lda, row, 1)
+		for j := 0; j < n; j++ {
+			b[i+j*ldb] = row[j]
+		}
+	}
+}
+
+// --- Level 1 references -------------------------------------------------
+
+// RefDdot returns xᵀy over n elements.
+func RefDdot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += x[kx+i*incX] * y[ky+i*incY]
+	}
+	return sum
+}
+
+// RefDaxpy computes y += alpha*x over n elements.
+func RefDaxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		y[ky+i*incY] += alpha * x[kx+i*incX]
+	}
+}
+
+// RefDscal computes x *= alpha over n elements.
+func RefDscal(n int, alpha float64, x []float64, incX int) {
+	if n <= 0 || incX <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		x[i*incX] *= alpha
+	}
+}
+
+// RefDnrm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling, in the manner of the reference BLAS.
+func RefDnrm2(n int, x []float64, incX int) float64 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	var scale, ssq float64
+	ssq = 1
+	seen := false
+	for i := 0; i < n; i++ {
+		v := x[i*incX]
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if !seen {
+			scale, ssq, seen = av, 1, true
+			continue
+		}
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// RefDasum returns the sum of absolute values of x.
+func RefDasum(n int, x []float64, incX int) float64 {
+	if n <= 0 || incX <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(x[i*incX])
+	}
+	return sum
+}
+
+// RefIdamax returns the index of the element of x with the largest absolute
+// value, or -1 when n <= 0. Ties resolve to the lowest index.
+func RefIdamax(n int, x []float64, incX int) int {
+	if n <= 0 || incX <= 0 {
+		return -1
+	}
+	best, bestIdx := math.Abs(x[0]), 0
+	for i := 1; i < n; i++ {
+		if v := math.Abs(x[i*incX]); v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// RefDcopy copies x into y over n elements.
+func RefDcopy(n int, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		y[ky+i*incY] = x[kx+i*incX]
+	}
+}
+
+// RefDswap exchanges x and y over n elements.
+func RefDswap(n int, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		x[kx+i*incX], y[ky+i*incY] = y[ky+i*incY], x[kx+i*incX]
+	}
+}
+
+// RefDrot applies the plane rotation (c, s) to x and y.
+func RefDrot(n int, x []float64, incX int, y []float64, incY int, c, s float64) {
+	if n <= 0 {
+		return
+	}
+	kx, ky := vecStart(n, incX), vecStart(n, incY)
+	for i := 0; i < n; i++ {
+		xi, yi := x[kx+i*incX], y[ky+i*incY]
+		x[kx+i*incX] = c*xi + s*yi
+		y[ky+i*incY] = c*yi - s*xi
+	}
+}

@@ -1,0 +1,52 @@
+package blas
+
+import "math"
+
+// Givens rotation generation, completing the Level-1 rotation family
+// (rot itself lives in ref64.go/ref32.go). The BLAS drotg convention is
+// followed: given (a, b), compute c, s with
+//
+//	[ c  s] [a]   [r]
+//	[-s  c] [b] = [0]
+//
+// returning r (overwriting a's slot in the classic interface) and the
+// reconstruction scalar z: z = s if |a| > |b|, z = 1/c if c != 0, else 1.
+
+// RefDrotg computes the Givens rotation annihilating b against a.
+func RefDrotg(a, b float64) (c, s, r, z float64) {
+	if b == 0 {
+		if a == 0 {
+			return 1, 0, 0, 0
+		}
+		return 1, 0, a, 0
+	}
+	if a == 0 {
+		return 0, 1, b, 1
+	}
+	// Stable scaling, as in the reference BLAS.
+	roe := b
+	if math.Abs(a) > math.Abs(b) {
+		roe = a
+	}
+	scale := math.Abs(a) + math.Abs(b)
+	r = scale * math.Sqrt((a/scale)*(a/scale)+(b/scale)*(b/scale))
+	if roe < 0 {
+		r = -r
+	}
+	c = a / r
+	s = b / r
+	z = 1.0
+	if math.Abs(a) > math.Abs(b) {
+		z = s
+	} else if c != 0 {
+		z = 1 / c
+	}
+	return c, s, r, z
+}
+
+// RefSrotg is the float32 Givens rotation generation (float64 internal
+// arithmetic, like reference SROTG builds).
+func RefSrotg(a, b float32) (c, s, r, z float32) {
+	dc, ds, dr, dz := RefDrotg(float64(a), float64(b))
+	return float32(dc), float32(ds), float32(dr), float32(dz)
+}

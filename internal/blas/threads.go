@@ -1,0 +1,43 @@
+package blas
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// The optimized kernels share one worker pool. Its size is the library's
+// "thread count", the analogue of OMP_NUM_THREADS / BLIS_NUM_THREADS in the
+// paper's runs (§IV). SetThreads(1) turns every Opt* kernel into a serial
+// kernel, which the library-comparison experiments rely on.
+
+var (
+	poolMu sync.RWMutex
+	pool   = parallel.NewPool(0)
+)
+
+// SetThreads fixes the number of worker threads used by the optimized
+// kernels. n < 1 resets to GOMAXPROCS.
+func SetThreads(n int) {
+	p := parallel.NewPool(n)
+	poolMu.Lock()
+	pool = p
+	poolMu.Unlock()
+}
+
+// Threads returns the current worker count of the optimized kernels.
+func Threads() int {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	return pool.Workers()
+}
+
+func getPool() *parallel.Pool {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	return pool
+}
+
+// parallelGrainFlops is the approximate per-kernel-invocation FLOP count
+// below which going parallel costs more than it saves.
+const parallelGrainFlops = 1 << 17

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPrecision(t *testing.T) {
+	if F32.ElemSize() != 4 || F64.ElemSize() != 8 {
+		t.Fatal("elem sizes")
+	}
+	if F32.String() != "S" || F64.String() != "D" {
+		t.Fatal("prefixes")
+	}
+	if KernelName(F32, GEMM) != "SGEMM" || KernelName(F64, GEMV) != "DGEMV" {
+		t.Fatal("kernel names")
+	}
+}
+
+func TestProblemRegistryCounts(t *testing.T) {
+	// 9 GEMM + 5 GEMV types; with two precisions that is the artifact's
+	// 28 CSV files per run.
+	if len(GemmProblems) != 9 {
+		t.Fatalf("GEMM problem types = %d, want 9", len(GemmProblems))
+	}
+	if len(GemvProblems) != 5 {
+		t.Fatalf("GEMV problem types = %d, want 5", len(GemvProblems))
+	}
+	if got := len(AllProblems()) * 2; got != 28 {
+		t.Fatalf("CSV files per run = %d, want 28", got)
+	}
+}
+
+func TestProblemNamesUnique(t *testing.T) {
+	for _, list := range [][]ProblemType{GemmProblems, GemvProblems} {
+		seen := map[string]bool{}
+		for _, pt := range list {
+			if seen[pt.Name] {
+				t.Fatalf("duplicate problem name %q", pt.Name)
+			}
+			seen[pt.Name] = true
+			if pt.Dims == nil {
+				t.Fatalf("problem %q has no Dims", pt.Name)
+			}
+		}
+	}
+}
+
+func TestProblemDimsDefinitions(t *testing.T) {
+	// Spot-check that each problem type's Dims matches its paper
+	// definition at a few sweep parameters.
+	check := func(kernel KernelKind, name string, p int, want Dims) {
+		t.Helper()
+		pt, err := FindProblem(kernel, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pt.Dims(p); got != want {
+			t.Fatalf("%s(%d) = %v, want %v", name, p, got, want)
+		}
+	}
+	check(GEMM, "square", 7, Dims{7, 7, 7})
+	check(GEMM, "tall_k_16m", 3, Dims{3, 3, 48})
+	check(GEMM, "short_mn32_k", 100, Dims{32, 32, 100})
+	check(GEMM, "tall_m_16k", 4, Dims{64, 4, 4})
+	check(GEMM, "short_kn32_m", 9, Dims{9, 32, 32})
+	check(GEMM, "tall_n_16k", 5, Dims{5, 80, 5})
+	check(GEMM, "short_mk32_n", 11, Dims{32, 11, 32})
+	check(GEMM, "thin_k32", 6, Dims{6, 6, 32})
+	check(GEMM, "square_m_16k", 2, Dims{32, 32, 2})
+	check(GEMV, "square", 12, Dims{12, 12, 0})
+	check(GEMV, "tall_m_16n", 2, Dims{32, 2, 0})
+	check(GEMV, "thin_n32", 50, Dims{50, 32, 0})
+	check(GEMV, "wide_n_16m", 3, Dims{3, 48, 0})
+	check(GEMV, "thin_m32", 77, Dims{32, 77, 0})
+}
+
+func TestFindProblemUnknown(t *testing.T) {
+	if _, err := FindProblem(GEMM, "nope"); err == nil {
+		t.Fatal("expected error for unknown problem")
+	}
+	// GEMV list must not contain GEMM names.
+	if _, err := FindProblem(GEMV, "tall_k_16m"); err == nil {
+		t.Fatal("GEMM problem resolved under GEMV")
+	}
+}
+
+func TestDimsMaxDim(t *testing.T) {
+	if (Dims{M: 3, N: 9, K: 5}).MaxDim() != 9 {
+		t.Fatal("MaxDim n")
+	}
+	if (Dims{M: 3, N: 2, K: 50}).MaxDim() != 50 {
+		t.Fatal("MaxDim k")
+	}
+	if (Dims{M: 30, N: 2}).MaxDim() != 30 {
+		t.Fatal("MaxDim m")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBoth.String() != "interleaved" || ModeCPUOnly.String() != "cpu-only" || ModeGPUOnly.String() != "gpu-only" {
+		t.Fatal("mode names")
+	}
+}

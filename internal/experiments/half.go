@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// HalfPrecision runs the §V half-precision extension: square HGEMM offload
+// thresholds next to SGEMM's. Matrix engines multiply the GPU's
+// half-precision advantage (Tensor Cores / Matrix Cores / XMX deliver
+// 5x-15x the FP32 vector rate) while halving the bytes moved, so the HGEMM
+// threshold collapses relative to SGEMM everywhere — most dramatically on
+// the PCIe-attached systems where transfers used to dominate.
+func HalfPrecision(w io.Writer, opt Options) error {
+	opt = opt.Normalize()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "System\tIterations\tSGEMM Once\tHGEMM Once\tHGEMM/SGEMM GPU speedup @2048\n")
+	for _, sys := range systems.All() {
+		for _, it := range []int{1, 8} {
+			s32 := thresholdFor(sys, 4, opt, it)
+			s16 := thresholdFor(sys, 2, opt, it)
+			sp := sys.GPU.GemmSeconds(xfer.TransferOnce, 4, 2048, 2048, 2048, true, it) /
+				sys.GPU.GemmSeconds(xfer.TransferOnce, 2, 2048, 2048, 2048, true, it)
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.1fx\n", sys.Name, it, s32, s16, sp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "note: HGEMM runs the mixed-precision contract of internal/half (FP16 storage,")
+	fmt.Fprintln(w, "FP32 accumulation); CPU peaks assume AVX512-FP16 / NEON FP16 where available.")
+	return nil
+}
+
+// thresholdFor sweeps square GEMM at the element size and returns the
+// Transfer-Once threshold. elemSize 2 runs through the same models with the
+// FP16 peaks.
+func thresholdFor(sys systems.System, elemSize int, opt Options, iters int) core.Threshold {
+	var det core.ThresholdDetector
+	for p := 1; p <= opt.MaxDim; p += opt.Step {
+		cpu := sys.CPU.GemmSeconds(elemSize, p, p, p, true, iters)
+		gpu := sys.GPU.GemmSeconds(xfer.TransferOnce, elemSize, p, p, p, true, iters)
+		det.ObserveTimes(core.Dims{M: p, N: p, K: p}, cpu, gpu)
+	}
+	dims, found := det.Threshold()
+	return core.Threshold{Dims: dims, Found: found}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// Stability probes the offload-threshold detector itself (§III-D): how
+// stable is the detected threshold under (a) coarser sweep strides and (b)
+// injected measurement noise? The detector's two-sample smoothing is there
+// "to account for any momentary drops in GPU performance that are due to
+// abnormal system behaviour or noise"; this ablation quantifies how much
+// noise it absorbs before the threshold moves.
+func Stability(w io.Writer, opt Options) error {
+	opt = opt.Normalize()
+	sys := systems.DAWN()
+	const iters = 8
+	cpu := func(p int) float64 { return sys.CPU.GemmSeconds(4, p, p, p, true, iters) }
+	gpu := func(p int) float64 {
+		return sys.GPU.GemmSeconds(xfer.TransferOnce, 4, p, p, p, true, iters)
+	}
+
+	fmt.Fprintln(w, "sweep-stride sensitivity (DAWN square SGEMM, 8 iterations, Transfer-Once):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stride\tthreshold\n")
+	for _, step := range []int{1, 2, 4, 8, 16, 32} {
+		var det core.ThresholdDetector
+		for p := 1; p <= opt.MaxDim; p += step {
+			det.ObserveTimes(core.Dims{M: p, N: p, K: p}, cpu(p), gpu(p))
+		}
+		dims, found := det.Threshold()
+		fmt.Fprintf(tw, "%d\t%s\n", step, core.Threshold{Dims: dims, Found: found})
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nnoise sensitivity (deterministic multiplicative noise on GPU times):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "noise amplitude\tthreshold (smoothed detector)\tnaive first-win detector\n")
+	for _, amp := range []float64{0, 0.01, 0.05, 0.15, 0.30} {
+		var det core.ThresholdDetector
+		naive := 0
+		for p := 1; p <= opt.MaxDim; p += opt.Step {
+			// Deterministic pseudo-noise: a fixed-phase oscillation is the
+			// worst structured case for a crossover detector.
+			noisy := gpu(p) * (1 + amp*math.Sin(float64(p)*1.7))
+			c := cpu(p)
+			det.ObserveTimes(core.Dims{M: p, N: p, K: p}, c, noisy)
+			if naive == 0 && noisy < c {
+				naive = p
+			}
+		}
+		dims, found := det.Threshold()
+		fmt.Fprintf(tw, "%.0f%%\t%s\t{%d, %d, %d}\n", amp*100,
+			core.Threshold{Dims: dims, Found: found}, naive, naive, naive)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nthe smoothed detector reports the last durable crossover; the naive")
+	fmt.Fprintln(w, "first-win rule latches onto the first noise spike and under-reports.")
+	return nil
+}

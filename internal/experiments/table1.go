@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/sim/cpumodel"
+	"repro/internal/sim/gpumodel"
+	"repro/internal/sim/hw"
+	"repro/internal/sim/usm"
+	"repro/internal/sim/xfer"
+)
+
+// TableI regenerates Table I: SGEMM run-times (100 iterations, M=N=8192,
+// K=4) for five device/library pairs under three (alpha, beta) settings.
+// The paper's finding: beta=0 is 1.2x-1.7x faster than beta=2 (libraries
+// implement the beta shortcut), while alpha has no effect (they do not
+// shortcut alpha), which fixes GPU-BLOB's FLOP model at 2MNK + MN + qMN.
+func TableI(w io.Writer, opt Options) error {
+	const (
+		m, n, k = 8192, 8192, 4
+		iters   = 100
+	)
+	type device struct {
+		name    string
+		library string
+		// run returns seconds for the (alpha, beta) pair. alpha is accepted
+		// for interface fidelity; like the real libraries, nothing depends
+		// on it.
+		run func(alpha, beta float64) float64
+	}
+	gpuRun := func(g gpumodel.Model) func(float64, float64) float64 {
+		return func(_, beta float64) float64 {
+			return g.GemmSeconds(xfer.TransferOnce, 4, m, n, k, beta == 0, iters)
+		}
+	}
+	cpuRun := func(c cpumodel.Model) func(float64, float64) float64 {
+		return func(_, beta float64) float64 {
+			return c.GemmSeconds(4, m, n, k, beta == 0, iters)
+		}
+	}
+	devices := []device{
+		{
+			name: "NVIDIA A100 40GB SXM", library: "cuBLAS 24.3",
+			run: gpuRun(gpumodel.Model{GPU: hw.A100SXM40, Link: hw.PCIe4x16, Lib: gpumodel.CuBLAS, USM: usm.NVIDIAUSM}),
+		},
+		{
+			name: "AMD MI250X", library: "rocBLAS 5.2.3",
+			run: gpuRun(gpumodel.Model{GPU: hw.MI250XFull, Link: hw.InfinityFabricCPU2GPU, Lib: gpumodel.RocBLAS, USM: usm.AMDUSM}),
+		},
+		{
+			name: "Intel Data Center GPU Max 1550", library: "oneMKL 2024.1.0",
+			run: gpuRun(gpumodel.Model{GPU: hw.IntelMax1550Tile, Link: hw.PCIe5x16, Lib: gpumodel.OneMKLGPU, USM: usm.IntelUSM}),
+		},
+		{
+			// Table I CPU runs are single threaded.
+			name: "Intel Xeon Platinum 8468", library: "oneMKL 2024.1.0",
+			run: cpuRun(cpumodel.Model{CPU: hw.XeonPlatinum8468, Lib: cpumodel.OneMKL, Threads: 1}),
+		},
+		{
+			name: "AMD EPYC 7543P", library: "AOCL 4.2",
+			run: cpuRun(cpumodel.Model{CPU: hw.Epyc7543P, Lib: cpumodel.AOCL, Threads: 1}),
+		},
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "BLAS Library\tDevice\tM\tN\tK\ta=1 b=0\ta=4 b=0\ta=1 b=2\tb2/b0\n")
+	for _, d := range devices {
+		t10 := d.run(1, 0)
+		t40 := d.run(4, 0)
+		t12 := d.run(1, 2)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f ms\t%.2f ms\t%.2f ms\t%.2fx\n",
+			d.library, d.name, m, n, k, t10*1e3, t40*1e3, t12*1e3, t12/t10)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// IterationCounts are the paper's five data-reuse settings (§IV).
+var IterationCounts = []int{1, 8, 32, 64, 128}
+
+// sweepConfig builds the paper's sweep (s=1, d=MaxDim) for one iteration
+// count with the experiment options applied.
+func sweepConfig(opt Options, iters int) core.Config {
+	cfg := core.DefaultConfig(iters)
+	cfg.MaxDim = opt.MaxDim
+	cfg.Step = opt.Step
+	cfg.Validate.Enabled = opt.Validate
+	return cfg
+}
+
+// squareThresholds runs the square problem of the kernel at both precisions
+// and returns "sgemm:dgemm"-style threshold cells per strategy.
+func squareThresholds(sys systems.System, kernel core.KernelKind, opt Options, iters int) ([core.NumStrategies]string, error) {
+	var out [core.NumStrategies]string
+	pt, err := core.FindProblem(kernel, "square")
+	if err != nil {
+		return out, err
+	}
+	cfg := sweepConfig(opt, iters)
+	s32, err := core.RunProblem(sys, pt, core.F32, cfg)
+	if err != nil {
+		return out, err
+	}
+	s64, err := core.RunProblem(sys, pt, core.F64, cfg)
+	if err != nil {
+		return out, err
+	}
+	cell := func(t core.Threshold) string {
+		if !t.Found {
+			return "—"
+		}
+		return fmt.Sprintf("%d", t.Dims.M)
+	}
+	for _, st := range xfer.Strategies {
+		out[st] = cell(s32.Thresholds[st]) + ":" + cell(s64.Thresholds[st])
+	}
+	return out, nil
+}
+
+// squareTable renders Table III (GEMM) or Table IV (GEMV).
+func squareTable(w io.Writer, opt Options, kernel core.KernelKind) error {
+	opt = opt.Normalize()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "System\tIterations\tOnce\tAlways\tUSM\n")
+	for _, sys := range systems.All() {
+		for _, it := range IterationCounts {
+			cells, err := squareThresholds(sys, kernel, opt, it)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", sys.Name, it,
+				cells[xfer.TransferOnce], cells[xfer.TransferAlways], cells[xfer.Unified])
+		}
+	}
+	return tw.Flush()
+}
+
+// TableIII regenerates Table III: square S/DGEMM offload thresholds per
+// system, iteration count and transfer strategy.
+func TableIII(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Square SGEMM:DGEMM (M=N=K) GPU offload thresholds")
+	return squareTable(w, opt, core.GEMM)
+}
+
+// TableIV regenerates Table IV: square S/DGEMV offload thresholds.
+func TableIV(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Square SGEMV:DGEMV (M=N) GPU offload thresholds")
+	return squareTable(w, opt, core.GEMV)
+}
+
+// firstThresholdIteration returns the smallest iteration count in
+// IterationCounts at which the problem type yields a Transfer-Once offload
+// threshold (the paper's Tables V/VI criterion), or 0 when none does.
+func firstThresholdIteration(sys systems.System, pt core.ProblemType, prec core.Precision, opt Options) (int, error) {
+	for _, it := range IterationCounts {
+		cfg := sweepConfig(opt, it)
+		ser, err := core.RunProblem(sys, pt, prec, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if ser.Thresholds[xfer.TransferOnce].Found {
+			return it, nil
+		}
+	}
+	return 0, nil
+}
+
+// nonSquareTable renders Table V (GEMM) or Table VI (GEMV): the iteration
+// count at which each non-square problem type first yields a threshold.
+func nonSquareTable(w io.Writer, opt Options, problems []core.ProblemType) error {
+	opt = opt.Normalize()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Problem Type\tDAWN\tLUMI\tIsambard-AI\n")
+	cell := func(f32, f64 int) string {
+		s := func(v int) string {
+			if v == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		return s(f32) + ":" + s(f64)
+	}
+	for _, pt := range problems {
+		if pt.Name == "square" {
+			continue
+		}
+		fmt.Fprintf(tw, "%s", pt.Desc)
+		for _, sys := range systems.All() {
+			f32, err := firstThresholdIteration(sys, pt, core.F32, opt)
+			if err != nil {
+				return err
+			}
+			f64, err := firstThresholdIteration(sys, pt, core.F64, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", cell(f32, f64))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// TableV regenerates Table V: the iteration count at which each non-square
+// S/DGEMM problem type first yields an offload threshold.
+func TableV(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "First iteration count yielding a non-square SGEMM:DGEMM offload threshold")
+	return nonSquareTable(w, opt, core.GemmProblems)
+}
+
+// TableVI regenerates Table VI for the non-square GEMV problem types.
+func TableVI(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "First iteration count yielding a non-square SGEMV:DGEMV offload threshold")
+	return nonSquareTable(w, opt, core.GemvProblems)
+}

@@ -1,0 +1,149 @@
+package flops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmExactCounts(t *testing.T) {
+	// 2MNK + MN + qMN.
+	cases := []struct {
+		m, n, k int
+		betaZ   bool
+		want    int64
+	}{
+		{2, 3, 4, true, 2*2*3*4 + 2*3},
+		{2, 3, 4, false, 2*2*3*4 + 2*3 + 2*2*3},
+		{1, 1, 1, true, 3},
+		{1, 1, 1, false, 5},
+		{8192, 8192, 4, true, 2*8192*8192*4 + 8192*8192}, // Table I shape
+		{0, 5, 5, true, 0},
+	}
+	for _, c := range cases {
+		got := Gemm(c.m, c.n, c.k, Beta{IsZero: c.betaZ})
+		if got != c.want {
+			t.Fatalf("Gemm(%d,%d,%d,z=%v) = %d, want %d", c.m, c.n, c.k, c.betaZ, got, c.want)
+		}
+	}
+}
+
+func TestGemvExactCounts(t *testing.T) {
+	// 2MN + M + qM.
+	if got := Gemv(3, 4, Beta{IsZero: true}); got != 2*3*4+3 {
+		t.Fatalf("Gemv beta=0: %d", got)
+	}
+	if got := Gemv(3, 4, Beta{IsZero: false}); got != 2*3*4+3+2*3 {
+		t.Fatalf("Gemv beta!=0: %d", got)
+	}
+}
+
+func TestBetaClassification(t *testing.T) {
+	if !BetaFrom64(0).IsZero || BetaFrom64(2).IsZero {
+		t.Fatal("BetaFrom64")
+	}
+	if !BetaFrom32(0).IsZero || BetaFrom32(1).IsZero {
+		t.Fatal("BetaFrom32")
+	}
+}
+
+func TestNaiveVsExactRelationship(t *testing.T) {
+	// Exact(beta!=0) == Naive, and Exact(beta==0) == Naive - 2MN.
+	f := func(m8, n8, k8 uint8) bool {
+		m, n, k := int(m8)+1, int(n8)+1, int(k8)+1
+		if Gemm(m, n, k, Beta{IsZero: false}) != GemmNaive(m, n, k) {
+			return false
+		}
+		return GemmNaive(m, n, k)-Gemm(m, n, k, Beta{IsZero: true}) == 2*int64(m)*int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproximationError(t *testing.T) {
+	// The paper refuses the 2MNK approximation because small K makes it
+	// wrong: at K=4 the approximation under-counts by over 3%.
+	m, n, k := 8192, 8192, 4
+	exact := Gemm(m, n, k, Beta{IsZero: false})
+	approx := GemmApprox(m, n, k)
+	relErr := float64(exact-approx) / float64(exact)
+	if relErr < 0.03 {
+		t.Fatalf("expected >3%% undercount at K=4, got %v", relErr)
+	}
+	// And with large K it becomes negligible.
+	k = 8192
+	exact = Gemm(m, n, k, Beta{IsZero: false})
+	approx = GemmApprox(m, n, k)
+	relErr = float64(exact-approx) / float64(exact)
+	if relErr > 1e-3 {
+		t.Fatalf("expected tiny error at K=8192, got %v", relErr)
+	}
+}
+
+func TestNoOverflowAtPaperScale(t *testing.T) {
+	// d=4096 sweep upper bound, and well beyond.
+	got := Gemm(65536, 65536, 65536, Beta{IsZero: false})
+	if got <= 0 {
+		t.Fatalf("overflow: %d", got)
+	}
+}
+
+func TestGemmBytes(t *testing.T) {
+	// 2x3x4 f64, beta=0: A=2x4, B=4x3, C=2x3 write-only.
+	want := int64(2*4+4*3+2*3) * 8
+	if got := GemmBytes(2, 3, 4, 8, Beta{IsZero: true}); got != want {
+		t.Fatalf("GemmBytes = %d, want %d", got, want)
+	}
+	// beta!=0 adds another M*N read.
+	want += 2 * 3 * 8
+	if got := GemmBytes(2, 3, 4, 8, Beta{IsZero: false}); got != want {
+		t.Fatalf("GemmBytes beta!=0 = %d, want %d", got, want)
+	}
+}
+
+func TestGemvBytes(t *testing.T) {
+	want := int64(3*4+4+3) * 4 // A + x + y(write), f32
+	if got := GemvBytes(3, 4, 4, Beta{IsZero: true}); got != want {
+		t.Fatalf("GemvBytes = %d, want %d", got, want)
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	// Square GEMM has far higher arithmetic intensity than GEMV of the same
+	// M, and intensity grows with size — the root cause of the paper's
+	// offload-threshold differences.
+	b := Beta{IsZero: true}
+	gemmAI := GemmIntensity(1024, 1024, 1024, 8, b)
+	gemvAI := GemvIntensity(1024, 1024, 8, b)
+	if gemmAI <= gemvAI {
+		t.Fatalf("GEMM AI %v should exceed GEMV AI %v", gemmAI, gemvAI)
+	}
+	small := GemmIntensity(32, 32, 32, 8, b)
+	big := GemmIntensity(2048, 2048, 2048, 8, b)
+	if big <= small {
+		t.Fatalf("AI should grow with square size: %v vs %v", small, big)
+	}
+	// GEMV intensity saturates near 1/4 flop per byte for f64.
+	if ai := GemvIntensity(4096, 4096, 8, b); math.Abs(ai-0.25) > 0.01 {
+		t.Fatalf("GEMV f64 AI should approach 0.25, got %v", ai)
+	}
+	// Thin-K GEMM (the M=N, K=32 problem type) has much lower intensity
+	// than square GEMM of the same footprint.
+	thin := GemmIntensity(2048, 2048, 32, 8, b)
+	if thin >= big/4 {
+		t.Fatalf("thin-K GEMM intensity %v should be far below square %v", thin, big)
+	}
+}
+
+func TestGFLOPS(t *testing.T) {
+	if got := GFLOPS(2e9, 1); got != 2 {
+		t.Fatalf("GFLOPS = %v", got)
+	}
+	if got := GFLOPS(1e9, 0); got != 0 {
+		t.Fatalf("GFLOPS with zero time = %v", got)
+	}
+	if got := GFLOPS(1e9, 0.5); got != 2 {
+		t.Fatalf("GFLOPS = %v", got)
+	}
+}

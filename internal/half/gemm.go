@@ -1,0 +1,145 @@
+package half
+
+import "repro/internal/blas"
+
+// Mixed-precision GEMM: half-precision storage, float32 accumulation —
+// the contract of GPU matrix engines (NVIDIA Tensor Cores, AMD Matrix
+// Cores, Intel XMX; §I of the paper) and of the HGEMM interfaces whose
+// absence from oneMKL's C API the paper laments (§V).
+//
+// The kernels convert the half-precision operands to float32 panels and
+// run the optimized float32 GEMM, then round C back to storage precision.
+// This matches the numeric behaviour of hardware matrix engines (inputs
+// quantised to 16 bits, products and sums in float32) at the cost of the
+// conversion bandwidth.
+
+// Hgemm computes C = alpha*op(A)*op(B) + beta*C with Float16 storage and
+// float32 accumulation. Leading dimensions follow the usual column-major
+// convention.
+func Hgemm(transA, transB blas.Transpose, m, n, k int, alpha float32, a []Float16, lda int, b []Float16, ldb int, beta float32, c []Float16, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	a32 := convertPanel16(transA, m, k, a, lda)
+	b32 := convertPanel16(transB, k, n, b, ldb)
+	c32 := make([]float32, m*n)
+	if beta != 0 {
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				c32[i+j*m] = c[i+j*ldc].Float32()
+			}
+		}
+	}
+	ta, tb := effTrans(transA), effTrans(transB)
+	lda32, ldb32 := m, k
+	if ta == blas.Trans {
+		lda32 = k
+	}
+	if tb == blas.Trans {
+		ldb32 = n
+	}
+	blas.OptSgemm(ta, tb, m, n, k, alpha, a32, lda32, b32, ldb32, beta, c32, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			c[i+j*ldc] = FromFloat32(c32[i+j*m])
+		}
+	}
+}
+
+// Bgemm is Hgemm for BFloat16 storage.
+func Bgemm(transA, transB blas.Transpose, m, n, k int, alpha float32, a []BFloat16, lda int, b []BFloat16, ldb int, beta float32, c []BFloat16, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	a32 := convertPanelB16(transA, m, k, a, lda)
+	b32 := convertPanelB16(transB, k, n, b, ldb)
+	c32 := make([]float32, m*n)
+	if beta != 0 {
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				c32[i+j*m] = c[i+j*ldc].Float32()
+			}
+		}
+	}
+	ta, tb := effTrans(transA), effTrans(transB)
+	lda32, ldb32 := m, k
+	if ta == blas.Trans {
+		lda32 = k
+	}
+	if tb == blas.Trans {
+		ldb32 = n
+	}
+	blas.OptSgemm(ta, tb, m, n, k, alpha, a32, lda32, b32, ldb32, beta, c32, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			c[i+j*ldc] = BFromFloat32(c32[i+j*m])
+		}
+	}
+}
+
+// effTrans collapses ConjTrans to Trans for these real types.
+func effTrans(t blas.Transpose) blas.Transpose {
+	if t == blas.ConjTrans {
+		return blas.Trans
+	}
+	return t
+}
+
+// convertPanel16 converts the op-relevant region of a Float16 matrix into
+// a compact float32 buffer. rows/cols describe op(X): for NoTrans the
+// stored matrix is rows x cols, for Trans it is cols x rows.
+func convertPanel16(trans blas.Transpose, rows, cols int, x []Float16, ldx int) []float32 {
+	storedRows, storedCols := rows, cols
+	if effTrans(trans) == blas.Trans {
+		storedRows, storedCols = cols, rows
+	}
+	out := make([]float32, storedRows*storedCols)
+	for j := 0; j < storedCols; j++ {
+		for i := 0; i < storedRows; i++ {
+			out[i+j*storedRows] = x[i+j*ldx].Float32()
+		}
+	}
+	return out
+}
+
+// convertPanelB16 is convertPanel16 for BFloat16.
+func convertPanelB16(trans blas.Transpose, rows, cols int, x []BFloat16, ldx int) []float32 {
+	storedRows, storedCols := rows, cols
+	if effTrans(trans) == blas.Trans {
+		storedRows, storedCols = cols, rows
+	}
+	out := make([]float32, storedRows*storedCols)
+	for j := 0; j < storedCols; j++ {
+		for i := 0; i < storedRows; i++ {
+			out[i+j*storedRows] = x[i+j*ldx].Float32()
+		}
+	}
+	return out
+}
+
+// Hgemv computes y = alpha*op(A)*x + beta*y with Float16 storage and
+// float32 accumulation, unit increments.
+func Hgemv(trans blas.Transpose, m, n int, alpha float32, a []Float16, lda int, x []Float16, beta float32, y []Float16) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	a32 := convertPanel16(blas.NoTrans, m, n, a, lda)
+	xLen, yLen := n, m
+	if effTrans(trans) == blas.Trans {
+		xLen, yLen = m, n
+	}
+	x32 := make([]float32, xLen)
+	for i := range x32 {
+		x32[i] = x[i].Float32()
+	}
+	y32 := make([]float32, yLen)
+	if beta != 0 {
+		for i := range y32 {
+			y32[i] = y[i].Float32()
+		}
+	}
+	blas.OptSgemv(effTrans(trans), m, n, alpha, a32, m, x32, 1, beta, y32, 1)
+	for i := range y32 {
+		y[i] = FromFloat32(y32[i])
+	}
+}

@@ -1,0 +1,207 @@
+package half
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+)
+
+// hgemm result must match a float32 GEMM on the quantised inputs to within
+// one final rounding (storage precision), since accumulation is float32.
+func TestHgemmMatchesQuantisedSgemm(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, sh := range [][3]int{{1, 1, 1}, {5, 7, 3}, {16, 16, 16}, {33, 17, 25}, {64, 64, 64}} {
+		m, n, k := sh[0], sh[1], sh[2]
+		a32 := make([]float32, m*k)
+		b32 := make([]float32, k*n)
+		for i := range a32 {
+			a32[i] = FromFloat32(r.Float32()*2 - 1).Float32() // pre-quantised
+		}
+		for i := range b32 {
+			b32[i] = FromFloat32(r.Float32()*2 - 1).Float32()
+		}
+		a := FromFloat32s(nil, a32)
+		b := FromFloat32s(nil, b32)
+		c := make([]Float16, m*n)
+		Hgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+		want := make([]float32, m*n)
+		blas.OptSgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a32, m, b32, k, 0, want, m)
+		for i := range c {
+			exp := FromFloat32(want[i]).Float32()
+			got := c[i].Float32()
+			// One storage rounding of difference at most.
+			tol := math.Abs(float64(exp))/1024 + 1e-4
+			if d := math.Abs(float64(got - exp)); d > tol {
+				t.Fatalf("%dx%dx%d: c[%d] = %g, want %g (tol %g)", m, n, k, i, got, exp, tol)
+			}
+		}
+	}
+}
+
+func TestHgemmTransposeAndBeta(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m, n, k := 20, 12, 8
+	// A stored k x m (Trans), B stored n x k (Trans).
+	a32 := make([]float32, k*m)
+	b32 := make([]float32, n*k)
+	for i := range a32 {
+		a32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	for i := range b32 {
+		b32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	c32 := make([]float32, m*n)
+	for i := range c32 {
+		c32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	a := FromFloat32s(nil, a32)
+	b := FromFloat32s(nil, b32)
+	c := FromFloat32s(nil, c32)
+	Hgemm(blas.Trans, blas.Trans, m, n, k, 1.5, a, k, b, n, 0.5, c, m)
+	want := append([]float32(nil), c32...)
+	blas.RefSgemm(blas.Trans, blas.Trans, m, n, k, 1.5, a32, k, b32, n, 0.5, want, m)
+	for i := range c {
+		exp := want[i]
+		got := c[i].Float32()
+		tol := math.Abs(float64(exp))/512 + 1e-3
+		if d := math.Abs(float64(got - exp)); d > tol {
+			t.Fatalf("c[%d] = %g, want %g", i, got, exp)
+		}
+	}
+}
+
+func TestBgemmBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m, n, k := 24, 24, 24
+	a32 := make([]float32, m*k)
+	b32 := make([]float32, k*n)
+	for i := range a32 {
+		a32[i] = BFromFloat32(r.Float32()*2 - 1).Float32()
+	}
+	for i := range b32 {
+		b32[i] = BFromFloat32(r.Float32()*2 - 1).Float32()
+	}
+	a := BFromFloat32s(nil, a32)
+	b := BFromFloat32s(nil, b32)
+	c := make([]BFloat16, m*n)
+	Bgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	want := make([]float32, m*n)
+	blas.RefSgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a32, m, b32, k, 0, want, m)
+	for i := range c {
+		exp := want[i]
+		got := c[i].Float32()
+		// bfloat16 keeps only 8 significant bits.
+		tol := math.Abs(float64(exp))/128 + 1e-2
+		if d := math.Abs(float64(got - exp)); d > tol {
+			t.Fatalf("c[%d] = %g, want %g", i, got, exp)
+		}
+	}
+}
+
+func TestHgemvBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m, n := 30, 20
+	a32 := make([]float32, m*n)
+	x32 := make([]float32, n)
+	for i := range a32 {
+		a32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	for i := range x32 {
+		x32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	a := FromFloat32s(nil, a32)
+	x := FromFloat32s(nil, x32)
+	y := make([]Float16, m)
+	Hgemv(blas.NoTrans, m, n, 1, a, m, x, 0, y)
+	want := make([]float32, m)
+	blas.RefSgemv(blas.NoTrans, m, n, 1, a32, m, x32, 1, 0, want, 1)
+	for i := range y {
+		exp := want[i]
+		got := y[i].Float32()
+		tol := math.Abs(float64(exp))/512 + 1e-3
+		if d := math.Abs(float64(got - exp)); d > tol {
+			t.Fatalf("y[%d] = %g, want %g", i, got, exp)
+		}
+	}
+}
+
+// Float32 accumulation must avoid the catastrophic error a pure-f16
+// accumulation would make: summing k copies of 1 stays exact well past
+// f16's 2048 integer limit.
+func TestHgemmFloat32Accumulation(t *testing.T) {
+	const k = 8192
+	a := make([]Float16, k) // 1 x k row of ones
+	b := make([]Float16, k) // k x 1 column of ones
+	one := FromFloat32(1)
+	for i := range a {
+		a[i] = one
+		b[i] = one
+	}
+	c := make([]Float16, 1)
+	Hgemm(blas.NoTrans, blas.NoTrans, 1, 1, k, 1, a, 1, b, k, 0, c, 1)
+	// The true sum 8192 is exactly representable in f16 (power of two);
+	// a naive f16 accumulator would have saturated at 2048.
+	if got := c[0].Float32(); got != k {
+		t.Fatalf("sum = %g, want %d (f16 accumulation would stall at 2048)", got, k)
+	}
+}
+
+func TestHgemmDegenerate(t *testing.T) {
+	Hgemm(blas.NoTrans, blas.NoTrans, 0, 5, 5, 1, nil, 1, nil, 1, 0, nil, 1)
+	Bgemm(blas.NoTrans, blas.NoTrans, 5, 0, 5, 1, nil, 1, nil, 1, 0, nil, 1)
+	Hgemv(blas.NoTrans, 0, 5, 1, nil, 1, nil, 0, nil)
+}
+
+func TestHgemvTrans(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, n := 18, 26
+	a32 := make([]float32, m*n)
+	x32 := make([]float32, m)
+	for i := range a32 {
+		a32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	for i := range x32 {
+		x32[i] = FromFloat32(r.Float32()).Float32()
+	}
+	a := FromFloat32s(nil, a32)
+	x := FromFloat32s(nil, x32)
+	y := make([]Float16, n)
+	Hgemv(blas.Trans, m, n, 1, a, m, x, 0, y)
+	want := make([]float32, n)
+	blas.RefSgemv(blas.Trans, m, n, 1, a32, m, x32, 1, 0, want, 1)
+	for i := range y {
+		exp := want[i]
+		got := y[i].Float32()
+		tol := math.Abs(float64(exp))/512 + 1e-3
+		if d := math.Abs(float64(got - exp)); d > tol {
+			t.Fatalf("y[%d] = %g, want %g", i, got, exp)
+		}
+	}
+}
+
+func TestHgemvBetaAccumulates(t *testing.T) {
+	m, n := 4, 4
+	one := FromFloat32(1)
+	a := make([]Float16, m*n)
+	x := make([]Float16, n)
+	y := make([]Float16, m)
+	two := FromFloat32(2)
+	for i := range a {
+		a[i] = one
+	}
+	for i := range x {
+		x[i] = one
+	}
+	for i := range y {
+		y[i] = two
+	}
+	// y = 1*A*x + 3*y = 4 + 6 = 10 per element.
+	Hgemv(blas.NoTrans, m, n, 1, a, m, x, 3, y)
+	for i := range y {
+		if got := y[i].Float32(); got != 10 {
+			t.Fatalf("y[%d] = %g, want 10", i, got)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package half implements IEEE 754 binary16 (Float16) and bfloat16
+// (BFloat16) storage types with float32 conversion, plus mixed-precision
+// GEMM kernels that store in half precision and accumulate in float32 —
+// the layout used by GPU matrix engines.
+//
+// This is the paper's first future-work item made concrete (§V): "we are
+// also looking to support half-precision kernels; FP16 and Bfloat16". The
+// paper notes oneMKL's MKL_F16 is an opaque unsigned short with no
+// conversion functions; this package supplies exactly the conversions that
+// were missing, so GPU-BLOB-Go can sweep HGEMM like any other kernel.
+package half
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored in 16 bits:
+// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Float16 uint16
+
+// BFloat16 is a bfloat16 value: the top 16 bits of an IEEE 754 binary32 —
+// 1 sign bit, 8 exponent bits (bias 127), 7 mantissa bits.
+type BFloat16 uint16
+
+// Float16 special values.
+const (
+	PosInf16 Float16 = 0x7c00
+	NegInf16 Float16 = 0xfc00
+	NaN16    Float16 = 0x7e00
+	// MaxFloat16 is the largest finite Float16 (65504).
+	MaxFloat16 Float16 = 0x7bff
+	// SmallestNormal16 is the smallest positive normal Float16 (2^-14).
+	SmallestNormal16 Float16 = 0x0400
+)
+
+// FromFloat32 converts a float32 to Float16 with round-to-nearest-even,
+// handling subnormals, overflow to infinity, and NaN propagation.
+func FromFloat32(f float32) Float16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	man := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if man != 0 {
+			// Preserve a quiet NaN; keep the top mantissa bits.
+			return Float16(sign | 0x7e00 | uint16(man>>13))
+		}
+		return Float16(sign | 0x7c00)
+	case exp == 0 && man == 0: // signed zero
+		return Float16(sign)
+	}
+
+	// Unbiased exponent.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow -> infinity
+		return Float16(sign | 0x7c00)
+	case e >= -14: // normal range
+		// 10-bit mantissa with round-to-nearest-even on the dropped 13 bits.
+		m := man >> 13
+		rem := man & 0x1fff
+		half16 := uint32(0x1000)
+		if rem > half16 || (rem == half16 && m&1 == 1) {
+			m++
+		}
+		out := uint32(sign) | uint32(e+15)<<10 + m // mantissa carry may bump the exponent, which is correct (rounds up to the next binade or to infinity)
+		return Float16(out)
+	case e >= -24: // subnormal range
+		// Implicit leading 1 becomes explicit; shift into 10 bits.
+		man |= 0x800000
+		shift := uint32(-e - 14 + 13)
+		m := man >> shift
+		remMask := uint32(1)<<shift - 1
+		rem := man & remMask
+		halfRem := uint32(1) << (shift - 1)
+		if rem > halfRem || (rem == halfRem && m&1 == 1) {
+			m++
+		}
+		return Float16(uint32(sign) + m)
+	case e == -25:
+		// Halfway to the smallest subnormal: round-to-nearest-even sends
+		// exactly 2^-25 to zero, anything above it to the smallest
+		// subnormal.
+		if man != 0 {
+			return Float16(sign | 1)
+		}
+		return Float16(sign)
+	default: // underflow -> signed zero
+		return Float16(sign)
+	}
+}
+
+// Float32 converts a Float16 to float32 exactly (every binary16 value is
+// representable in binary32).
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h) & 0x3ff
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if man != 0 {
+			return math.Float32frombits(sign | 0x7f800000 | man<<13 | 0x400000)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if man == 0 { // signed zero
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: value = man * 2^-24; normalize into binary32. The
+		// exponent starts at that of 1.0*2^-14 (the largest value a
+		// one-shift normalization can produce) and descends per shift.
+		e := uint32(127 - 14)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// IsNaN reports whether h is a NaN.
+func (h Float16) IsNaN() bool {
+	return h&0x7c00 == 0x7c00 && h&0x3ff != 0
+}
+
+// IsInf reports whether h is an infinity with the given sign (+1, -1, or 0
+// for either).
+func (h Float16) IsInf(sign int) bool {
+	if h&0x7fff != 0x7c00 {
+		return false
+	}
+	switch {
+	case sign > 0:
+		return h&0x8000 == 0
+	case sign < 0:
+		return h&0x8000 != 0
+	default:
+		return true
+	}
+}
+
+// BFromFloat32 converts a float32 to BFloat16 with round-to-nearest-even.
+func BFromFloat32(f float32) BFloat16 {
+	b := math.Float32bits(f)
+	if b&0x7f800000 == 0x7f800000 && b&0x7fffff != 0 {
+		// NaN: keep it quiet, keep the sign, keep top mantissa bits.
+		return BFloat16(b>>16 | 0x40)
+	}
+	rem := b & 0xffff
+	out := b >> 16
+	if rem > 0x8000 || (rem == 0x8000 && out&1 == 1) {
+		out++ // may carry into the exponent: rounds to next binade / Inf
+	}
+	return BFloat16(out)
+}
+
+// Float32 converts a BFloat16 to float32 exactly.
+func (h BFloat16) Float32() float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// IsNaN reports whether h is a NaN.
+func (h BFloat16) IsNaN() bool {
+	return h&0x7f80 == 0x7f80 && h&0x7f != 0
+}
+
+// --- slice conversions -------------------------------------------------
+
+// ToFloat32s converts a Float16 slice into dst (allocated when nil).
+func ToFloat32s(dst []float32, src []Float16) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(src))
+	}
+	for i, v := range src {
+		dst[i] = v.Float32()
+	}
+	return dst
+}
+
+// FromFloat32s converts a float32 slice into dst (allocated when nil).
+func FromFloat32s(dst []Float16, src []float32) []Float16 {
+	if dst == nil {
+		dst = make([]Float16, len(src))
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// BToFloat32s converts a BFloat16 slice into dst (allocated when nil).
+func BToFloat32s(dst []float32, src []BFloat16) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(src))
+	}
+	for i, v := range src {
+		dst[i] = v.Float32()
+	}
+	return dst
+}
+
+// BFromFloat32s converts a float32 slice into dst (allocated when nil).
+func BFromFloat32s(dst []BFloat16, src []float32) []BFloat16 {
+	if dst == nil {
+		dst = make([]BFloat16, len(src))
+	}
+	for i, v := range src {
+		dst[i] = BFromFloat32(v)
+	}
+	return dst
+}

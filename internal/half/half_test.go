@@ -1,0 +1,180 @@
+package half
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Gold test: converting every one of the 65536 Float16 bit patterns to
+// float32 and back must be the identity (NaNs map to NaNs).
+func TestFloat16RoundTripExhaustive(t *testing.T) {
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Float16(bits)
+		f := h.Float32()
+		back := FromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("bits %04x: NaN lost through round trip", bits)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("bits %04x: round trip gave %04x (f32=%g)", bits, uint16(back), f)
+		}
+	}
+}
+
+// Same for BFloat16 — trivial by construction, but the rounding carry in
+// BFromFloat32 must not break identity.
+func TestBFloat16RoundTripExhaustive(t *testing.T) {
+	for bits := 0; bits < 1<<16; bits++ {
+		h := BFloat16(bits)
+		f := h.Float32()
+		back := BFromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("bits %04x: NaN lost", bits)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("bits %04x: round trip gave %04x (f32=%g)", bits, uint16(back), f)
+		}
+	}
+}
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},          // max finite
+		{65536, 0x7c00},          // overflow -> +Inf
+		{-70000, 0xfc00},         // overflow -> -Inf
+		{5.9604645e-08, 0x0001},  // smallest subnormal
+		{6.1035156e-05, 0x0400},  // smallest normal (2^-14)
+		{0.333251953125, 0x3555}, // 1/3 rounded
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.h {
+			t.Fatalf("FromFloat32(%g) = %04x, want %04x", c.f, uint16(got), uint16(c.h))
+		}
+	}
+	if FromFloat32(float32(math.NaN())).IsNaN() != true {
+		t.Fatal("NaN conversion")
+	}
+	if got := FromFloat32(float32(math.Inf(1))); !got.IsInf(1) {
+		t.Fatal("+Inf conversion")
+	}
+	if got := FromFloat32(float32(math.Inf(-1))); !got.IsInf(-1) {
+		t.Fatal("-Inf conversion")
+	}
+}
+
+func TestFloat16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 (even mantissa) and
+	// 1+2^-10; ties-to-even keeps 1.0.
+	f := float32(1) + float32(math.Ldexp(1, -11))
+	if got := FromFloat32(f); got != 0x3c00 {
+		t.Fatalf("tie should round to even: %04x", uint16(got))
+	}
+	// Just above the tie rounds up.
+	f = float32(1) + float32(math.Ldexp(1, -11)) + float32(math.Ldexp(1, -20))
+	if got := FromFloat32(f); got != 0x3c01 {
+		t.Fatalf("above tie should round up: %04x", uint16(got))
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 (odd) and 1+2^-9 (even): up.
+	f = float32(1) + 3*float32(math.Ldexp(1, -11))
+	if got := FromFloat32(f); got != 0x3c02 {
+		t.Fatalf("tie at odd mantissa should round up: %04x", uint16(got))
+	}
+}
+
+func TestFloat16ConversionErrorBound(t *testing.T) {
+	// Relative error of a single conversion is at most 2^-11 for normal
+	// values.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		f := (r.Float32()*2 - 1) * 1000
+		if f == 0 {
+			continue
+		}
+		g := FromFloat32(f).Float32()
+		rel := math.Abs(float64(g-f)) / math.Abs(float64(f))
+		if rel > 1.0/2048 {
+			t.Fatalf("conversion error %g for %g", rel, f)
+		}
+	}
+}
+
+func TestBFloat16KnownValues(t *testing.T) {
+	if got := BFromFloat32(1); got != 0x3f80 {
+		t.Fatalf("BFromFloat32(1) = %04x", uint16(got))
+	}
+	if got := BFromFloat32(-2); got != 0xc000 {
+		t.Fatalf("BFromFloat32(-2) = %04x", uint16(got))
+	}
+	if !BFromFloat32(float32(math.NaN())).IsNaN() {
+		t.Fatal("bfloat NaN")
+	}
+	// bfloat16 has f32's range: no overflow at 1e38.
+	if BFromFloat32(1e38).IsNaN() {
+		t.Fatal("1e38 should be finite in bfloat16")
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	src := []float32{0, 1, -2, 0.5, 65504}
+	h := FromFloat32s(nil, src)
+	back := ToFloat32s(nil, h)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("slice round trip at %d: %g != %g", i, back[i], src[i])
+		}
+	}
+	// 65504 needs 11 mantissa bits — fine for f16, not for bfloat16 — so
+	// the bfloat check uses values exactly representable in 8 bits.
+	bsrc := []float32{0, 1, -2, 0.5, 65536}
+	bh := BFromFloat32s(nil, bsrc)
+	bback := BToFloat32s(nil, bh)
+	for i := range bsrc {
+		if bback[i] != bsrc[i] {
+			t.Fatalf("bfloat slice round trip at %d", i)
+		}
+	}
+	// Reuse provided buffers.
+	buf := make([]float32, len(h))
+	if got := ToFloat32s(buf, h); &got[0] != &buf[0] {
+		t.Fatal("provided buffer not reused")
+	}
+}
+
+// Property: conversion is monotone for finite positive values.
+func TestFloat16Monotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := FromFloat32(a), FromFloat32(b)
+		return ha.Float32() <= hb.Float32()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package matrix
+
+import "math"
+
+// ChecksumTolerance is the relative margin of error permitted when comparing
+// CPU and GPU checksums. The paper allows 0.1% to absorb floating-point
+// rounding differences between libraries (§III-B).
+const ChecksumTolerance = 1e-3
+
+// Checksum returns the sum of all elements of a, accumulated in float64.
+func (a *Dense64) Checksum() float64 {
+	var s float64
+	for j := 0; j < a.Cols; j++ {
+		for _, v := range a.Col(j) {
+			s += v
+		}
+	}
+	return s
+}
+
+// Checksum returns the sum of all elements of a, accumulated in float64.
+func (a *Dense32) Checksum() float64 {
+	var s float64
+	for j := 0; j < a.Cols; j++ {
+		for _, v := range a.Col(j) {
+			s += float64(v)
+		}
+	}
+	return s
+}
+
+// Checksum returns the sum of all elements of v, accumulated in float64.
+func (v *Vector64) Checksum() float64 {
+	var s float64
+	for i := 0; i < v.N; i++ {
+		s += v.At(i)
+	}
+	return s
+}
+
+// Checksum returns the sum of all elements of v, accumulated in float64.
+func (v *Vector32) Checksum() float64 {
+	var s float64
+	for i := 0; i < v.N; i++ {
+		s += float64(v.At(i))
+	}
+	return s
+}
+
+// ChecksumsMatch reports whether two checksums agree within
+// ChecksumTolerance (relative to the larger magnitude; absolute near zero).
+func ChecksumsMatch(a, b float64) bool {
+	return ChecksumsMatchTol(a, b, ChecksumTolerance)
+}
+
+// ChecksumsMatchTol reports whether two checksums agree within tol.
+func ChecksumsMatchTol(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference between a
+// and b. It panics if the shapes differ.
+func MaxAbsDiff64(a, b *Dense64) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: MaxAbsDiff64 shape mismatch")
+	}
+	var m float64
+	for j := 0; j < a.Cols; j++ {
+		ca, cb := a.Col(j), b.Col(j)
+		for i := range ca {
+			d := math.Abs(ca[i] - cb[i])
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// MaxAbsDiff32 returns the largest element-wise absolute difference between
+// a and b. It panics if the shapes differ.
+func MaxAbsDiff32(a, b *Dense32) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: MaxAbsDiff32 shape mismatch")
+	}
+	var m float64
+	for j := 0; j < a.Cols; j++ {
+		ca, cb := a.Col(j), b.Col(j)
+		for i := range ca {
+			d := math.Abs(float64(ca[i]) - float64(cb[i]))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// VecMaxAbsDiff64 returns the largest element-wise absolute difference
+// between x and y. It panics if the lengths differ.
+func VecMaxAbsDiff64(x, y *Vector64) float64 {
+	if x.N != y.N {
+		panic("matrix: VecMaxAbsDiff64 length mismatch")
+	}
+	var m float64
+	for i := 0; i < x.N; i++ {
+		d := math.Abs(x.At(i) - y.At(i))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// VecMaxAbsDiff32 returns the largest element-wise absolute difference
+// between x and y. It panics if the lengths differ.
+func VecMaxAbsDiff32(x, y *Vector32) float64 {
+	if x.N != y.N {
+		panic("matrix: VecMaxAbsDiff32 length mismatch")
+	}
+	var m float64
+	for i := 0; i < x.N; i++ {
+		d := math.Abs(float64(x.At(i)) - float64(y.At(i)))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

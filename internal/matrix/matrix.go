@@ -1,0 +1,210 @@
+// Package matrix provides the column-major dense matrix and vector types
+// used throughout GPU-BLOB-Go.
+//
+// All matrices are stored in column-major order, matching the paper's
+// configuration (§III-A): GEMM leading dimensions lda=M, ldb=K, ldc=M and
+// GEMV increments incx=incy=1. A matrix may view a sub-block of a larger
+// allocation via its leading dimension, so kernels must index with
+// Data[i+j*Ld], never assume Ld == Rows.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShape is returned when matrix or vector dimensions are inconsistent.
+var ErrShape = errors.New("matrix: inconsistent dimensions")
+
+// Dense64 is a column-major matrix of float64 values.
+type Dense64 struct {
+	Rows, Cols int
+	// Ld is the leading dimension (stride between columns). Ld >= Rows.
+	Ld   int
+	Data []float64
+}
+
+// Dense32 is a column-major matrix of float32 values.
+type Dense32 struct {
+	Rows, Cols int
+	Ld         int
+	Data       []float32
+}
+
+// Vector64 is a strided vector of float64 values.
+type Vector64 struct {
+	N    int
+	Inc  int
+	Data []float64
+}
+
+// Vector32 is a strided vector of float32 values.
+type Vector32 struct {
+	N    int
+	Inc  int
+	Data []float32
+}
+
+// NewDense64 allocates a zeroed Rows x Cols column-major matrix with Ld=Rows.
+func NewDense64(rows, cols int) *Dense64 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense64{Rows: rows, Cols: cols, Ld: rows, Data: make([]float64, rows*cols)}
+}
+
+// NewDense32 allocates a zeroed Rows x Cols column-major matrix with Ld=Rows.
+func NewDense32(rows, cols int) *Dense32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense32{Rows: rows, Cols: cols, Ld: rows, Data: make([]float32, rows*cols)}
+}
+
+// NewVector64 allocates a zeroed length-n vector with unit increment.
+func NewVector64(n int) *Vector64 {
+	if n < 0 {
+		panic(fmt.Sprintf("matrix: negative length %d", n))
+	}
+	return &Vector64{N: n, Inc: 1, Data: make([]float64, n)}
+}
+
+// NewVector32 allocates a zeroed length-n vector with unit increment.
+func NewVector32(n int) *Vector32 {
+	if n < 0 {
+		panic(fmt.Sprintf("matrix: negative length %d", n))
+	}
+	return &Vector32{N: n, Inc: 1, Data: make([]float32, n)}
+}
+
+// At returns the element at row i, column j.
+func (a *Dense64) At(i, j int) float64 { return a.Data[i+j*a.Ld] }
+
+// Set assigns the element at row i, column j.
+func (a *Dense64) Set(i, j int, v float64) { a.Data[i+j*a.Ld] = v }
+
+// At returns the element at row i, column j.
+func (a *Dense32) At(i, j int) float32 { return a.Data[i+j*a.Ld] }
+
+// Set assigns the element at row i, column j.
+func (a *Dense32) Set(i, j int, v float32) { a.Data[i+j*a.Ld] = v }
+
+// At returns element i honouring the vector increment.
+func (v *Vector64) At(i int) float64 { return v.Data[i*v.Inc] }
+
+// Set assigns element i honouring the vector increment.
+func (v *Vector64) Set(i int, x float64) { v.Data[i*v.Inc] = x }
+
+// At returns element i honouring the vector increment.
+func (v *Vector32) At(i int) float32 { return v.Data[i*v.Inc] }
+
+// Set assigns element i honouring the vector increment.
+func (v *Vector32) Set(i int, x float32) { v.Data[i*v.Inc] = x }
+
+// Col returns the j-th column as a slice aliasing the matrix storage.
+func (a *Dense64) Col(j int) []float64 { return a.Data[j*a.Ld : j*a.Ld+a.Rows] }
+
+// Col returns the j-th column as a slice aliasing the matrix storage.
+func (a *Dense32) Col(j int) []float32 { return a.Data[j*a.Ld : j*a.Ld+a.Rows] }
+
+// View returns a sub-matrix view of rows [i, i+r) and columns [j, j+c),
+// sharing storage with a.
+func (a *Dense64) View(i, j, r, c int) *Dense64 {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > a.Rows || j+c > a.Cols {
+		panic(fmt.Sprintf("matrix: view [%d:%d,%d:%d] out of %dx%d", i, i+r, j, j+c, a.Rows, a.Cols))
+	}
+	end := len(a.Data)
+	if r > 0 && c > 0 {
+		end = i + (j+c-1)*a.Ld + r
+	}
+	return &Dense64{Rows: r, Cols: c, Ld: a.Ld, Data: a.Data[i+j*a.Ld : end]}
+}
+
+// View returns a sub-matrix view of rows [i, i+r) and columns [j, j+c),
+// sharing storage with a.
+func (a *Dense32) View(i, j, r, c int) *Dense32 {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > a.Rows || j+c > a.Cols {
+		panic(fmt.Sprintf("matrix: view [%d:%d,%d:%d] out of %dx%d", i, i+r, j, j+c, a.Rows, a.Cols))
+	}
+	end := len(a.Data)
+	if r > 0 && c > 0 {
+		end = i + (j+c-1)*a.Ld + r
+	}
+	return &Dense32{Rows: r, Cols: c, Ld: a.Ld, Data: a.Data[i+j*a.Ld : end]}
+}
+
+// Clone returns a deep copy of a with a compact leading dimension.
+func (a *Dense64) Clone() *Dense64 {
+	b := NewDense64(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		copy(b.Col(j), a.Col(j))
+	}
+	return b
+}
+
+// Clone returns a deep copy of a with a compact leading dimension.
+func (a *Dense32) Clone() *Dense32 {
+	b := NewDense32(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		copy(b.Col(j), a.Col(j))
+	}
+	return b
+}
+
+// Clone returns a deep, compacted (Inc=1) copy of v.
+func (v *Vector64) Clone() *Vector64 {
+	w := NewVector64(v.N)
+	for i := 0; i < v.N; i++ {
+		w.Data[i] = v.At(i)
+	}
+	return w
+}
+
+// Clone returns a deep, compacted (Inc=1) copy of v.
+func (v *Vector32) Clone() *Vector32 {
+	w := NewVector32(v.N)
+	for i := 0; i < v.N; i++ {
+		w.Data[i] = v.At(i)
+	}
+	return w
+}
+
+// Zero sets every element of a to zero.
+func (a *Dense64) Zero() {
+	for j := 0; j < a.Cols; j++ {
+		col := a.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// Zero sets every element of a to zero.
+func (a *Dense32) Zero() {
+	for j := 0; j < a.Cols; j++ {
+		col := a.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// Zero sets every element of v to zero.
+func (v *Vector64) Zero() {
+	for i := 0; i < v.N; i++ {
+		v.Set(i, 0)
+	}
+}
+
+// Zero sets every element of v to zero.
+func (v *Vector32) Zero() {
+	for i := 0; i < v.N; i++ {
+		v.Set(i, 0)
+	}
+}
+
+// Bytes64 returns the storage size in bytes of an m x n float64 matrix.
+func Bytes64(m, n int) int64 { return int64(m) * int64(n) * 8 }
+
+// Bytes32 returns the storage size in bytes of an m x n float32 matrix.
+func Bytes32(m, n int) int64 { return int64(m) * int64(n) * 4 }

@@ -1,0 +1,112 @@
+package matrix
+
+import "testing"
+
+func TestDense32ViewCloneZero(t *testing.T) {
+	a := NewDense32(6, 6)
+	rng := NewRNG(2)
+	a.Fill(rng)
+	v := a.View(1, 2, 4, 3)
+	if v.Rows != 4 || v.Cols != 3 || v.Ld != 6 {
+		t.Fatalf("view: %+v", v)
+	}
+	if v.At(0, 0) != a.At(1, 2) {
+		t.Fatal("view offset wrong")
+	}
+	v.Set(2, 1, -7)
+	if a.At(3, 3) != -7 {
+		t.Fatal("view must alias")
+	}
+	c := v.Clone()
+	if c.Ld != 4 {
+		t.Fatalf("clone ld = %d", c.Ld)
+	}
+	c.Set(0, 0, 99)
+	if v.At(0, 0) == 99 {
+		t.Fatal("clone must not alias")
+	}
+	c.Zero()
+	for _, x := range c.Data {
+		if x != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestDense32ViewBounds(t *testing.T) {
+	a := NewDense32(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.View(0, 2, 1, 2)
+}
+
+func TestVector32FillCloneChecksum(t *testing.T) {
+	v := NewVector32(10)
+	v.Fill(NewRNG(3))
+	var sum float64
+	for i := 0; i < v.N; i++ {
+		sum += float64(v.At(i))
+	}
+	if got := v.Checksum(); got != sum {
+		t.Fatalf("checksum %v != %v", got, sum)
+	}
+	w := &Vector32{N: 3, Inc: 2, Data: []float32{1, 0, 2, 0, 3}}
+	c := w.Clone()
+	if c.Inc != 1 || c.Data[2] != 3 {
+		t.Fatalf("clone: %+v", c)
+	}
+	w.Zero()
+	if w.Data[0] != 0 || w.Data[2] != 0 || w.Data[4] != 0 {
+		t.Fatal("strided zero missed elements")
+	}
+	if w.Data[1] != 0 && w.Data[3] != 0 {
+		t.Fatal("strided zero touched gaps") // gaps were already 0 here
+	}
+}
+
+func TestFillConst32(t *testing.T) {
+	a := NewDense32(4, 4)
+	a.FillConst(2.5)
+	for _, v := range a.Data {
+		if v != 2.5 {
+			t.Fatal("FillConst32")
+		}
+	}
+}
+
+func TestVecMaxAbsDiff32(t *testing.T) {
+	x := NewVector32(3)
+	y := NewVector32(3)
+	y.Data[2] = -4
+	if d := VecMaxAbsDiff32(x, y); d != 4 {
+		t.Fatalf("diff %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length-mismatch panic")
+		}
+	}()
+	VecMaxAbsDiff32(x, NewVector32(2))
+}
+
+func TestMaxAbsDiff32ShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxAbsDiff32(NewDense32(2, 2), NewDense32(3, 2))
+}
+
+func TestSameSeedSameData32(t *testing.T) {
+	a := NewDense32(9, 9)
+	b := NewDense32(9, 9)
+	a.Fill(NewRNG(DefaultSeed))
+	b.Fill(NewRNG(DefaultSeed))
+	if MaxAbsDiff32(a, b) != 0 {
+		t.Fatal("seeded fills must be identical")
+	}
+}

@@ -1,0 +1,255 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseShapes(t *testing.T) {
+	a := NewDense64(3, 5)
+	if a.Rows != 3 || a.Cols != 5 || a.Ld != 3 || len(a.Data) != 15 {
+		t.Fatalf("bad dense64: %+v", a)
+	}
+	b := NewDense32(0, 4)
+	if len(b.Data) != 0 {
+		t.Fatalf("zero-row matrix should have empty data")
+	}
+	v := NewVector64(7)
+	if v.N != 7 || v.Inc != 1 {
+		t.Fatalf("bad vector: %+v", v)
+	}
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense64(-1, 2)
+}
+
+func TestAtSetColumnMajor(t *testing.T) {
+	a := NewDense64(2, 3)
+	a.Set(1, 2, 42)
+	// Column-major: element (1,2) lives at 1 + 2*2 = 5.
+	if a.Data[5] != 42 {
+		t.Fatalf("column-major layout violated: %v", a.Data)
+	}
+	if a.At(1, 2) != 42 {
+		t.Fatalf("At/Set mismatch")
+	}
+}
+
+func TestColAliases(t *testing.T) {
+	a := NewDense64(4, 2)
+	col := a.Col(1)
+	col[3] = 9
+	if a.At(3, 1) != 9 {
+		t.Fatal("Col must alias matrix storage")
+	}
+	if len(col) != 4 {
+		t.Fatalf("col length %d", len(col))
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	a := NewDense64(6, 6)
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			a.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := a.View(2, 3, 3, 2)
+	if v.Rows != 3 || v.Cols != 2 || v.Ld != 6 {
+		t.Fatalf("bad view: %+v", v)
+	}
+	if v.At(0, 0) != a.At(2, 3) || v.At(2, 1) != a.At(4, 4) {
+		t.Fatal("view indexes wrong elements")
+	}
+	v.Set(1, 1, -1)
+	if a.At(3, 4) != -1 {
+		t.Fatal("view must share storage")
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	a := NewDense64(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range view")
+		}
+	}()
+	a.View(1, 1, 3, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewDense64(5, 4)
+	rng := NewRNG(1)
+	a.Fill(rng)
+	v := a.View(1, 1, 3, 2)
+	c := v.Clone()
+	if c.Ld != 3 {
+		t.Fatalf("clone should be compact, ld=%d", c.Ld)
+	}
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 3; i++ {
+			if c.At(i, j) != v.At(i, j) {
+				t.Fatal("clone content mismatch")
+			}
+		}
+	}
+	c.Set(0, 0, 99)
+	if v.At(0, 0) == 99 {
+		t.Fatal("clone must not share storage")
+	}
+}
+
+func TestVectorCloneCompacts(t *testing.T) {
+	v := &Vector64{N: 3, Inc: 2, Data: []float64{1, 0, 2, 0, 3}}
+	c := v.Clone()
+	if c.Inc != 1 || c.Data[0] != 1 || c.Data[1] != 2 || c.Data[2] != 3 {
+		t.Fatalf("bad vector clone: %+v", c)
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := NewDense32(3, 3)
+	a.FillConst(5)
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero left nonzero element")
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	// Same seed, same shape => identical contents (the §III-B contract that
+	// makes CPU/GPU checksums comparable).
+	a := NewDense64(13, 7)
+	b := NewDense64(13, 7)
+	a.Fill(NewRNG(DefaultSeed))
+	b.Fill(NewRNG(DefaultSeed))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := NewDense64(13, 7)
+	c.Fill(NewRNG(DefaultSeed + 1))
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Float32(); v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGRoughUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	a := NewDense64(2, 2)
+	a.Data = []float64{1, 2, 3, 4}
+	if a.Checksum() != 10 {
+		t.Fatalf("checksum = %v", a.Checksum())
+	}
+	v := NewVector32(3)
+	v.Data = []float32{1, 2, 3}
+	if v.Checksum() != 6 {
+		t.Fatalf("vec checksum = %v", v.Checksum())
+	}
+}
+
+func TestChecksumsMatchTolerance(t *testing.T) {
+	if !ChecksumsMatch(1000, 1000.5) {
+		t.Fatal("0.05% difference should match at 0.1% tolerance")
+	}
+	if ChecksumsMatch(1000, 1002) {
+		t.Fatal("0.2% difference should not match")
+	}
+	if !ChecksumsMatch(0, 0) {
+		t.Fatal("exact zero match")
+	}
+	// Near zero the comparison is absolute.
+	if !ChecksumsMatch(1e-9, -1e-9) {
+		t.Fatal("tiny values should match absolutely")
+	}
+}
+
+func TestChecksumMatchSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return ChecksumsMatch(a, b) == ChecksumsMatch(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewDense64(2, 2)
+	b := NewDense64(2, 2)
+	b.Data[3] = 0.25
+	if d := MaxAbsDiff64(a, b); d != 0.25 {
+		t.Fatalf("diff = %v", d)
+	}
+	x := NewVector64(2)
+	y := NewVector64(2)
+	y.Data[1] = -3
+	if d := VecMaxAbsDiff64(x, y); d != 3 {
+		t.Fatalf("vec diff = %v", d)
+	}
+}
+
+func TestMaxAbsDiffShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxAbsDiff64(NewDense64(2, 2), NewDense64(2, 3))
+}
+
+func TestBytes(t *testing.T) {
+	if Bytes64(100, 100) != 80000 {
+		t.Fatal("Bytes64")
+	}
+	if Bytes32(100, 100) != 40000 {
+		t.Fatal("Bytes32")
+	}
+	// No overflow for paper-scale dims.
+	if Bytes64(4096, 4096) != 4096*4096*8 {
+		t.Fatal("Bytes64 large")
+	}
+}

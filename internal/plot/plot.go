@@ -1,0 +1,250 @@
+// Package plot renders GFLOP/s performance curves — the equivalent of the
+// artifact's createGflopsGraphs.py — as ASCII charts for terminals and as
+// standalone SVG files for reports. Only the standard library is used.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Curve is one named line on a chart.
+type Curve struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Chart is a set of curves with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+	// LogY plots the y axis in log10 space (GFLOP/s curves span decades).
+	LogY bool
+}
+
+// markers cycle through the curves of an ASCII chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// bounds returns the data extent over all curves.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, cv := range c.Curves {
+		for i := range cv.X {
+			if i >= len(cv.Y) {
+				break
+			}
+			x, y := cv.X[i], cv.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if c.LogY && y <= 0 {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	ok = xmin <= xmax && ymin <= ymax
+	return
+}
+
+// ASCII renders the chart as a width x height character grid with a legend.
+// Width and height are clamped to sane minimums.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 40 {
+		width = 40
+	}
+	if height < 10 {
+		height = 10
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		return c.Title + "\n(no data)\n"
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, cv := range c.Curves {
+		mark := markers[ci%len(markers)]
+		for i := range cv.X {
+			if i >= len(cv.Y) {
+				break
+			}
+			y := cv.Y[i]
+			if c.LogY && y <= 0 {
+				continue
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((cv.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((ty(y)-lo)/(hi-lo)*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := ymax, ymin
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yTop, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", yBot, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%11s%-12.4g%*s%12.4g\n", "", xmin, width-22, "", xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%11sx: %s    y: %s%s\n", "", c.XLabel, c.YLabel, logNote(c.LogY))
+	}
+	for ci, cv := range c.Curves {
+		fmt.Fprintf(&b, "%11s%c %s\n", "", markers[ci%len(markers)], cv.Label)
+	}
+	return b.String()
+}
+
+func logNote(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}
+
+// svgPalette holds stroke colors for SVG curves.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 120 {
+		height = 120
+	}
+	const margin = 60
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n", width/2, xmlEscape(c.Title))
+	if !ok {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">(no data)</text>`+"\n</svg>\n", width/2, height/2)
+		return b.String()
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	px := func(x float64) float64 { return float64(margin) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(height-margin) - (ty(y)-lo)/(hi-lo)*plotH }
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, margin, margin, height-margin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n", width/2, height-15, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="15" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 15 %d)">%s%s</text>`+"\n", height/2, height/2, xmlEscape(c.YLabel), logNote(c.LogY))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", margin, height-margin+15, xmin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n", width-margin, height-margin+15, xmax)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n", margin-5, height-margin, ymin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n", margin-5, margin+5, ymax)
+	for ci, cv := range c.Curves {
+		color := svgPalette[ci%len(svgPalette)]
+		var pts []string
+		for i := range cv.X {
+			if i >= len(cv.Y) {
+				break
+			}
+			y := cv.Y[i]
+			if (c.LogY && y <= 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(cv.X[i]), py(y)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", strings.Join(pts, " "), color)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n", width-margin+5, margin+15*ci+10, color, xmlEscape(cv.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Downsample thins a curve to at most maxPoints, keeping endpoints. It is
+// order-preserving and deterministic.
+func Downsample(c Curve, maxPoints int) Curve {
+	n := len(c.X)
+	if maxPoints < 2 || n <= maxPoints {
+		return c
+	}
+	out := Curve{Label: c.Label}
+	step := float64(n-1) / float64(maxPoints-1)
+	for i := 0; i < maxPoints; i++ {
+		idx := int(math.Round(float64(i) * step))
+		if idx >= n {
+			idx = n - 1
+		}
+		out.X = append(out.X, c.X[idx])
+		out.Y = append(out.Y, c.Y[idx])
+	}
+	return out
+}
+
+// SortByX sorts the curve points by ascending x, required by the renderers
+// when data arrives from unordered CSV rows.
+func SortByX(c *Curve) {
+	idx := make([]int, len(c.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.X[idx[a]] < c.X[idx[b]] })
+	x := make([]float64, len(c.X))
+	y := make([]float64, len(c.Y))
+	for i, j := range idx {
+		x[i] = c.X[j]
+		if j < len(c.Y) {
+			y[i] = c.Y[j]
+		}
+	}
+	c.X, c.Y = x, y
+}

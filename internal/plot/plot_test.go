@@ -1,0 +1,159 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i + 1)
+		y[i] = float64((i + 1) * (i + 1))
+	}
+	return Chart{
+		Title: "t", XLabel: "n", YLabel: "gf",
+		Curves: []Curve{{Label: "c1", X: x, Y: y}},
+	}
+}
+
+func TestASCIIContainsMarksAndLegend(t *testing.T) {
+	ch := lineChart()
+	out := ch.ASCII(60, 12)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data marks rendered")
+	}
+	if !strings.Contains(out, "c1") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	ch := Chart{Title: "empty"}
+	out := ch.ASCII(60, 12)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendering: %q", out)
+	}
+}
+
+func TestASCIILogYSkipsNonPositive(t *testing.T) {
+	ch := Chart{
+		LogY: true,
+		Curves: []Curve{{
+			Label: "c",
+			X:     []float64{1, 2, 3, 4},
+			Y:     []float64{0, -1, 10, 100},
+		}},
+	}
+	out := ch.ASCII(60, 12)
+	if !strings.Contains(out, "*") {
+		t.Fatal("positive points should render")
+	}
+}
+
+func TestASCIIClampsDimensions(t *testing.T) {
+	ch := lineChart()
+	out := ch.ASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("clamped chart should render")
+	}
+}
+
+func TestASCIIHandlesNaN(t *testing.T) {
+	ch := Chart{Curves: []Curve{{
+		Label: "c",
+		X:     []float64{1, 2, 3},
+		Y:     []float64{1, math.NaN(), 3},
+	}}}
+	out := ch.ASCII(50, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatal("valid points should survive NaN neighbours")
+	}
+}
+
+func TestSVGWellFormedish(t *testing.T) {
+	ch := lineChart()
+	svg := ch.SVG(400, 300)
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "c1"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("svg element count")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	ch := Chart{
+		Title:  `a<b&"c"`,
+		Curves: []Curve{{Label: "x<y", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	svg := ch.SVG(400, 300)
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "x<y") {
+		t.Fatal("labels not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	ch := Chart{Title: "e"}
+	svg := ch.SVG(400, 300)
+	if !strings.Contains(svg, "(no data)") {
+		t.Fatal("empty svg should say so")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	c := Curve{Label: "c"}
+	for i := 0; i < 1000; i++ {
+		c.X = append(c.X, float64(i))
+		c.Y = append(c.Y, float64(2*i))
+	}
+	d := Downsample(c, 100)
+	if len(d.X) != 100 || len(d.Y) != 100 {
+		t.Fatalf("downsampled to %d/%d", len(d.X), len(d.Y))
+	}
+	if d.X[0] != 0 || d.X[99] != 999 {
+		t.Fatalf("endpoints not kept: %g..%g", d.X[0], d.X[99])
+	}
+	// Monotone order preserved.
+	for i := 1; i < len(d.X); i++ {
+		if d.X[i] <= d.X[i-1] {
+			t.Fatal("order broken")
+		}
+	}
+	// No-ops.
+	if got := Downsample(c, 2000); len(got.X) != 1000 {
+		t.Fatal("maxPoints > len should be identity")
+	}
+	if got := Downsample(c, 1); len(got.X) != 1000 {
+		t.Fatal("maxPoints < 2 should be identity")
+	}
+}
+
+func TestSortByX(t *testing.T) {
+	c := Curve{X: []float64{3, 1, 2}, Y: []float64{30, 10, 20}}
+	SortByX(&c)
+	if c.X[0] != 1 || c.X[2] != 3 || c.Y[0] != 10 || c.Y[2] != 30 {
+		t.Fatalf("sorted: %v %v", c.X, c.Y)
+	}
+}
+
+func TestMultiCurveMarkers(t *testing.T) {
+	ch := Chart{Curves: []Curve{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{1, 1}},
+		{Label: "b", X: []float64{1, 2}, Y: []float64{2, 2}},
+	}}
+	out := ch.ASCII(40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("distinct markers per curve expected")
+	}
+}

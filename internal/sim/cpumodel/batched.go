@@ -1,0 +1,30 @@
+package cpumodel
+
+import (
+	"math"
+
+	"repro/internal/flops"
+)
+
+// GemmBatchedSeconds models i iterations of a batched GEMM: batch
+// independent m x n x k problems issued as one call (§V future work). The
+// batch pays one dispatch per iteration and the efficiency ramp sees the
+// batch's total FLOPs — which is exactly why batching helps small problems:
+// the per-call overhead amortises and the threads all have work.
+func (mo *Model) GemmBatchedSeconds(elemSize, m, n, k, batch int, beta0 bool, iters int) float64 {
+	if iters < 1 || batch < 1 || m <= 0 || n <= 0 {
+		return 0
+	}
+	beta := flops.Beta{IsZero: beta0}
+	flOne := flops.Gemm(m, n, k, beta)
+	flTotal := flOne * int64(batch)
+	bytes := flops.GemmBytes(m, n, k, elemSize, beta) * int64(batch)
+	ws := (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n)) * int64(elemSize) * int64(batch)
+	t := mo.gemmThreads(flTotal)
+	gf := mo.achievedGemmGF(elemSize, t, flTotal)
+	computeUS := float64(flTotal) / gf / 1e3
+	coldUS := math.Max(computeUS, float64(bytes)/(mo.memBWGBs(t)*1e3))
+	warmUS := math.Max(computeUS/(1+mo.Lib.WarmComputeBonus), float64(bytes)/(mo.warmBWGBs(t, ws, 1)*1e3))
+	totalUS := float64(iters)*mo.dispatchUS(t) + coldUS + float64(iters-1)*warmUS
+	return totalUS * 1e-6
+}

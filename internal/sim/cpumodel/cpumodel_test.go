@@ -1,0 +1,207 @@
+package cpumodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/hw"
+)
+
+func dawnCPU() Model {
+	return Model{CPU: hw.XeonPlatinum8468, Lib: OneMKL, Threads: 48}
+}
+
+func lumiCPU() Model {
+	return Model{CPU: hw.EpycTrento7A53, Lib: AOCL, Threads: 56}
+}
+
+func isambardCPU() Model {
+	return Model{CPU: hw.GraceCPU, Lib: NVPL, Threads: 72}
+}
+
+func TestGemmTimePositiveAndMonotoneInIters(t *testing.T) {
+	m := dawnCPU()
+	t1 := m.GemmSeconds(8, 256, 256, 256, true, 1)
+	t8 := m.GemmSeconds(8, 256, 256, 256, true, 8)
+	if t1 <= 0 || t8 <= 0 {
+		t.Fatal("non-positive times")
+	}
+	if t8 <= t1 {
+		t.Fatalf("8 iterations (%g) not slower than 1 (%g)", t8, t1)
+	}
+	// Warm iterations are at least as fast as the cold one.
+	if t8 > 8*t1 {
+		t.Fatalf("warm iterations slower than cold: %g > 8*%g", t8, t1)
+	}
+}
+
+func TestGemmTimeGrowsWithSize(t *testing.T) {
+	m := lumiCPU()
+	prev := 0.0
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048} {
+		cur := m.GemmSeconds(4, n, n, n, true, 1)
+		if cur <= prev {
+			t.Fatalf("time not increasing at n=%d: %g <= %g", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestF32FasterThanF64ForLargeGemm(t *testing.T) {
+	for _, m := range []Model{dawnCPU(), lumiCPU(), isambardCPU()} {
+		s := m.GemmSeconds(4, 2048, 2048, 2048, true, 1)
+		d := m.GemmSeconds(8, 2048, 2048, 2048, true, 1)
+		if s >= d {
+			t.Fatalf("%s: SGEMM (%g) not faster than DGEMM (%g)", m.Lib.Name, s, d)
+		}
+	}
+}
+
+func TestSingleThreadSlowerForLargeProblems(t *testing.T) {
+	many := dawnCPU()
+	one := dawnCPU()
+	one.Threads = 1
+	tm := many.GemmSeconds(8, 2048, 2048, 2048, true, 1)
+	to := one.GemmSeconds(8, 2048, 2048, 2048, true, 1)
+	if to <= tm {
+		t.Fatalf("1 thread (%g) not slower than 48 (%g)", to, tm)
+	}
+}
+
+// NVPL's all-threads-always heuristic must make tiny GEMMs slower than a
+// single-threaded run (Fig 3).
+func TestNVPLAllThreadsPenaltySmallSizes(t *testing.T) {
+	nvpl := isambardCPU()
+	single := Model{CPU: hw.GraceCPU, Lib: NVPLSingleThread, Threads: 1}
+	small := 30
+	if nvpl.GemmSeconds(4, small, small, small, true, 1) <= single.GemmSeconds(4, small, small, small, true, 1) {
+		t.Fatal("NVPL 72t should be slower than 1t at tiny sizes")
+	}
+	big := 1024
+	if nvpl.GemmSeconds(4, big, big, big, true, 1) >= single.GemmSeconds(4, big, big, big, true, 1) {
+		t.Fatal("NVPL 72t should be faster than 1t at large sizes")
+	}
+}
+
+// ArmPL scales threads with size, so its small-size GEMMs are cheap.
+func TestArmPLScalesWithWork(t *testing.T) {
+	armpl := Model{CPU: hw.GraceCPU, Lib: ArmPL, Threads: 72}
+	nvpl := isambardCPU()
+	small := 40
+	if armpl.GemmSeconds(4, small, small, small, true, 1) >= nvpl.GemmSeconds(4, small, small, small, true, 1) {
+		t.Fatal("ArmPL should beat NVPL at small sizes")
+	}
+}
+
+// AOCL does not parallelise GEMV (§IV-B): time must not improve with the
+// configured thread count, and EffectiveCPUs must report ~1.
+func TestAOCLSerialGemv(t *testing.T) {
+	m := lumiCPU()
+	one := lumiCPU()
+	one.Threads = 1
+	a := m.GemvSeconds(4, 2048, 2048, true, 8)
+	b := one.GemvSeconds(4, 2048, 2048, true, 8)
+	if a != b {
+		t.Fatalf("AOCL GEMV should ignore threads: %g vs %g", a, b)
+	}
+	if got := m.EffectiveCPUs("gemv", 4, 2048, 2048, 0); got > 1 {
+		t.Fatalf("AOCL GEMV effective CPUs = %g, want <= 1", got)
+	}
+	if got := m.EffectiveCPUs("gemm", 4, 2048, 2048, 2048); got < 40 {
+		t.Fatalf("AOCL GEMM effective CPUs = %g, want ~50", got)
+	}
+}
+
+// The oneMKL square-GEMM drop (Fig 2): achieved GFLOP/s falls sharply at
+// {629,629,629} relative to {628,628,628} and recovers by {1800,...}.
+func TestOneMKLDropQuirk(t *testing.T) {
+	m := dawnCPU()
+	g := func(n int) float64 { return m.GemmGFLOPS(4, n, n, n, true, 1) }
+	before, at := g(628), g(629)
+	if at >= before*0.8 {
+		t.Fatalf("no drop at 629: %g -> %g", before, at)
+	}
+	rec := g(1900)
+	if rec <= at {
+		t.Fatal("no recovery after the drop")
+	}
+}
+
+// The drop amortises over iterations (QuirkWarmIters): per-iteration time
+// at 128 iterations is much closer to the clean rate than at 1 iteration.
+func TestOneMKLDropAmortises(t *testing.T) {
+	m := dawnCPU()
+	per1 := m.GemmSeconds(4, 700, 700, 700, true, 1)
+	per128 := m.GemmSeconds(4, 700, 700, 700, true, 128) / 128
+	if per128 >= per1*0.9 {
+		t.Fatalf("drop did not amortise: %g vs %g", per128, per1)
+	}
+}
+
+// GEMV is bandwidth-bound: warm iterations inside the cache are much
+// faster than the cold one, and spilling the LLC erases the advantage
+// (the DAWN DGEMV cliff, §IV-B).
+func TestGemvCacheCliff(t *testing.T) {
+	m := dawnCPU()
+	perIterWarm := func(n int) float64 {
+		total := m.GemvSeconds(8, n, n, true, 64)
+		return total / 64
+	}
+	inCache := perIterWarm(2000) // 32 MB, fits
+	spilled := perIterWarm(4000) // 128 MB, spilled
+	perByteIn := inCache / (2000 * 2000 * 8)
+	perByteOut := spilled / (4000 * 4000 * 8)
+	if perByteOut < perByteIn*2 {
+		t.Fatalf("no cache cliff: %g vs %g per byte", perByteIn, perByteOut)
+	}
+}
+
+// The NVPL GEMV step at {256,256} (Fig 5): warm per-iteration rate drops
+// when crossing 256.
+func TestNVPLGemvStep(t *testing.T) {
+	m := isambardCPU()
+	g := func(n int) float64 { return m.GemvGFLOPS(4, n, n, true, 128) }
+	if g(256) >= g(255)*0.8 {
+		t.Fatalf("no NVPL step at 256: %g -> %g", g(255), g(256))
+	}
+}
+
+func TestGemvZeroAndDegenerate(t *testing.T) {
+	m := dawnCPU()
+	if m.GemvSeconds(8, 0, 10, true, 1) != 0 {
+		t.Fatal("m=0 should cost 0")
+	}
+	if m.GemmSeconds(8, 10, 10, 10, true, 0) != 0 {
+		t.Fatal("0 iterations should cost 0")
+	}
+}
+
+// Property: time is finite and positive for any valid shape.
+func TestGemmTimeAlwaysPositive(t *testing.T) {
+	m := lumiCPU()
+	f := func(a, b, c uint8, iters uint8) bool {
+		mm, nn, kk := int(a)+1, int(b)+1, int(c)+1
+		it := int(iters)%16 + 1
+		s := m.GemmSeconds(8, mm, nn, kk, false, it)
+		return s > 0 && s < 1e6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Beta != 0 must cost at least as much as beta == 0 (more FLOPs, more
+// bytes) — the Table I effect.
+func TestBetaNonZeroCostsMore(t *testing.T) {
+	m := dawnCPU()
+	m.Threads = 1 // Table I CPU runs are single threaded
+	b0 := m.GemmSeconds(4, 8192, 8192, 4, true, 100)
+	b2 := m.GemmSeconds(4, 8192, 8192, 4, false, 100)
+	if b2 <= b0 {
+		t.Fatalf("beta=2 (%g) not slower than beta=0 (%g)", b2, b0)
+	}
+	ratio := b2 / b0
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Fatalf("beta ratio %g outside the paper's 1.2x-1.7x ballpark", ratio)
+	}
+}

@@ -1,0 +1,33 @@
+package cpumodel
+
+import "math"
+
+// SpmvSeconds models i iterations of a CSR SpMV touching storageBytes of
+// matrix data across rows rows. SpMV is purely bandwidth-bound; the
+// irregularity factor (0..1] derates effective bandwidth for the gathered
+// accesses to x (≈1 for banded stencils whose gathers stay in cache, ≈0.35
+// for uniformly random sparsity). Thread selection follows the library's
+// GEMV heuristic — AOCL's serial GEMV path is shared by its sparse
+// kernels.
+func (mo *Model) SpmvSeconds(storageBytes int64, rows int, irregularity float64, iters int) float64 {
+	if iters < 1 || rows <= 0 || storageBytes <= 0 {
+		return 0
+	}
+	if irregularity <= 0 || irregularity > 1 {
+		irregularity = 1
+	}
+	// Vector traffic: x gathered, y written.
+	bytes := storageBytes + int64(rows)*16
+	// FLOPs proxy for thread scaling: 2 per stored value.
+	fl := storageBytes / 8 * 2
+	t := mo.gemvThreads(fl)
+	if byRows := rows/64 + 1; byRows < t {
+		t = byRows
+	}
+	coldBW := mo.memBWGBs(t) * irregularity
+	warmBW := mo.warmBWGBs(t, bytes, 1) * irregularity
+	coldUS := float64(bytes) / (coldBW * 1e3)
+	warmUS := float64(bytes) / (warmBW * 1e3)
+	totalUS := float64(iters)*mo.dispatchUS(t) + coldUS + float64(iters-1)*warmUS
+	return math.Max(totalUS, 0) * 1e-6
+}

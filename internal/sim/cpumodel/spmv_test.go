@@ -1,0 +1,53 @@
+package cpumodel
+
+import "testing"
+
+func TestSpmvSecondsBasics(t *testing.T) {
+	m := lumiCPU()
+	if m.SpmvSeconds(1<<20, 1000, 0.5, 0) != 0 {
+		t.Fatal("0 iterations")
+	}
+	if m.SpmvSeconds(0, 1000, 0.5, 1) != 0 {
+		t.Fatal("0 bytes")
+	}
+	one := m.SpmvSeconds(1<<20, 1000, 0.5, 1)
+	if one <= 0 {
+		t.Fatal("non-positive SpMV time")
+	}
+	// More data costs more.
+	if m.SpmvSeconds(8<<20, 1000, 0.5, 1) <= one {
+		t.Fatal("SpMV time should grow with storage")
+	}
+	// Irregular access costs more than regular for the same bytes.
+	reg := m.SpmvSeconds(8<<20, 1000, 0.9, 1)
+	irr := m.SpmvSeconds(8<<20, 1000, 0.35, 1)
+	if irr <= reg {
+		t.Fatalf("irregular (%g) should be slower than regular (%g)", irr, reg)
+	}
+	// Out-of-range irregularity clamps rather than exploding.
+	if got := m.SpmvSeconds(1<<20, 1000, 0, 1); got <= 0 {
+		t.Fatal("irregularity clamp")
+	}
+	if got := m.SpmvSeconds(1<<20, 1000, 7, 1); got <= 0 {
+		t.Fatal("irregularity clamp high")
+	}
+}
+
+// AOCL's serial GEMV heuristic carries over to SpMV: thread count must not
+// change the result on LUMI, but must on DAWN.
+func TestSpmvThreadHeuristics(t *testing.T) {
+	lumi := lumiCPU()
+	one := lumiCPU()
+	one.Threads = 1
+	if lumi.SpmvSeconds(64<<20, 100000, 0.5, 4) != one.SpmvSeconds(64<<20, 100000, 0.5, 4) {
+		t.Fatal("AOCL SpMV should be serial")
+	}
+	dawn := dawnCPU()
+	dawn1 := dawnCPU()
+	dawn1.Threads = 1
+	many := dawn.SpmvSeconds(64<<20, 100000, 0.5, 4)
+	single := dawn1.SpmvSeconds(64<<20, 100000, 0.5, 4)
+	if many >= single {
+		t.Fatalf("oneMKL SpMV should benefit from threads: %g vs %g", many, single)
+	}
+}

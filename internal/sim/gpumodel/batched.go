@@ -1,0 +1,40 @@
+package gpumodel
+
+import (
+	"math"
+
+	"repro/internal/flops"
+	"repro/internal/sim/xfer"
+)
+
+// GemmBatchedSeconds models i iterations of a batched GEMM under the given
+// transfer strategy: batch independent m x n x k problems in one kernel
+// (cublasGemmBatched and friends, §V future work). One launch covers the
+// whole batch and the occupancy ramp sees batch*m*n output elements, which
+// is why batching moves the offload threshold of small problems sharply
+// down (§V: "batched kernels can greatly improve GEMM performance for small
+// problem sizes if many can be computed concurrently").
+func (g *Model) GemmBatchedSeconds(s xfer.Strategy, elemSize, m, n, k, batch int, beta0 bool, iters int) float64 {
+	if iters < 1 || batch < 1 || m <= 0 || n <= 0 {
+		return 0
+	}
+	beta := flops.Beta{IsZero: beta0}
+	flTotal := flops.Gemm(m, n, k, beta) * int64(batch)
+	devBytes := flops.GemmBytes(m, n, k, elemSize, beta) * int64(batch)
+	outElems := float64(m) * float64(n) * float64(batch)
+	gf := g.achievedGF(elemSize, m, n, k, outElems)
+	if g.Lib.GemmQuirk != nil {
+		gf = math.Max(g.Lib.GemmQuirk(elemSize, m, n, k, gf), 1e-6)
+	}
+	computeUS := g.kernelUS(elemSize, flTotal, devBytes, gf) * float64(iters)
+	toDev, fromDev := xfer.GemmBytes(elemSize, m, n, k)
+	toDev *= int64(batch)
+	fromDev *= int64(batch)
+	var moveUS float64
+	if s == xfer.Unified {
+		moveUS = g.USM.MoveSeconds(g.Link, toDev, fromDev, iters) * 1e6
+	} else {
+		moveUS = g.transferUS(s, toDev, fromDev, iters)
+	}
+	return (computeUS + moveUS) * 1e-6
+}

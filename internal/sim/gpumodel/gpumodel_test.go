@@ -1,0 +1,191 @@
+package gpumodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/hw"
+	"repro/internal/sim/usm"
+	"repro/internal/sim/xfer"
+)
+
+func gh200() Model {
+	return Model{GPU: hw.GH200H100, Link: hw.NVLinkC2C, Lib: CuBLAS, USM: usm.NVIDIAUSM}
+}
+
+func mi250x() Model {
+	return Model{GPU: hw.MI250XGCD, Link: hw.InfinityFabricCPU2GPU, Lib: RocBLAS, USM: usm.AMDUSM}
+}
+
+func pvc() Model {
+	return Model{GPU: hw.IntelMax1550Tile, Link: hw.PCIe5x16, Lib: OneMKLGPU, USM: usm.IntelUSM}
+}
+
+func TestGemmTimesPositive(t *testing.T) {
+	for _, g := range []Model{gh200(), mi250x(), pvc()} {
+		for _, st := range xfer.Strategies {
+			s := g.GemmSeconds(st, 4, 256, 256, 256, true, 4)
+			if s <= 0 {
+				t.Fatalf("%s %v: non-positive time", g.GPU.Name, st)
+			}
+		}
+	}
+}
+
+// Transfer-Always must cost at least as much as Transfer-Once, with the
+// gap growing with the iteration count (§III-B2).
+func TestAlwaysCostsMoreThanOnce(t *testing.T) {
+	g := pvc()
+	for _, iters := range []int{1, 8, 128} {
+		once := g.GemmSeconds(xfer.TransferOnce, 8, 1024, 1024, 1024, true, iters)
+		always := g.GemmSeconds(xfer.TransferAlways, 8, 1024, 1024, 1024, true, iters)
+		if always < once {
+			t.Fatalf("iters=%d: always (%g) < once (%g)", iters, always, once)
+		}
+		if iters == 1 && always != once {
+			t.Fatalf("at 1 iteration Always must equal Once: %g vs %g", always, once)
+		}
+	}
+}
+
+// Occupancy ramp: achieved GFLOP/s (compute only, Transfer-Once, many
+// iterations) must grow with problem size.
+func TestOccupancyRamp(t *testing.T) {
+	g := mi250x()
+	prev := 0.0
+	for _, n := range []int{64, 256, 1024, 4096} {
+		gf := g.GemmGFLOPS(xfer.TransferOnce, 4, n, n, n, true, 128)
+		if gf <= prev {
+			t.Fatalf("GFLOPS not increasing at n=%d: %g <= %g", n, gf, prev)
+		}
+		prev = gf
+	}
+	// And stays below the vector peak.
+	if prev >= g.GPU.FP32GFLOPS {
+		t.Fatalf("achieved %g exceeds peak %g", prev, g.GPU.FP32GFLOPS)
+	}
+}
+
+// Split-K (cuBLAS, oneMKL GPU): deep-K thin problems run much faster than
+// the plain m*n occupancy would allow.
+func TestSplitK(t *testing.T) {
+	with := gh200()
+	without := gh200()
+	without.Lib.SplitKGrain = 0
+	a := with.GemmSeconds(xfer.TransferOnce, 4, 32, 32, 4096, true, 8)
+	b := without.GemmSeconds(xfer.TransferOnce, 4, 32, 32, 4096, true, 8)
+	if a >= b {
+		t.Fatalf("split-K did not help: %g vs %g", a, b)
+	}
+	// Square problems with k == n barely change.
+	a = with.GemmSeconds(xfer.TransferOnce, 4, 256, 256, 256, true, 8)
+	b = without.GemmSeconds(xfer.TransferOnce, 4, 256, 256, 256, true, 8)
+	if a > b {
+		t.Fatalf("split-K must never hurt: %g vs %g", a, b)
+	}
+}
+
+// The rocBLAS quirks of §IV-C.
+func TestRocBLASQuirks(t *testing.T) {
+	g := mi250x()
+	// SGEMM jump at {32,32,2560}.
+	before := g.GemmGFLOPS(xfer.TransferOnce, 4, 32, 32, 2559, true, 128)
+	after := g.GemmGFLOPS(xfer.TransferOnce, 4, 32, 32, 2560, true, 128)
+	if after <= before*2 {
+		t.Fatalf("no SGEMM jump at k=2560: %g -> %g", before, after)
+	}
+	// DGEMM flat-line: rate capped regardless of k.
+	g1 := g.GemmGFLOPS(xfer.TransferOnce, 8, 32, 32, 1024, true, 128)
+	g2 := g.GemmGFLOPS(xfer.TransferOnce, 8, 32, 32, 4096, true, 128)
+	if g1 > 46 || g2 > 46 {
+		t.Fatalf("DGEMM 32x32 not flat-lined: %g, %g", g1, g2)
+	}
+}
+
+// The cuBLAS small-kernel floor behind Isambard-AI's constant {26,26,26}.
+func TestCuBLASSmallKernelFloor(t *testing.T) {
+	g := gh200()
+	// Launch latency dominates at these sizes, so compare per-FLOP rates
+	// rather than absolute throughput jumps.
+	below := g.GemmGFLOPS(xfer.TransferOnce, 4, 25, 25, 25, true, 128)
+	at := g.GemmGFLOPS(xfer.TransferOnce, 4, 26, 26, 26, true, 128)
+	if at <= below*1.5 {
+		t.Fatalf("no kernel switch at 26: %g -> %g", below, at)
+	}
+	// The raw quirk itself is a hard floor.
+	if got := cuBLASSmallKernelFloor(4, 25, 25, 25, 100); got != 4 {
+		t.Fatalf("floor multiplier = %g, want 4", got)
+	}
+	if got := cuBLASSmallKernelFloor(4, 26, 26, 26, 100); got != 100 {
+		t.Fatalf("no floor expected at 26, got %g", got)
+	}
+}
+
+// Implicit scaling (Fig 7): lower and less consistent than explicit
+// despite twice the raw compute.
+func TestImplicitScaling(t *testing.T) {
+	exp := pvc()
+	imp := pvc()
+	imp.ImplicitScaling = true
+	worse := 0
+	for n := 512; n <= 4096; n += 512 {
+		e := exp.GemmGFLOPS(xfer.TransferOnce, 4, n, n, n, true, 32)
+		i := imp.GemmGFLOPS(xfer.TransferOnce, 4, n, n, n, true, 32)
+		if i < e {
+			worse++
+		}
+	}
+	if worse < 7 {
+		t.Fatalf("implicit scaling should underperform explicit at nearly all sizes, was worse at %d/8", worse)
+	}
+}
+
+// GEMV on the GPU is weak at small row counts (row-based occupancy) and
+// approaches the HBM roofline at large ones.
+func TestGemvRowOccupancy(t *testing.T) {
+	g := gh200()
+	small := g.GemvGFLOPS(xfer.TransferOnce, 4, 128, 128, true, 128)
+	large := g.GemvGFLOPS(xfer.TransferOnce, 4, 4096, 4096, true, 128)
+	if large <= small {
+		t.Fatalf("GEMV rate should grow with rows: %g vs %g", small, large)
+	}
+}
+
+// USM on Intel tracks Transfer-Once closely; on AMD it lags persistently
+// (§IV-A).
+func TestUSMVendorBehaviour(t *testing.T) {
+	intel := pvc()
+	onceI := intel.GemmSeconds(xfer.TransferOnce, 4, 1024, 1024, 1024, true, 32)
+	usmI := intel.GemmSeconds(xfer.Unified, 4, 1024, 1024, 1024, true, 32)
+	if usmI > onceI*1.25 {
+		t.Fatalf("Intel USM should track Once: %g vs %g", usmI, onceI)
+	}
+	amd := mi250x()
+	onceA := amd.GemmSeconds(xfer.TransferOnce, 4, 1024, 1024, 1024, true, 32)
+	usmA := amd.GemmSeconds(xfer.Unified, 4, 1024, 1024, 1024, true, 32)
+	if usmA < onceA*1.3 {
+		t.Fatalf("AMD USM should lag Once clearly: %g vs %g", usmA, onceA)
+	}
+}
+
+func TestZeroIterations(t *testing.T) {
+	g := gh200()
+	if g.GemmSeconds(xfer.TransferOnce, 4, 10, 10, 10, true, 0) != 0 {
+		t.Fatal("0 iterations should cost 0")
+	}
+	if g.GemvSeconds(xfer.TransferOnce, 4, 0, 10, true, 1) != 0 {
+		t.Fatal("m=0 should cost 0")
+	}
+}
+
+func TestGemmTimeFiniteProperty(t *testing.T) {
+	g := mi250x()
+	f := func(a, b, c uint8, s uint8) bool {
+		st := xfer.Strategy(int(s) % 3)
+		sec := g.GemmSeconds(st, 8, int(a)+1, int(b)+1, int(c)+1, false, 8)
+		return sec > 0 && sec < 1e6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package gpumodel
+
+import (
+	"testing"
+
+	"repro/internal/sim/xfer"
+)
+
+func TestGPUSpmvBasics(t *testing.T) {
+	g := gh200()
+	if g.SpmvSeconds(xfer.TransferOnce, 1<<20, 1000, 0.5, 0) != 0 {
+		t.Fatal("0 iterations")
+	}
+	one := g.SpmvSeconds(xfer.TransferOnce, 1<<20, 1000, 0.5, 1)
+	if one <= 0 {
+		t.Fatal("non-positive time")
+	}
+	// Transfer-Always dominates Once for multiple iterations.
+	onceTime := g.SpmvSeconds(xfer.TransferOnce, 64<<20, 100000, 0.5, 16)
+	alwaysTime := g.SpmvSeconds(xfer.TransferAlways, 64<<20, 100000, 0.5, 16)
+	if alwaysTime <= onceTime {
+		t.Fatalf("Always (%g) should exceed Once (%g)", alwaysTime, onceTime)
+	}
+	// Irregularity hurts.
+	reg := g.SpmvSeconds(xfer.TransferOnce, 64<<20, 100000, 0.85, 16)
+	irr := g.SpmvSeconds(xfer.TransferOnce, 64<<20, 100000, 0.35, 16)
+	if irr <= reg {
+		t.Fatal("irregular gathers should be slower on the GPU")
+	}
+	// Low row counts throttle delivered bandwidth (occupancy).
+	fewRows := g.SpmvSeconds(xfer.TransferOnce, 8<<20, 500, 0.85, 16)
+	manyRows := g.SpmvSeconds(xfer.TransferOnce, 8<<20, 500000, 0.85, 16)
+	if fewRows <= manyRows {
+		t.Fatalf("500 rows (%g) should be slower than 500k rows (%g) for equal bytes", fewRows, manyRows)
+	}
+}
+
+func TestGPUSpmvUSM(t *testing.T) {
+	g := mi250x()
+	usmT := g.SpmvSeconds(xfer.Unified, 64<<20, 100000, 0.5, 8)
+	onceT := g.SpmvSeconds(xfer.TransferOnce, 64<<20, 100000, 0.5, 8)
+	if usmT <= onceT {
+		t.Fatalf("AMD USM SpMV (%g) should lag Once (%g)", usmT, onceT)
+	}
+}

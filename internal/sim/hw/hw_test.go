@@ -1,0 +1,74 @@
+package hw
+
+import "testing"
+
+func TestPeakGFLOPSMatchesPaperNumbers(t *testing.T) {
+	// The paper quotes socket-wide FP64 FLOPs/cycle: 1,536 (DAWN), 896
+	// (LUMI), 1,152 (Grace). Peaks follow from the clock.
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-6 && d > -1e-6
+	}
+	if got := XeonPlatinum8468.PeakGFLOPS(8); !approx(got, 2.1*1536) {
+		t.Fatalf("8468 FP64 peak = %g", got)
+	}
+	if got := EpycTrento7A53.PeakGFLOPS(8); !approx(got, 2.0*896) {
+		t.Fatalf("7A53 FP64 peak = %g", got)
+	}
+	if got := GraceCPU.PeakGFLOPS(8); !approx(got, 3.4*1152) {
+		t.Fatalf("Grace FP64 peak = %g", got)
+	}
+	// FP32 is twice FP64 on these CPUs.
+	if XeonPlatinum8468.PeakGFLOPS(4) != 2*XeonPlatinum8468.PeakGFLOPS(8) {
+		t.Fatal("FP32 peak should be 2x FP64")
+	}
+}
+
+func TestGPUPeakSelection(t *testing.T) {
+	if GH200H100.Peak(4) != GH200H100.FP32GFLOPS || GH200H100.Peak(8) != GH200H100.FP64GFLOPS {
+		t.Fatal("Peak must select by element size")
+	}
+	// MI250X GCD: CDNA2 vector FP32 == FP64 rate.
+	if MI250XGCD.Peak(4) != MI250XGCD.Peak(8) {
+		t.Fatal("MI250X vector FP32 and FP64 peaks should match")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 52 GB/s, 10 us latency: 52 MB should take 10us + 1000us.
+	got := PCIe5x16.TransferTimeUS(52 << 20)
+	want := 10 + float64(52<<20)/(52*1e3)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("TransferTimeUS = %g, want %g", got, want)
+	}
+	// Zero bytes costs just the latency.
+	if PCIe5x16.TransferTimeUS(0) != 10 {
+		t.Fatal("latency-only transfer")
+	}
+}
+
+func TestLinkOrdering(t *testing.T) {
+	// The SoC link must be far faster and lower latency than the PCIe and
+	// Infinity Fabric links — the paper's central hardware contrast.
+	if NVLinkC2C.BWGBs <= 5*PCIe5x16.BWGBs {
+		t.Fatal("NVLink-C2C should dwarf PCIe bandwidth")
+	}
+	if NVLinkC2C.LatencyUS >= PCIe5x16.LatencyUS {
+		t.Fatal("NVLink-C2C should have lower latency than PCIe")
+	}
+}
+
+func TestSpecsPlausible(t *testing.T) {
+	for _, c := range []CPUSpec{XeonPlatinum8468, EpycTrento7A53, GraceCPU, Epyc7543P} {
+		if c.Cores <= 0 || c.FreqGHz <= 0 || c.MemBWGBs <= 0 || c.CacheMB <= 0 ||
+			c.PerCoreMemBWGBs <= 0 || c.CacheBWGBs <= c.MemBWGBs {
+			t.Fatalf("%s: implausible spec %+v", c.Name, c)
+		}
+	}
+	for _, g := range []GPUSpec{IntelMax1550Tile, MI250XGCD, GH200H100, A100SXM40} {
+		if g.FP32GFLOPS < g.FP64GFLOPS || g.HBMGBs <= 0 || g.LaunchLatencyUS <= 0 ||
+			g.OccupancyRampElems <= 0 || g.GemvRampRows <= 0 {
+			t.Fatalf("%s: implausible spec %+v", g.Name, g)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package systems assembles the paper's three HPC systems (Table II) — and
+// the variant configurations used in individual experiments — from the
+// hardware descriptors and library profiles.
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/sim/cpumodel"
+	"repro/internal/sim/gpumodel"
+	"repro/internal/sim/hw"
+	"repro/internal/sim/usm"
+)
+
+// System is one benchmark target: a CPU socket with its BLAS library and a
+// GPU with its BLAS library, joined by an interconnect.
+type System struct {
+	Name string
+	CPU  cpumodel.Model
+	GPU  gpumodel.Model
+}
+
+// DAWN: 2x Xeon 8468 + 4x Intel Max 1550, one socket (48 threads) and one
+// GPU tile targeted (explicit scaling), oneMKL on both sides.
+func DAWN() System {
+	return System{
+		Name: "DAWN",
+		CPU: cpumodel.Model{
+			CPU:     hw.XeonPlatinum8468,
+			Lib:     cpumodel.OneMKL,
+			Threads: 48,
+		},
+		GPU: gpumodel.Model{
+			GPU:  hw.IntelMax1550Tile,
+			Link: hw.PCIe5x16,
+			Lib:  gpumodel.OneMKLGPU,
+			USM:  usm.IntelUSM,
+		},
+	}
+}
+
+// DAWNImplicitScaling is the Fig-7 configuration: both PVC tiles viewed as
+// one device.
+func DAWNImplicitScaling() System {
+	s := DAWN()
+	s.Name = "DAWN (implicit scaling)"
+	s.GPU.ImplicitScaling = true
+	return s
+}
+
+// LUMI: EPYC 7A53 (56 usable cores, BLIS_NUM_THREADS=56) + one MI250X GCD,
+// AOCL on the CPU and rocBLAS on the GPU, HSA_XNACK=1.
+func LUMI() System {
+	return System{
+		Name: "LUMI",
+		CPU: cpumodel.Model{
+			CPU:     hw.EpycTrento7A53,
+			Lib:     cpumodel.AOCL,
+			Threads: 56,
+		},
+		GPU: gpumodel.Model{
+			GPU:  hw.MI250XGCD,
+			Link: hw.InfinityFabricCPU2GPU,
+			Lib:  gpumodel.RocBLAS,
+			USM:  usm.AMDUSM,
+		},
+	}
+}
+
+// LUMIOpenBLAS swaps the CPU library for OpenBLAS 0.3.24 with
+// OMP_NUM_THREADS=56 (Fig 6, §IV-B).
+func LUMIOpenBLAS() System {
+	s := LUMI()
+	s.Name = "LUMI (OpenBLAS)"
+	s.CPU.Lib = cpumodel.OpenBLAS
+	return s
+}
+
+// LUMINoXnack is LUMI without HSA_XNACK=1: USM page migration disabled,
+// device accesses stream across the interconnect (§IV, up to 40x penalty).
+func LUMINoXnack() System {
+	s := LUMI()
+	s.Name = "LUMI (HSA_XNACK=0)"
+	s.GPU.USM = usm.AMDUSMNoXnack
+	return s
+}
+
+// IsambardAI: one GH200 superchip — Grace (72 threads, NVPL) + H100
+// (cuBLAS) over NVLink-C2C.
+func IsambardAI() System {
+	return System{
+		Name: "Isambard-AI",
+		CPU: cpumodel.Model{
+			CPU:     hw.GraceCPU,
+			Lib:     cpumodel.NVPL,
+			Threads: 72,
+		},
+		GPU: gpumodel.Model{
+			GPU:  hw.GH200H100,
+			Link: hw.NVLinkC2C,
+			Lib:  gpumodel.CuBLAS,
+			USM:  usm.NVIDIAUSM,
+		},
+	}
+}
+
+// IsambardAIArmPL swaps the CPU library for ArmPL 24.04 (Fig 3).
+func IsambardAIArmPL() System {
+	s := IsambardAI()
+	s.Name = "Isambard-AI (ArmPL)"
+	s.CPU.Lib = cpumodel.ArmPL
+	return s
+}
+
+// IsambardAINVPL1T pins NVPL to a single thread (Fig 3).
+func IsambardAINVPL1T() System {
+	s := IsambardAI()
+	s.Name = "Isambard-AI (NVPL 1 thread)"
+	s.CPU.Lib = cpumodel.NVPLSingleThread
+	s.CPU.Threads = 1
+	return s
+}
+
+// ByName resolves a system preset from a CLI token.
+func ByName(name string) (System, error) {
+	switch name {
+	case "dawn", "DAWN":
+		return DAWN(), nil
+	case "lumi", "LUMI":
+		return LUMI(), nil
+	case "isambard-ai", "isambard", "Isambard-AI":
+		return IsambardAI(), nil
+	case "dawn-implicit":
+		return DAWNImplicitScaling(), nil
+	case "lumi-openblas":
+		return LUMIOpenBLAS(), nil
+	case "lumi-noxnack":
+		return LUMINoXnack(), nil
+	case "isambard-armpl":
+		return IsambardAIArmPL(), nil
+	case "isambard-nvpl1t":
+		return IsambardAINVPL1T(), nil
+	}
+	return System{}, fmt.Errorf("systems: unknown system %q (try dawn, lumi, isambard-ai)", name)
+}
+
+// Names lists the CLI tokens accepted by ByName.
+func Names() []string {
+	return []string{
+		"dawn", "lumi", "isambard-ai",
+		"dawn-implicit", "lumi-openblas", "lumi-noxnack",
+		"isambard-armpl", "isambard-nvpl1t",
+	}
+}
+
+// All returns the three primary systems in the paper's presentation order.
+func All() []System {
+	return []System{DAWN(), LUMI(), IsambardAI()}
+}

@@ -1,0 +1,119 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/sim/xfer"
+)
+
+func TestByNameResolvesAllTokens(t *testing.T) {
+	for _, name := range Names() {
+		sys, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if sys.Name == "" || sys.CPU.Threads < 1 || sys.CPU.Lib.Name == "" || sys.GPU.Lib.Name == "" {
+			t.Fatalf("ByName(%q): incomplete system %+v", name, sys)
+		}
+	}
+	if _, err := ByName("fugaku"); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+func TestAllReturnsPaperOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "DAWN" || all[1].Name != "LUMI" || all[2].Name != "Isambard-AI" {
+		t.Fatalf("All() = %v", all)
+	}
+}
+
+func TestPaperThreadCounts(t *testing.T) {
+	// §IV: OMP_NUM_THREADS=48 (DAWN), BLIS_NUM_THREADS=56 (LUMI),
+	// OMP_NUM_THREADS=72 (Isambard-AI).
+	if DAWN().CPU.Threads != 48 {
+		t.Fatal("DAWN threads")
+	}
+	if LUMI().CPU.Threads != 56 {
+		t.Fatal("LUMI threads")
+	}
+	if IsambardAI().CPU.Threads != 72 {
+		t.Fatal("Isambard-AI threads")
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	if !DAWNImplicitScaling().GPU.ImplicitScaling || DAWN().GPU.ImplicitScaling {
+		t.Fatal("implicit scaling flag")
+	}
+	if LUMIOpenBLAS().CPU.Lib.Name == LUMI().CPU.Lib.Name {
+		t.Fatal("OpenBLAS variant should swap the CPU library")
+	}
+	if LUMINoXnack().GPU.USM.XnackEnabled {
+		t.Fatal("no-xnack variant should disable XNACK")
+	}
+	if IsambardAINVPL1T().CPU.Threads != 1 {
+		t.Fatal("NVPL 1-thread variant")
+	}
+	if IsambardAIArmPL().CPU.Lib.Name == IsambardAI().CPU.Lib.Name {
+		t.Fatal("ArmPL variant should swap the CPU library")
+	}
+}
+
+// Headline paper facts encoded by the presets: the GH200 amortises
+// transfers (SoC), LUMI's CPU is the weakest, DAWN's the strongest.
+func TestSystemContrasts(t *testing.T) {
+	dawn, lumi, isam := DAWN(), LUMI(), IsambardAI()
+	if isam.GPU.Link.BWGBs <= dawn.GPU.Link.BWGBs || isam.GPU.Link.BWGBs <= lumi.GPU.Link.BWGBs {
+		t.Fatal("GH200 link must be the fastest")
+	}
+	if dawn.CPU.CPU.PeakGFLOPS(8) <= lumi.CPU.CPU.PeakGFLOPS(8) {
+		t.Fatal("DAWN socket should out-peak LUMI's")
+	}
+	// A mid-size SGEMM with high reuse: the GH200 should show the smallest
+	// GPU-vs-CPU time ratio (lowest offload threshold of the three).
+	ratio := func(s System) float64 {
+		cpu := s.CPU.GemmSeconds(4, 128, 128, 128, true, 32)
+		gpu := s.GPU.GemmSeconds(xfer.TransferOnce, 4, 128, 128, 128, true, 32)
+		return gpu / cpu
+	}
+	if ratio(isam) >= ratio(dawn) {
+		t.Fatalf("GH200 should offload small GEMMs best: %g vs DAWN %g", ratio(isam), ratio(dawn))
+	}
+}
+
+// Model invariant: making the interconnect strictly faster can only lower
+// (or keep) the GPU time under any explicit-transfer strategy.
+func TestFasterLinkNeverHurts(t *testing.T) {
+	base := DAWN()
+	fast := DAWN()
+	fast.GPU.Link.BWGBs *= 4
+	fast.GPU.Link.LatencyUS /= 4
+	for _, n := range []int{16, 128, 1024, 4096} {
+		for _, st := range []xfer.Strategy{xfer.TransferOnce, xfer.TransferAlways} {
+			b := base.GPU.GemmSeconds(st, 4, n, n, n, true, 8)
+			f := fast.GPU.GemmSeconds(st, 4, n, n, n, true, 8)
+			if f > b {
+				t.Fatalf("n=%d %v: faster link increased time %g -> %g", n, st, b, f)
+			}
+		}
+	}
+}
+
+// Model invariant: more iterations never reduce total time, and per-
+// iteration Transfer-Once cost never increases with the count.
+func TestIterationMonotonicity(t *testing.T) {
+	sys := LUMI()
+	prevTotal, prevPer := 0.0, 1e18
+	for _, it := range []int{1, 2, 8, 32, 128} {
+		total := sys.GPU.GemmSeconds(xfer.TransferOnce, 8, 512, 512, 512, true, it)
+		per := total / float64(it)
+		if total < prevTotal {
+			t.Fatalf("total time decreased at %d iterations", it)
+		}
+		if per > prevPer*1.0000001 {
+			t.Fatalf("per-iteration Once cost increased at %d iterations: %g -> %g", it, prevPer, per)
+		}
+		prevTotal, prevPer = total, per
+	}
+}

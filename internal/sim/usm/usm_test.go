@@ -1,0 +1,97 @@
+package usm
+
+import (
+	"testing"
+
+	"repro/internal/sim/hw"
+)
+
+func TestMoveSecondsBasics(t *testing.T) {
+	link := hw.InfinityFabricCPU2GPU
+	if AMDUSM.MoveSeconds(link, 1<<20, 1<<18, 0) != 0 {
+		t.Fatal("0 iterations should cost 0")
+	}
+	one := AMDUSM.MoveSeconds(link, 1<<20, 1<<18, 1)
+	if one <= 0 {
+		t.Fatal("non-positive migration time")
+	}
+}
+
+// Migration is slower than a bulk pinned copy of the same bytes.
+func TestMigrationSlowerThanBulkCopy(t *testing.T) {
+	link := hw.InfinityFabricCPU2GPU
+	bytes := int64(64 << 20)
+	bulk := link.TransferTimeUS(bytes) * 1e-6
+	migrated := AMDUSM.MoveSeconds(link, bytes, 0, 1)
+	if migrated <= bulk {
+		t.Fatalf("migration (%g) should cost more than a bulk copy (%g)", migrated, bulk)
+	}
+}
+
+// AMD's residual faulting keeps adding cost per iteration; Intel's does
+// not (§IV-A).
+func TestResidualFaulting(t *testing.T) {
+	link := hw.InfinityFabricCPU2GPU
+	bytes := int64(64 << 20)
+	amd1 := AMDUSM.MoveSeconds(link, bytes, 0, 1)
+	amd64 := AMDUSM.MoveSeconds(link, bytes, 0, 64)
+	if amd64 < amd1*2 {
+		t.Fatalf("AMD residual faults should accumulate: %g vs %g", amd1, amd64)
+	}
+	intel1 := IntelUSM.MoveSeconds(hw.PCIe5x16, bytes, 0, 1)
+	intel64 := IntelUSM.MoveSeconds(hw.PCIe5x16, bytes, 0, 64)
+	if intel64 != intel1 {
+		t.Fatalf("Intel USM has no residual cost: %g vs %g", intel1, intel64)
+	}
+}
+
+// Without XNACK nothing migrates: every iteration streams across the link
+// with the penalty, so cost scales linearly with iterations and the 1-iter
+// penalty versus migration is dramatic (the up-to-40x observation, §IV).
+func TestXnackDisabled(t *testing.T) {
+	link := hw.InfinityFabricCPU2GPU
+	bytes := int64(64 << 20)
+	with := AMDUSM.MoveSeconds(link, bytes, 0, 1)
+	without := AMDUSMNoXnack.MoveSeconds(link, bytes, 0, 1)
+	ratio := without / with
+	if ratio < 5 || ratio > 60 {
+		t.Fatalf("XNACK-off penalty ratio %g outside the expected order (paper: up to 40x)", ratio)
+	}
+	w8 := AMDUSMNoXnack.MoveSeconds(link, bytes, 0, 8)
+	if w8 < 7.9*without || w8 > 8.1*without {
+		t.Fatalf("XNACK-off cost should scale linearly with iterations: %g vs 8*%g", w8, without)
+	}
+}
+
+func TestOutputMigratesOnce(t *testing.T) {
+	link := hw.NVLinkC2C
+	noOut := NVIDIAUSM.MoveSeconds(link, 1<<20, 0, 16)
+	withOut := NVIDIAUSM.MoveSeconds(link, 1<<20, 1<<20, 16)
+	if withOut <= noOut {
+		t.Fatal("output migration should add cost")
+	}
+	// The output cost is iteration-independent.
+	delta16 := withOut - noOut
+	delta1 := NVIDIAUSM.MoveSeconds(link, 1<<20, 1<<20, 1) - NVIDIAUSM.MoveSeconds(link, 1<<20, 0, 1)
+	if diff := delta16 - delta1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("output migration should be one-off: %g vs %g", delta16, delta1)
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	if got := IntelUSM.MoveSeconds(hw.PCIe5x16, 0, 0, 4); got != 0 {
+		t.Fatalf("zero bytes should cost 0, got %g", got)
+	}
+}
+
+func TestMigrationCostGrowsWithBytes(t *testing.T) {
+	link := hw.PCIe5x16
+	prev := 0.0
+	for _, mb := range []int64{1, 8, 64, 512} {
+		cur := IntelUSM.MoveSeconds(link, mb<<20, 0, 1)
+		if cur <= prev {
+			t.Fatalf("migration cost not increasing at %d MiB", mb)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,78 @@
+package xfer
+
+import "testing"
+
+func TestStrategyStrings(t *testing.T) {
+	if TransferOnce.String() != "Once" || TransferAlways.String() != "Always" || Unified.String() != "USM" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still format")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+	}{
+		{"Once", TransferOnce}, {"once", TransferOnce}, {"transfer-once", TransferOnce},
+		{"Always", TransferAlways}, {"always", TransferAlways},
+		{"USM", Unified}, {"usm", Unified}, {"unified", Unified},
+	} {
+		got, err := ParseStrategy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGemmBytes(t *testing.T) {
+	// A (2x4), B (4x3), C (2x3) up; C down; f64.
+	toDev, fromDev := GemmBytes(8, 2, 3, 4)
+	if toDev != (2*4+4*3+2*3)*8 {
+		t.Fatalf("toDev = %d", toDev)
+	}
+	if fromDev != 2*3*8 {
+		t.Fatalf("fromDev = %d", fromDev)
+	}
+}
+
+func TestGemvBytes(t *testing.T) {
+	// A (3x4), x (4), y (3) up; y down; f32.
+	toDev, fromDev := GemvBytes(4, 3, 4)
+	if toDev != (3*4+4+3)*4 {
+		t.Fatalf("toDev = %d", toDev)
+	}
+	if fromDev != 3*4 {
+		t.Fatalf("fromDev = %d", fromDev)
+	}
+}
+
+func TestGemmBytesNoOverflow(t *testing.T) {
+	toDev, _ := GemmBytes(8, 65536, 65536, 65536)
+	if toDev <= 0 {
+		t.Fatalf("overflow: %d", toDev)
+	}
+}
+
+func TestRounds(t *testing.T) {
+	if Rounds(TransferOnce, 128) != 1 {
+		t.Fatal("Once should transfer once")
+	}
+	if Rounds(TransferAlways, 128) != 128 {
+		t.Fatal("Always should transfer every iteration")
+	}
+	if Rounds(Unified, 128) != 0 {
+		t.Fatal("USM has no explicit transfer rounds")
+	}
+}
+
+func TestStrategiesOrder(t *testing.T) {
+	if len(Strategies) != 3 || Strategies[0] != TransferOnce || Strategies[1] != TransferAlways || Strategies[2] != Unified {
+		t.Fatal("Strategies must be the paper's Once/Always/USM order")
+	}
+}

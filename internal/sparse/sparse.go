@@ -1,0 +1,267 @@
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// sparse BLAS kernels (SpMV, SpMM) that the paper names as its final
+// future-work item (§V): "we are currently working to support sparse BLAS
+// computations in GPU-BLOB". The package provides the kernels, generators
+// for a first representative problem family (uniform random sparsity and
+// banded matrices), and conversions to and from the dense types.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// CSR is a sparse Rows x Cols matrix of float64 values in compressed
+// sparse row format: row i's entries are Cols[RowPtr[i]:RowPtr[i+1]] /
+// Vals[RowPtr[i]:RowPtr[i+1]], with column indices strictly increasing
+// within each row.
+type CSR struct {
+	Rows, NCols int
+	RowPtr      []int
+	ColIdx      []int
+	Vals        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Vals) }
+
+// Triplet is one COO entry used to build a CSR matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromTriplets builds a CSR matrix from COO entries. Duplicate (row, col)
+// pairs are summed; explicit zeros are kept (BLAS semantics). Entries out
+// of range return an error.
+func FromTriplets(rows, cols int, ts []Triplet) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative shape %dx%d", rows, cols)
+	}
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := append([]Triplet(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	a := &CSR{Rows: rows, NCols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		a.ColIdx = append(a.ColIdx, sorted[i].Col)
+		a.Vals = append(a.Vals, v)
+		a.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		a.RowPtr[r+1] += a.RowPtr[r]
+	}
+	return a, nil
+}
+
+// FromDense converts a dense matrix, dropping exact zeros.
+func FromDense(d *matrix.Dense64) *CSR {
+	a := &CSR{Rows: d.Rows, NCols: d.Cols, RowPtr: make([]int, d.Rows+1)}
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if v := d.At(i, j); v != 0 {
+				a.ColIdx = append(a.ColIdx, j)
+				a.Vals = append(a.Vals, v)
+			}
+		}
+		a.RowPtr[i+1] = len(a.Vals)
+	}
+	return a
+}
+
+// ToDense expands the matrix into a dense column-major one.
+func (a *CSR) ToDense() *matrix.Dense64 {
+	d := matrix.NewDense64(a.Rows, a.NCols)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			d.Set(i, a.ColIdx[p], a.Vals[p])
+		}
+	}
+	return d
+}
+
+// Validate checks the structural invariants; it returns nil for a
+// well-formed matrix.
+func (a *CSR) Validate() error {
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: rowptr length %d != rows+1 %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 || a.RowPtr[a.Rows] != len(a.Vals) || len(a.Vals) != len(a.ColIdx) {
+		return fmt.Errorf("sparse: inconsistent storage lengths")
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: rowptr not monotone at row %d", i)
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] < 0 || a.ColIdx[p] >= a.NCols {
+				return fmt.Errorf("sparse: column %d out of range at row %d", a.ColIdx[p], i)
+			}
+			if p > a.RowPtr[i] && a.ColIdx[p] <= a.ColIdx[p-1] {
+				return fmt.Errorf("sparse: columns not strictly increasing in row %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// SpMV computes y = alpha*A*x + beta*y serially. When beta == 0, y is
+// written without being read (matching the dense kernels' contract).
+func (a *CSR) SpMV(alpha float64, x []float64, beta float64, y []float64) {
+	if len(x) < a.NCols || len(y) < a.Rows {
+		panic("sparse: SpMV vector too short")
+	}
+	for i := 0; i < a.Rows; i++ {
+		var sum float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			sum += a.Vals[p] * x[a.ColIdx[p]]
+		}
+		if beta == 0 {
+			y[i] = alpha * sum
+		} else {
+			y[i] = alpha*sum + beta*y[i]
+		}
+	}
+}
+
+// SpMVParallel computes y = alpha*A*x + beta*y with rows distributed
+// across the pool in nnz-balanced chunks (guided), since row lengths may
+// be wildly uneven.
+func (a *CSR) SpMVParallel(p *parallel.Pool, alpha float64, x []float64, beta float64, y []float64) {
+	if len(x) < a.NCols || len(y) < a.Rows {
+		panic("sparse: SpMV vector too short")
+	}
+	if p == nil || p.Workers() == 1 || a.NNZ() < 1<<14 {
+		a.SpMV(alpha, x, beta, y)
+		return
+	}
+	chunk := a.Rows/(4*p.Workers()) + 1
+	p.ForChunked(a.Rows, chunk, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			var sum float64
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				sum += a.Vals[q] * x[a.ColIdx[q]]
+			}
+			if beta == 0 {
+				y[i] = alpha * sum
+			} else {
+				y[i] = alpha*sum + beta*y[i]
+			}
+		}
+	})
+}
+
+// SpMM computes the dense C = alpha*A*B + beta*C for dense column-major B
+// (NCols x n) and C (Rows x n).
+func (a *CSR) SpMM(n int, alpha float64, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if ldb < a.NCols || ldc < a.Rows {
+		panic("sparse: SpMM leading dimension too small")
+	}
+	for j := 0; j < n; j++ {
+		bj := b[j*ldb:]
+		cj := c[j*ldc:]
+		for i := 0; i < a.Rows; i++ {
+			var sum float64
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				sum += a.Vals[p] * bj[a.ColIdx[p]]
+			}
+			if beta == 0 {
+				cj[i] = alpha * sum
+			} else {
+				cj[i] = alpha*sum + beta*cj[i]
+			}
+		}
+	}
+}
+
+// Bytes returns the memory footprint of the CSR storage (8-byte values,
+// 8-byte ints), the denominator of sparse arithmetic intensity.
+func (a *CSR) Bytes() int64 {
+	return int64(len(a.Vals))*8 + int64(len(a.ColIdx))*8 + int64(len(a.RowPtr))*8
+}
+
+// --- generators -----------------------------------------------------------
+
+// RandomUniform generates an n x n CSR matrix with the given target density
+// in (0, 1], entries uniform in [0, 1), deterministic for a seed. At least
+// one entry per row is placed so no row is empty.
+func RandomUniform(n int, density float64, seed uint64) *CSR {
+	if density <= 0 {
+		density = 1.0 / float64(n)
+	}
+	if density > 1 {
+		density = 1
+	}
+	rng := matrix.NewRNG(seed)
+	perRow := int(density*float64(n) + 0.5)
+	if perRow < 1 {
+		perRow = 1
+	}
+	a := &CSR{Rows: n, NCols: n, RowPtr: make([]int, n+1)}
+	cols := make([]int, 0, perRow)
+	seen := make(map[int]bool, perRow)
+	for i := 0; i < n; i++ {
+		cols = cols[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(cols) < perRow {
+			c := int(rng.Next()) % n
+			if c < 0 {
+				c = -c
+			}
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			a.ColIdx = append(a.ColIdx, c)
+			a.Vals = append(a.Vals, rng.Float64())
+		}
+		a.RowPtr[i+1] = len(a.Vals)
+	}
+	return a
+}
+
+// Banded generates an n x n banded matrix with the given half-bandwidth
+// (diagonals -bw..+bw populated), the canonical stencil/PDE sparsity.
+func Banded(n, bw int, seed uint64) *CSR {
+	rng := matrix.NewRNG(seed)
+	a := &CSR{Rows: n, NCols: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + bw
+		if hi >= n {
+			hi = n - 1
+		}
+		for c := lo; c <= hi; c++ {
+			a.ColIdx = append(a.ColIdx, c)
+			a.Vals = append(a.Vals, rng.Float64())
+		}
+		a.RowPtr[i+1] = len(a.Vals)
+	}
+	return a
+}

@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+func randDense(r *rand.Rand, n int, density float64) *matrix.Dense64 {
+	d := matrix.NewDense64(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if r.Float64() < density {
+				d.Set(i, j, r.Float64()*2-1)
+			}
+		}
+	}
+	return d
+}
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := randDense(r, 37, 0.15)
+	a := FromDense(d)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := a.ToDense()
+	if diff := matrix.MaxAbsDiff64(d, back); diff != 0 {
+		t.Fatalf("round trip diff %g", diff)
+	}
+}
+
+func TestFromTriplets(t *testing.T) {
+	ts := []Triplet{
+		{1, 2, 3.0},
+		{0, 0, 1.0},
+		{1, 2, 4.0}, // duplicate: summed
+		{2, 1, -1.0},
+	}
+	a, err := FromTriplets(3, 3, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	if d.At(1, 2) != 7 || d.At(0, 0) != 1 || d.At(2, 1) != -1 {
+		t.Fatalf("triplet assembly wrong: %+v", d.Data)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicates merged)", a.NNZ())
+	}
+}
+
+func TestFromTripletsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := FromTriplets(-1, 2, nil); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// SpMV must agree with a dense GEMV on the expanded matrix.
+func TestSpMVMatchesDenseGemv(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		d := randDense(r, n, 0.2)
+		a := FromDense(d)
+		x := make([]float64, n)
+		y0 := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+			y0[i] = r.Float64()
+		}
+		ySp := append([]float64(nil), y0...)
+		yDense := append([]float64(nil), y0...)
+		a.SpMV(1.5, x, 0.5, ySp)
+		blas.RefDgemv(blas.NoTrans, n, n, 1.5, d.Data, d.Ld, x, 1, 0.5, yDense, 1)
+		for i := range ySp {
+			if math.Abs(ySp[i]-yDense[i]) > 1e-11*float64(n+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMVBetaZeroIgnoresY(t *testing.T) {
+	a := RandomUniform(50, 0.1, 7)
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = 1
+		y[i] = math.NaN()
+	}
+	a.SpMV(1, x, 0, y)
+	for i, v := range y {
+		if math.IsNaN(v) {
+			t.Fatalf("beta=0 read y at %d", i)
+		}
+	}
+}
+
+func TestSpMVParallelMatchesSerial(t *testing.T) {
+	a := RandomUniform(800, 0.05, 3)
+	x := make([]float64, 800)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	ySer := make([]float64, 800)
+	yPar := make([]float64, 800)
+	a.SpMV(2, x, 0, ySer)
+	a.SpMVParallel(parallel.NewPool(8), 2, x, 0, yPar)
+	for i := range ySer {
+		if math.Abs(ySer[i]-yPar[i]) > 1e-12 {
+			t.Fatalf("parallel mismatch at %d: %g vs %g", i, ySer[i], yPar[i])
+		}
+	}
+	// Nil pool falls back to serial.
+	yNil := make([]float64, 800)
+	a.SpMVParallel(nil, 2, x, 0, yNil)
+	for i := range ySer {
+		if ySer[i] != yNil[i] {
+			t.Fatal("nil-pool fallback differs")
+		}
+	}
+}
+
+// SpMM on an identity B must reproduce the matrix densely.
+func TestSpMMIdentity(t *testing.T) {
+	n := 25
+	a := RandomUniform(n, 0.3, 11)
+	b := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		b[i+i*n] = 1
+	}
+	c := make([]float64, n*n)
+	a.SpMM(n, 1, b, n, 0, c, n)
+	d := a.ToDense()
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if c[i+j*n] != d.At(i, j) {
+				t.Fatalf("SpMM identity mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSpMMMatchesGemm(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, n := 40, 17
+	dd := randDense(r, m, 0.2)
+	a := FromDense(dd)
+	b := make([]float64, m*n)
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	cSp := make([]float64, m*n)
+	cDense := make([]float64, m*n)
+	a.SpMM(n, 1, b, m, 0, cSp, m)
+	blas.RefDgemm(blas.NoTrans, blas.NoTrans, m, n, m, 1, dd.Data, dd.Ld, b, m, 0, cDense, m)
+	for i := range cSp {
+		if math.Abs(cSp[i]-cDense[i]) > 1e-10 {
+			t.Fatalf("SpMM vs GEMM at %d: %g vs %g", i, cSp[i], cDense[i])
+		}
+	}
+}
+
+func TestRandomUniformProperties(t *testing.T) {
+	n := 200
+	a := RandomUniform(n, 0.05, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Density near target.
+	want := 0.05 * float64(n) * float64(n)
+	if got := float64(a.NNZ()); got < want*0.8 || got > want*1.2 {
+		t.Fatalf("nnz = %g, want ~%g", got, want)
+	}
+	// No empty rows.
+	for i := 0; i < n; i++ {
+		if a.RowPtr[i+1] == a.RowPtr[i] {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+	// Deterministic for a seed.
+	b := RandomUniform(n, 0.05, 42)
+	if b.NNZ() != a.NNZ() || b.Vals[0] != a.Vals[0] {
+		t.Fatal("generator not deterministic")
+	}
+	c := RandomUniform(n, 0.05, 43)
+	if c.Vals[0] == a.Vals[0] && c.ColIdx[0] == a.ColIdx[0] && c.ColIdx[1] == a.ColIdx[1] {
+		t.Fatal("different seeds produced identical structure")
+	}
+}
+
+func TestBanded(t *testing.T) {
+	a := Banded(50, 2, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := a.ToDense()
+	for j := 0; j < 50; j++ {
+		for i := 0; i < 50; i++ {
+			inBand := i-j <= 2 && j-i <= 2
+			if inBand && d.At(i, j) == 0 {
+				t.Fatalf("band hole at (%d,%d)", i, j)
+			}
+			if !inBand && d.At(i, j) != 0 {
+				t.Fatalf("entry outside band at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Interior rows have 2*bw+1 entries.
+	if got := a.RowPtr[26] - a.RowPtr[25]; got != 5 {
+		t.Fatalf("interior row nnz = %d, want 5", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	a := RandomUniform(100, 0.1, 1)
+	want := int64(a.NNZ())*16 + int64(101)*8
+	if a.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", a.Bytes(), want)
+	}
+}
