@@ -1,0 +1,116 @@
+// Command blob-vet runs the repository's custom static-analysis suite:
+// the four analyzers under internal/analysis that machine-check the
+// benchmark's numeric and concurrency invariants (argument validation in
+// BLAS kernels, no raw float equality, goroutine hygiene in the hot
+// paths, bit-reproducible simulator output).
+//
+// Usage:
+//
+//	go run ./cmd/blob-vet ./...          # analyze the module, tests included
+//	go run ./cmd/blob-vet -tests=false ./internal/blas
+//	go run ./cmd/blob-vet -only floatcompare,determinism ./...
+//	go run ./cmd/blob-vet -list
+//
+// blob-vet complements — not replaces — the toolchain's `go vet`;
+// scripts/verify.sh runs both, plus the race detector on the
+// concurrency-bearing packages.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		tests = flag.Bool("tests", true, "include _test.go files and test packages")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list  = flag.Bool("list", false, "print the analyzer suite and exit")
+	)
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		suite = selectAnalyzers(suite, *only)
+		if len(suite) == 0 {
+			fmt.Fprintf(os.Stderr, "blob-vet: no analyzer matches -only=%s\n", *only)
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-vet: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Module(wd, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-vet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not read as a vacuous pass in CI.
+		fmt.Fprintf(os.Stderr, "blob-vet: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "blob-vet: %s: type error: %v\n", pkg.ImportPath, terr)
+		}
+		for _, a := range suite {
+			pass := blobvet.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "blob-vet: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 2
+			}
+			for _, d := range pass.Diagnostics() {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "blob-vet: %d issue(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(suite []*blobvet.Analyzer, only string) []*blobvet.Analyzer {
+	wanted := map[string]bool{}
+	for _, n := range strings.Split(only, ",") {
+		wanted[strings.TrimSpace(n)] = true
+	}
+	var out []*blobvet.Analyzer
+	for _, a := range suite {
+		if wanted[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package analysistest runs a blobvet.Analyzer over a fixture package and
+// checks its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest (stdlib
+// rebuild — see internal/analysis/blobvet for why x/tools is not used).
+//
+// Expectations are written as comments on the line the diagnostic must
+// land on:
+//
+//	beta := 0.5
+//	if x == beta { // want `floating-point == comparison`
+//	}
+//
+// Each `want` carries one or more backquoted or double-quoted regular
+// expressions; every expectation must be matched by a diagnostic on that
+// line, and every diagnostic must match an expectation, or the test
+// fails. A fixture therefore "fails without the analyzer" by
+// construction: it contains seeded violations the analyzer must find.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/load"
+)
+
+// Run loads dir as a package with import path asPath, applies a, and
+// reports mismatches between diagnostics and // want expectations on t.
+// It returns the diagnostics for any further assertions.
+func Run(t *testing.T, a *blobvet.Analyzer, dir, asPath string) []blobvet.Diagnostic {
+	t.Helper()
+	pkg, err := load.Dir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", dir, terr)
+	}
+	pass := blobvet.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags := pass.Diagnostics()
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				// Only quoted payloads are expectations; prose that
+				// happens to start with "want" is not.
+				if rest := strings.TrimSpace(strings.TrimPrefix(text, "want ")); rest == "" || (rest[0] != '`' && rest[0] != '"') {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				patterns, err := splitPatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: a space-separated sequence of
+// quoted (`...` or "...") regular expressions.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Re-quote through strconv to honour escapes.
+			lit, rest, err := scanStringLit(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(rest)
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func scanStringLit(s string) (lit, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}
+
+// RunNoDiagnostics loads dir under asPath like Run but ignores // want
+// comments and asserts the analyzer stays silent. It exists for scope
+// tests: the same seeded fixture, impersonated under an out-of-scope
+// import path, must produce nothing.
+func RunNoDiagnostics(t *testing.T, a *blobvet.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := load.Dir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	RunClean(t, a, pkg)
+}
+
+// RunClean asserts a runs with zero diagnostics over an already-loaded
+// package; cmd/blob-vet uses the same code path, so this is also the
+// repo-level "suite runs clean" assertion helper.
+func RunClean(t *testing.T, a *blobvet.Analyzer, pkg *load.Package) {
+	t.Helper()
+	pass := blobvet.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	for _, d := range pass.Diagnostics() {
+		pos := pkg.Fset.Position(d.Pos)
+		t.Errorf("%s: %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+	}
+}

@@ -1,0 +1,142 @@
+// Package determinism guards the simulator's bit-reproducibility promise.
+//
+// DESIGN.md sells the substitution of vendor BLAS + GPUs with calibrated
+// models precisely because "every table/figure shape is reproducible
+// deterministically": running `gpu-blob` twice must regenerate Tables
+// III–VI byte-for-byte. Three stdlib conveniences silently break that
+// promise inside the model packages (internal/sim/...):
+//
+//   - time.Now / time.Since / time.Until — wall-clock leaks into modeled
+//     results (live measurement belongs in internal/core, not the sim);
+//   - the global math/rand source — unseeded (Go 1.20+) and therefore
+//     different every process; models must thread an explicit seeded
+//     source (rand.New(rand.NewSource(seed))) or the repo's matrix.RNG;
+//   - ranging over a map on a result path — Go randomizes iteration
+//     order per run, so any slice, CSV row order or accumulated float
+//     sum built from it differs between runs. Sort the keys first.
+//
+// Production files only; sim tests may time themselves.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/blobvet"
+)
+
+// Analyzer is the determinism instance registered with blob-vet.
+var Analyzer = &blobvet.Analyzer{
+	Name: "determinism",
+	Doc: "internal/sim packages must stay bit-reproducible: no wall-clock " +
+		"reads, no global math/rand source, no map-ordered iteration",
+	Run: run,
+}
+
+// pathScope marks the simulator subtree (and fixtures impersonating it).
+const pathScope = "internal/sim"
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand functions that build explicit,
+// seedable sources and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *blobvet.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), pathScope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.TestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags pkg.Func selections on the time clock functions and
+// the math/rand global source.
+func checkSelector(pass *blobvet.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch path := pkgName.Imported().Path(); path {
+	case "time":
+		if clockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock inside the simulator; results must be modeled, not measured (live timing belongs in internal/core)",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"rand.%s uses the global math/rand source, which is seeded differently every run; use rand.New(rand.NewSource(seed)) or matrix.RNG",
+				sel.Sel.Name)
+		}
+	}
+}
+
+// checkRange flags iteration over maps: order is randomized per run, so
+// anything order-sensitive built from it is nondeterministic. The one
+// exempt shape is the canonical fix itself — a pure key-collection loop
+// (`for k := range m { keys = append(keys, k) }`) whose result is sorted
+// before use; collecting keys is order-insensitive.
+func checkRange(pass *blobvet.Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollection(rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is randomized per process; sort the keys before ranging so sim output stays bit-reproducible")
+}
+
+// isKeyCollection matches `for k := range m { s = append(s, k) }`: no
+// value variable, a single append of the key into a slice.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

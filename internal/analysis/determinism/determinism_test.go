@@ -1,0 +1,26 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+// TestFixture seeds wall-clock reads, global-rand draws and map-ordered
+// iteration on a simulated result path and asserts each is caught, while
+// the seeded-source and sorted-keys fixes stay silent.
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, determinism.Analyzer,
+		"../testdata/src/determinism", "fixture/internal/sim/resultpath")
+	if len(diags) != 4 {
+		t.Errorf("want 4 diagnostics from seeded violations, got %d", len(diags))
+	}
+}
+
+// TestOutOfScope: identical code outside internal/sim is not the
+// simulator's problem (internal/core measures real time on purpose).
+func TestOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, determinism.Analyzer,
+		"../testdata/src/determinism", "fixture/internal/core")
+}

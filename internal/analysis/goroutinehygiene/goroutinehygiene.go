@@ -1,0 +1,266 @@
+// Package goroutinehygiene enforces the concurrency discipline of the
+// benchmark's hot paths (internal/blas, internal/core, internal/parallel):
+//
+//  1. No naked go statements outside parallel.Pool. The interleaved
+//     CPU/GPU sweep assumes every kernel's parallelism is funnelled
+//     through the pool, whose worker count mirrors OMP_NUM_THREADS /
+//     BLIS_NUM_THREADS (§III-B); an ad-hoc goroutine escapes that budget
+//     and perturbs the very timings the benchmark publishes. Inside
+//     package parallel itself, go statements are permitted only in
+//     methods of Pool. Test files are exempt from this rule.
+//
+//  2. wg.Add must lexically precede the go statement whose goroutine
+//     calls wg.Done. Add inside the spawned closure is the classic lost-
+//     wakeup race: Wait can return before the goroutine registers.
+//
+//  3. A goroutine closure must not capture an enclosing for/range loop
+//     variable in its body; the index is passed as an argument instead
+//     (go func(w int) {...}(w)). Go 1.22 made capture memory-safe, but
+//     the explicit-argument form keeps worker identity obvious and the
+//     code meaning-stable under toolchain downgrades.
+package goroutinehygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/blobvet"
+)
+
+// Analyzer is the goroutinehygiene instance registered with blob-vet.
+var Analyzer = &blobvet.Analyzer{
+	Name: "goroutinehygiene",
+	Doc: "hot-path packages: no naked go statements outside parallel.Pool, " +
+		"wg.Add before the go it guards, loop indices passed by value",
+	Run: run,
+}
+
+// hotPaths are the package-path suffixes the analyzer applies to.
+var hotPaths = []string{"internal/blas", "internal/core", "internal/parallel"}
+
+func run(pass *blobvet.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	isParallel := strings.HasSuffix(pass.Pkg.Path(), "internal/parallel")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkNakedGo(pass, fn, isParallel)
+			checkFuncBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, suffix := range hotPaths {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNakedGo reports go statements outside parallel.Pool methods
+// (rule 1). Production files only.
+func checkNakedGo(pass *blobvet.Pass, fn *ast.FuncDecl, isParallel bool) {
+	if pass.TestFile(fn.Pos()) {
+		return
+	}
+	if isParallel && isPoolMethod(fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(),
+				"naked go statement in hot-path function %s; route parallelism through parallel.Pool",
+				fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func isPoolMethod(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Pool"
+}
+
+// checkFuncBody applies rules 2 and 3 to one function body (tests
+// included — a racy test is still a racy program).
+func checkFuncBody(pass *blobvet.Pass, body *ast.BlockStmt) {
+	// Gather, in source order, every wg.Add call position per WaitGroup
+	// object, excluding Adds that sit inside a go statement's closure
+	// (those are themselves rule-2 violations).
+	type addSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var adds []addSite
+	var goClosures []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goClosures = append(goClosures, lit)
+			}
+		}
+		if obj := waitGroupCall(pass, n, "Add"); obj != nil {
+			adds = append(adds, addSite{obj, n.Pos()})
+		}
+		return true
+	})
+	inGoClosure := func(pos token.Pos) bool {
+		for _, lit := range goClosures {
+			if lit.Body.Pos() <= pos && pos <= lit.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			lit, ok := n.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for _, obj := range doneTargets(pass, lit) {
+				guarded := false
+				for _, a := range adds {
+					if a.obj == obj && a.pos < n.Pos() && !inGoClosure(a.pos) {
+						guarded = true
+						break
+					}
+				}
+				if !guarded {
+					pass.Reportf(n.Pos(),
+						"goroutine calls %s.Done but no %s.Add precedes this go statement; Wait may return early",
+						obj.Name(), obj.Name())
+				}
+			}
+			checkLoopCapture(pass, body, n, lit)
+		}
+		return true
+	})
+
+	// Rule 2 corollary: Add inside the spawned closure itself.
+	for _, a := range adds {
+		if inGoClosure(a.pos) {
+			pass.Reportf(a.pos,
+				"%s.Add inside the spawned goroutine races with Wait; call Add before the go statement",
+				a.obj.Name())
+		}
+	}
+}
+
+// waitGroupCall returns the root variable object when n is a call
+// wg.<method>() on a sync.WaitGroup, else nil.
+func waitGroupCall(pass *blobvet.Pass, n ast.Node, method string) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[recv]
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "WaitGroup" {
+		return nil
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Path() != "sync" {
+		return nil
+	}
+	return obj
+}
+
+// doneTargets lists the WaitGroup objects whose Done is called (directly
+// or via defer) inside the goroutine closure lit.
+func doneTargets(pass *blobvet.Pass, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if obj := waitGroupCall(pass, n, "Done"); obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// checkLoopCapture reports loop variables of any for/range statement
+// enclosing goStmt that are referenced inside the goroutine's body
+// (rule 3).
+func checkLoopCapture(pass *blobvet.Pass, root ast.Node, goStmt *ast.GoStmt, lit *ast.FuncLit) {
+	loopVars := map[types.Object]bool{}
+	collect := func(expr ast.Expr) {
+		if id, ok := expr.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	// Find loops whose body spans the go statement.
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || n.Pos() > goStmt.Pos() || n.End() < goStmt.End() {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					collect(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if loop.Tok == token.DEFINE {
+				collect(loop.Key)
+				if loop.Value != nil {
+					collect(loop.Value)
+				}
+			}
+		}
+		return true
+	})
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && loopVars[obj] {
+			pass.Reportf(id.Pos(),
+				"goroutine closure captures loop variable %s; pass it as an argument (go func(%s ...) {...}(%s))",
+				id.Name, id.Name, id.Name)
+		}
+		return true
+	})
+}

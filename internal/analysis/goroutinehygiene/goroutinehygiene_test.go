@@ -1,0 +1,29 @@
+package goroutinehygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinehygiene"
+)
+
+// TestFixture covers the three rules in a hot-path (non-parallel)
+// package: naked go, Add-after-go, loop-variable capture.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, goroutinehygiene.Analyzer,
+		"../testdata/src/goroutinehygiene", "fixture/internal/core")
+}
+
+// TestPoolExemption verifies go statements are sanctioned inside
+// parallel.Pool methods and naked elsewhere in package parallel.
+func TestPoolExemption(t *testing.T) {
+	analysistest.Run(t, goroutinehygiene.Analyzer,
+		"../testdata/src/goroutinehygiene_pool", "fixture/internal/parallel")
+}
+
+// TestOutOfScope: the same seeded file outside the hot-path packages
+// produces nothing.
+func TestOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, goroutinehygiene.Analyzer,
+		"../testdata/src/goroutinehygiene", "fixture/internal/csvio")
+}

@@ -1,0 +1,51 @@
+// Fixture for the determinism analyzer, loaded with import path
+// "fixture/internal/sim/resultpath" so the sim-scoped checks fire.
+package resultpath
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Result is a stand-in for a sweep result row.
+type Result struct {
+	Dim     int
+	Seconds float64
+}
+
+func wallClockLeak() float64 {
+	start := time.Now()          // want `time.Now reads the wall clock inside the simulator`
+	elapsed := time.Since(start) // want `time.Since reads the wall clock inside the simulator`
+	return elapsed.Seconds()
+}
+
+func globalRandLeak() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global math/rand source`
+}
+
+func seededRandOK() float64 {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Float64()
+}
+
+func mapOrderLeak(bySize map[int]Result) []Result {
+	var out []Result
+	for _, r := range bySize { // want `map iteration order is randomized per process`
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortedKeysOK(bySize map[int]Result) []Result {
+	keys := make([]int, 0, len(bySize))
+	for k := range bySize { // exempt: pure key collection feeding the sort below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, bySize[k])
+	}
+	return out
+}

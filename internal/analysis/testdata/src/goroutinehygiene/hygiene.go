@@ -1,0 +1,55 @@
+// Fixture for the goroutinehygiene analyzer, loaded with import path
+// "fixture/internal/core" (a hot-path package, not package parallel, so
+// every go statement is naked).
+package core
+
+import "sync"
+
+func nakedGo(n int) {
+	done := make(chan struct{})
+	go func() { // want `naked go statement in hot-path function nakedGo`
+		close(done)
+	}()
+	<-done
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() { // want `naked go statement` `goroutine calls wg.Done but no wg.Add precedes this go statement`
+		wg.Add(1) // want `wg.Add inside the spawned goroutine races with Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `naked go statement` `goroutine calls wg.Done but no wg.Add precedes this go statement`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func capturedLoopIndex(out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(out); i++ {
+		wg.Add(1)
+		go func() { // want `naked go statement`
+			defer wg.Done()
+			out[i] = i // want `captures loop variable i` `captures loop variable i`
+		}()
+	}
+	wg.Wait()
+}
+
+func compliantShape(out []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(out))
+	for i := 0; i < len(out); i++ {
+		go func(i int) { // want `naked go statement`
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}

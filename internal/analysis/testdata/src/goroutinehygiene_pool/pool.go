@@ -1,0 +1,35 @@
+// Fixture for goroutinehygiene's parallel.Pool exemption, loaded with
+// import path "fixture/internal/parallel": go statements are legal inside
+// Pool methods and flagged everywhere else in the package.
+package parallel
+
+import "sync"
+
+type Pool struct {
+	workers int
+}
+
+// For may spawn workers: it is a Pool method, the one sanctioned home of
+// go statements in the hot paths.
+func (p *Pool) For(n int, body func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Helper is not a Pool method, so its goroutine is naked even inside
+// package parallel.
+func Helper(f func()) {
+	done := make(chan struct{})
+	go func() { // want `naked go statement in hot-path function Helper`
+		f()
+		close(done)
+	}()
+	<-done
+}
