@@ -128,6 +128,8 @@ func DgemmStridedBatched(transA, transB Transpose, m, n, k int, alpha float64,
 	a []float64, lda int, strideA int,
 	b []float64, ldb int, strideB int,
 	beta float64, c []float64, ldc int, strideC int, batchCount int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	checkStridedBatch(strideA, strideB, strideC, batchCount)
 	items := make([]DgemmBatchItem, batchCount)
 	for i := 0; i < batchCount; i++ {
 		items[i] = DgemmBatchItem{
@@ -146,6 +148,8 @@ func SgemmStridedBatched(transA, transB Transpose, m, n, k int, alpha float32,
 	a []float32, lda int, strideA int,
 	b []float32, ldb int, strideB int,
 	beta float32, c []float32, ldc int, strideC int, batchCount int) {
+	checkGemm(transA, transB, m, n, k, lda, ldb, ldc)
+	checkStridedBatch(strideA, strideB, strideC, batchCount)
 	items := make([]SgemmBatchItem, batchCount)
 	for i := 0; i < batchCount; i++ {
 		items[i] = SgemmBatchItem{

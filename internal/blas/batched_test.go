@@ -98,7 +98,7 @@ func TestBatchedValidatesBeforeExecuting(t *testing.T) {
 		if recover() == nil {
 			t.Fatal("expected panic for malformed batch item")
 		}
-		if c[0] != 7 {
+		if c[0] != 7 { //blobvet:allow floatcompare -- poison value: asserts C was never touched, untouched bits are exact
 			t.Fatalf("batch executed before validation: c=%v", c[0])
 		}
 	}()
@@ -108,4 +108,29 @@ func TestBatchedValidatesBeforeExecuting(t *testing.T) {
 func TestBatchedEmpty(t *testing.T) {
 	DgemmBatched(nil)
 	SgemmBatched(nil)
+}
+
+func TestStridedBatchedRejectsBadGeometry(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := make([]float64, 8)
+	mustPanic("negative batchCount", func() {
+		DgemmStridedBatched(NoTrans, NoTrans, 2, 2, 2, 1, a, 2, 4, a, 2, 4, 0, a, 2, 4, -1)
+	})
+	mustPanic("negative stride", func() {
+		DgemmStridedBatched(NoTrans, NoTrans, 2, 2, 2, 1, a, 2, -4, a, 2, 4, 0, a, 2, 4, 2)
+	})
+	s := make([]float32, 8)
+	mustPanic("negative batchCount (f32)", func() {
+		SgemmStridedBatched(NoTrans, NoTrans, 2, 2, 2, 1, s, 2, 4, s, 2, 4, 0, s, 2, 4, -1)
+	})
+	mustPanic("negative stride (f32)", func() {
+		SgemmStridedBatched(NoTrans, NoTrans, 2, 2, 2, 1, s, 2, 4, s, 2, 4, 0, s, 2, -4, 2)
+	})
 }

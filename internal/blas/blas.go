@@ -87,6 +87,19 @@ func checkGemm(transA, transB Transpose, m, n, k, lda, ldb, ldc int) {
 	}
 }
 
+// checkStridedBatch validates the batch geometry of a strided-batched GEMM
+// before any operand buffer is sliced: negative strides or counts would
+// otherwise surface as a raw slice-bounds panic (or, with aliasing strides,
+// silently overlapping batch items) deep inside the batch loop.
+func checkStridedBatch(strideA, strideB, strideC, batchCount int) {
+	if batchCount < 0 {
+		panic(fmt.Sprintf("blas: negative batchCount %d", batchCount))
+	}
+	if strideA < 0 || strideB < 0 || strideC < 0 {
+		panic(fmt.Sprintf("blas: negative batch stride (%d,%d,%d)", strideA, strideB, strideC))
+	}
+}
+
 func checkGemv(trans Transpose, m, n, lda, incX, incY int) {
 	if !trans.valid() {
 		panic(fmt.Sprintf("blas: invalid transpose %c", trans))
