@@ -1,5 +1,7 @@
 package blas
 
+//blobvet:file-allow floatcompare -- level-1 semantics tests: inputs are small integers and copy/swap/scale results are exact by IEEE-754; bitwise equality is the property under test
+
 import (
 	"math"
 	"math/rand"

@@ -19,10 +19,10 @@ func TestOptDdotMatchesRef(t *testing.T) {
 		t.Fatalf("dot %g vs %g", got, want)
 	}
 	// Small sizes (serial path) and strided fall-back.
-	if OptDdot(3, x, 1, y, 1) != dotSerial64(x[:3], y[:3]) {
+	if OptDdot(3, x, 1, y, 1) != dotSerial64(x[:3], y[:3]) { //blobvet:allow floatcompare -- small n takes the identical serial code path; equality asserts delegation
 		t.Fatal("small dot")
 	}
-	if OptDdot(100, x, 2, y, 1) != RefDdot(100, x, 2, y, 1) {
+	if OptDdot(100, x, 2, y, 1) != RefDdot(100, x, 2, y, 1) { //blobvet:allow floatcompare -- strided input falls back to the reference kernel; equality asserts delegation
 		t.Fatal("strided dot should match ref")
 	}
 	if OptDdot(0, x, 1, y, 1) != 0 {
@@ -36,7 +36,7 @@ func TestOptDdotDeterministic(t *testing.T) {
 	y := randSlice64(r, bigN)
 	a := OptDdot(bigN, x, 1, y, 1)
 	b := OptDdot(bigN, x, 1, y, 1)
-	if a != b {
+	if a != b { //blobvet:allow floatcompare -- run-to-run determinism of the parallel reduction is the property under test
 		t.Fatalf("parallel dot not deterministic: %g vs %g", a, b)
 	}
 }

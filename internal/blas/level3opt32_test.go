@@ -162,7 +162,7 @@ func TestLevel3PrecisionConsistency(t *testing.T) {
 	RefSsyrk(Lower, NoTrans, n, k, 1, a32, n, 0, c32, n)
 	RefDsyrk(Lower, NoTrans, n, k, 1, a64, n, 0, c64, n)
 	for i := range c32 {
-		if float64(c32[i]) != c64[i] {
+		if float64(c32[i]) != c64[i] { //blobvet:allow floatcompare -- inputs are small integers, exactly representable in both precisions
 			t.Fatalf("syrk precision divergence at %d: %v vs %v", i, c32[i], c64[i])
 		}
 	}

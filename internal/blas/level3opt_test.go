@@ -126,7 +126,7 @@ func TestOptDsyrkLeavesOtherTriangleUntouched(t *testing.T) {
 	OptDsyrk(Lower, NoTrans, n, k, 1, a, n, 0, c, n)
 	for j := 1; j < n; j++ {
 		for i := 0; i < j; i++ {
-			if c[i+j*n] != 42 {
+			if c[i+j*n] != 42 { //blobvet:allow floatcompare -- poison value: the untouched triangle must stay bit-identical
 				t.Fatalf("upper triangle touched at (%d,%d)", i, j)
 			}
 		}

@@ -53,11 +53,11 @@ func TestDrotgSpecialCases(t *testing.T) {
 		t.Fatalf("rotg(0,0) = %v %v %v %v", c, s, r, z)
 	}
 	c, s, r, z = RefDrotg(3, 0)
-	if c != 1 || s != 0 || r != 3 || z != 0 {
+	if c != 1 || s != 0 || r != 3 || z != 0 { //blobvet:allow floatcompare -- rotg(3,0) special case produces r=3 exactly by definition
 		t.Fatalf("rotg(3,0) = %v %v %v %v", c, s, r, z)
 	}
 	c, s, r, z = RefDrotg(0, 5)
-	if c != 0 || s != 1 || r != 5 || z != 1 {
+	if c != 0 || s != 1 || r != 5 || z != 1 { //blobvet:allow floatcompare -- rotg(0,5) special case produces r=5 exactly by definition
 		t.Fatalf("rotg(0,5) = %v %v %v %v", c, s, r, z)
 	}
 	// The classic 3-4-5 triangle.

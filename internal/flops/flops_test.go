@@ -137,13 +137,13 @@ func TestIntensityOrdering(t *testing.T) {
 }
 
 func TestGFLOPS(t *testing.T) {
-	if got := GFLOPS(2e9, 1); got != 2 {
+	if got := GFLOPS(2e9, 1); got != 2 { //blobvet:allow floatcompare -- 2e9/1/1e9 divides exact powers of ten; result is exact
 		t.Fatalf("GFLOPS = %v", got)
 	}
 	if got := GFLOPS(1e9, 0); got != 0 {
 		t.Fatalf("GFLOPS with zero time = %v", got)
 	}
-	if got := GFLOPS(1e9, 0.5); got != 2 {
+	if got := GFLOPS(1e9, 0.5); got != 2 { //blobvet:allow floatcompare -- 1e9/0.5/1e9 is exact binary arithmetic
 		t.Fatalf("GFLOPS = %v", got)
 	}
 }

@@ -1,5 +1,7 @@
 package half
 
+//blobvet:file-allow floatcompare -- fp16 GEMM tests use small exactly-representable inputs so results are exact in half precision by construction
+
 import (
 	"math"
 	"math/rand"

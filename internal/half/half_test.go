@@ -1,5 +1,7 @@
 package half
 
+//blobvet:file-allow floatcompare -- fp16 conversion tests assert exact round-trip bit patterns; tolerance would hide rounding-mode bugs
+
 import (
 	"math"
 	"math/rand"

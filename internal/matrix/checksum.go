@@ -55,7 +55,7 @@ func ChecksumsMatch(a, b float64) bool {
 
 // ChecksumsMatchTol reports whether two checksums agree within tol.
 func ChecksumsMatchTol(a, b, tol float64) bool {
-	if a == b {
+	if a == b { //blobvet:allow floatcompare -- fast path of the tolerance helper itself; also makes equal infinities match
 		return true
 	}
 	diff := math.Abs(a - b)

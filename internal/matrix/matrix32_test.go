@@ -1,5 +1,7 @@
 package matrix
 
+//blobvet:file-allow floatcompare -- this file asserts data movement (views, clones, fills, zeroing): values are copied or set verbatim, never computed, so bitwise equality is the contract
+
 import "testing"
 
 func TestDense32ViewCloneZero(t *testing.T) {
@@ -50,7 +52,9 @@ func TestVector32FillCloneChecksum(t *testing.T) {
 	for i := 0; i < v.N; i++ {
 		sum += float64(v.At(i))
 	}
-	if got := v.Checksum(); got != sum {
+	// The implementation may accumulate in a different order than this
+	// loop; checksums are defined up to ChecksumTolerance, not bitwise.
+	if got := v.Checksum(); !ChecksumsMatch(got, sum) {
 		t.Fatalf("checksum %v != %v", got, sum)
 	}
 	w := &Vector32{N: 3, Inc: 2, Data: []float32{1, 0, 2, 0, 3}}

@@ -1,5 +1,7 @@
 package matrix
 
+//blobvet:file-allow floatcompare -- this file asserts data movement (views, clones, fills, zeroing): values are copied or set verbatim, never computed, so bitwise equality is the contract
+
 import (
 	"math"
 	"testing"

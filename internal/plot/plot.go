@@ -74,10 +74,10 @@ func (c *Chart) ASCII(width, height int) string {
 		return y
 	}
 	lo, hi := ty(ymin), ty(ymax)
-	if hi == lo {
+	if hi == lo { //blobvet:allow floatcompare -- degenerate-range guard: exact equality is when (hi-lo) would divide by zero
 		hi = lo + 1
 	}
-	if xmax == xmin {
+	if xmax == xmin { //blobvet:allow floatcompare -- degenerate-range guard, as above
 		xmax = xmin + 1
 	}
 	grid := make([][]byte, height)
@@ -164,10 +164,10 @@ func (c *Chart) SVG(width, height int) string {
 		return y
 	}
 	lo, hi := ty(ymin), ty(ymax)
-	if hi == lo {
+	if hi == lo { //blobvet:allow floatcompare -- degenerate-range guard: exact equality is when (hi-lo) would divide by zero
 		hi = lo + 1
 	}
-	if xmax == xmin {
+	if xmax == xmin { //blobvet:allow floatcompare -- degenerate-range guard, as above
 		xmax = xmin + 1
 	}
 	plotW := float64(width - 2*margin)

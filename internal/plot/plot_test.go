@@ -1,5 +1,7 @@
 package plot
 
+//blobvet:file-allow floatcompare -- axis-scaling tests feed round decimal endpoints whose mapped coordinates are exact; equality asserts the affine map, not arithmetic
+
 import (
 	"math"
 	"strings"

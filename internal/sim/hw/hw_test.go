@@ -19,17 +19,17 @@ func TestPeakGFLOPSMatchesPaperNumbers(t *testing.T) {
 		t.Fatalf("Grace FP64 peak = %g", got)
 	}
 	// FP32 is twice FP64 on these CPUs.
-	if XeonPlatinum8468.PeakGFLOPS(4) != 2*XeonPlatinum8468.PeakGFLOPS(8) {
+	if XeonPlatinum8468.PeakGFLOPS(4) != 2*XeonPlatinum8468.PeakGFLOPS(8) { //blobvet:allow floatcompare -- FP32 peak is defined as exactly 2x FP64 in the spec-sheet model
 		t.Fatal("FP32 peak should be 2x FP64")
 	}
 }
 
 func TestGPUPeakSelection(t *testing.T) {
-	if GH200H100.Peak(4) != GH200H100.FP32GFLOPS || GH200H100.Peak(8) != GH200H100.FP64GFLOPS {
+	if GH200H100.Peak(4) != GH200H100.FP32GFLOPS || GH200H100.Peak(8) != GH200H100.FP64GFLOPS { //blobvet:allow floatcompare -- Peak selects one of two stored constants; equality asserts selection
 		t.Fatal("Peak must select by element size")
 	}
 	// MI250X GCD: CDNA2 vector FP32 == FP64 rate.
-	if MI250XGCD.Peak(4) != MI250XGCD.Peak(8) {
+	if MI250XGCD.Peak(4) != MI250XGCD.Peak(8) { //blobvet:allow floatcompare -- CDNA2 stores one vector rate for both precisions
 		t.Fatal("MI250X vector FP32 and FP64 peaks should match")
 	}
 }
@@ -42,7 +42,7 @@ func TestTransferTime(t *testing.T) {
 		t.Fatalf("TransferTimeUS = %g, want %g", got, want)
 	}
 	// Zero bytes costs just the latency.
-	if PCIe5x16.TransferTimeUS(0) != 10 {
+	if PCIe5x16.TransferTimeUS(0) != 10 { //blobvet:allow floatcompare -- zero bytes transfers exactly the configured latency constant
 		t.Fatal("latency-only transfer")
 	}
 }
