@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// --- Edge cases for the partitioners -------------------------------------
+
+func TestSplitChunksEdgeCases(t *testing.T) {
+	// chunk > n: a single range spanning everything.
+	if rs := SplitChunks(5, 100); len(rs) != 1 || rs[0] != (Range{0, 5}) {
+		t.Fatalf("chunk>n: %v", rs)
+	}
+	// chunk < 1 clamps to 1: n singleton ranges.
+	rs := SplitChunks(4, 0)
+	if len(rs) != 4 {
+		t.Fatalf("chunk=0 should clamp to 1: %v", rs)
+	}
+	for i, r := range rs {
+		if r != (Range{i, i + 1}) {
+			t.Fatalf("chunk=0 range %d: %v", i, r)
+		}
+	}
+	if rs := SplitChunks(4, -3); len(rs) != 4 {
+		t.Fatalf("negative chunk should clamp to 1: %v", rs)
+	}
+	// n <= 0 yields nothing.
+	if SplitChunks(0, 1) != nil || SplitChunks(-2, 1) != nil {
+		t.Fatal("n<=0 must return nil")
+	}
+}
+
+func TestSplitNegativeN(t *testing.T) {
+	if Split(-1, 4) != nil {
+		t.Fatal("negative n must return nil")
+	}
+}
+
+func TestTilesEdgeCases(t *testing.T) {
+	// Empty iteration space in either dimension.
+	if Tiles(0, 5, 2, 2) != nil || Tiles(5, 0, 2, 2) != nil {
+		t.Fatal("empty space must return nil")
+	}
+	if Tiles(-1, 5, 2, 2) != nil || Tiles(5, -1, 2, 2) != nil {
+		t.Fatal("negative space must return nil")
+	}
+	// Tile bigger than the space: exactly one tile covering everything.
+	ts := Tiles(3, 4, 100, 100)
+	if len(ts) != 1 || ts[0].Row != (Range{0, 3}) || ts[0].Col != (Range{0, 4}) {
+		t.Fatalf("tile>space: %v", ts)
+	}
+	// Tile sizes < 1 clamp to 1: one tile per cell.
+	if ts := Tiles(2, 3, 0, -1); len(ts) != 6 {
+		t.Fatalf("clamped tiles: want 6, got %d", len(ts))
+	}
+}
+
+// --- Property tests: every partitioner tiles its space exactly -----------
+
+// rangesTileExactly reports whether rs is an in-order, gap-free,
+// overlap-free tiling of [0, n) with no empty ranges.
+func rangesTileExactly(rs []Range, n int) bool {
+	next := 0
+	for _, r := range rs {
+		if r.Lo != next || r.Hi <= r.Lo {
+			return false
+		}
+		next = r.Hi
+	}
+	return next == n
+}
+
+func TestSplitChunksTilesExactly(t *testing.T) {
+	f := func(n uint8, chunk int8) bool {
+		rs := SplitChunks(int(n), int(chunk))
+		if n == 0 {
+			return rs == nil
+		}
+		return rangesTileExactly(rs, int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTilesExactly(t *testing.T) {
+	f := func(n uint8, parts int8) bool {
+		rs := Split(int(n), int(parts))
+		if n == 0 {
+			return rs == nil
+		}
+		return rangesTileExactly(rs, int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTilesTileExactly(t *testing.T) {
+	f := func(m, n uint8, tr, tc int8) bool {
+		mm, nn := int(m%40), int(n%40)
+		tiles := Tiles(mm, nn, int(tr), int(tc))
+		if mm == 0 || nn == 0 {
+			return tiles == nil
+		}
+		seen := make([]int, mm*nn)
+		for _, tl := range tiles {
+			if tl.Row.Len() <= 0 || tl.Col.Len() <= 0 {
+				return false
+			}
+			for j := tl.Col.Lo; j < tl.Col.Hi; j++ {
+				for i := tl.Row.Lo; i < tl.Row.Hi; i++ {
+					seen[i+j*mm]++
+				}
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Race regression: concurrent guided loops on one pool ----------------
+
+// TestPoolConcurrentGuidedLoops hammers ForChunked and For2D from many
+// goroutines sharing one pool. Run under -race this guards the shared chunk
+// cursor in both schedulers (the cursor and its mutex are reallocated per
+// call; a stray cross-call access or a torn counter would be reported).
+func TestPoolConcurrentGuidedLoops(t *testing.T) {
+	p := NewPool(4)
+	const (
+		goroutines = 8
+		iters      = 20
+		n          = 257
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if (g+it)%2 == 0 {
+					var covered int64
+					p.ForChunked(n, 7, func(_ int, r Range) {
+						atomic.AddInt64(&covered, int64(r.Len()))
+					})
+					if covered != n {
+						t.Errorf("ForChunked covered %d of %d", covered, n)
+						return
+					}
+				} else {
+					var covered int64
+					p.For2D(19, 13, 4, 3, func(_ int, tl Tile) {
+						atomic.AddInt64(&covered, int64(tl.Row.Len()*tl.Col.Len()))
+					})
+					if covered != 19*13 {
+						t.Errorf("For2D covered %d of %d", covered, 19*13)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -130,12 +130,12 @@ func (p *Pool) ForChunked(n, chunk int, body func(worker int, r Range)) {
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
-	var next int64
+	next := 0
 	var mu sync.Mutex
 	take := func() (Range, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if int(next) >= len(chunks) {
+		if next >= len(chunks) {
 			return Range{}, false
 		}
 		r := chunks[next]
