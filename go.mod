@@ -1,3 +1,8 @@
 module repro
 
+// Deliberately dependency-free: the benchmark must build offline with a
+// stock Go toolchain. This is also why the blob-vet lint suite
+// (internal/analysis) is built on go/ast + go/types + go/importer from
+// the standard library instead of golang.org/x/tools/go/analysis — see
+// DESIGN.md §8.
 go 1.22

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+)
+
+// TestRepositoryIsClean runs the full blob-vet suite over every package
+// of this module, tests included, and fails on any diagnostic. This is
+// the same gate scripts/verify.sh applies via cmd/blob-vet, folded into
+// `go test ./...` so the invariants cannot rot unnoticed.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate module root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	pkgs, err := load.Module(root, true, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			analysistest.RunClean(t, a, pkg)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's full verification gate.
+#
+# Order matters: cheap static gates run before the test suites so a
+# violation fails fast, and the race pass runs last because it is by far
+# the most expensive step.
+#
+#   1. go build      — everything compiles
+#   2. go vet        — stock Go static analysis
+#   3. blob-vet      — this repo's own analyzers (see internal/analysis):
+#                      kernelargcheck, floatcompare, goroutinehygiene,
+#                      determinism
+#   4. go test       — full test suite (includes the blob-vet self-check
+#                      in internal/analysis/suite_test.go)
+#   5. go test -race — concurrency-sensitive packages under the race
+#                      detector: the worker pool, the harness, and the
+#                      multi-threaded BLAS kernels
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> blob-vet ./..."
+go run ./cmd/blob-vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (parallel, core, blas)"
+go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/...
+
+echo "verify: all gates passed"
