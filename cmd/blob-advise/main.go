@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/advisor"
+	"repro/internal/core"
 	"repro/internal/sim/systems"
 )
 
@@ -74,9 +75,9 @@ func run() error {
 	fmt.Fprintf(tw, "Call\tCount\tMovement\tSystem\tCPU\tGPU\tAdvice\tSpeedup\n")
 	for _, v := range verdicts {
 		c := v.Call
-		shape := fmt.Sprintf("%s{%d,%d,%d}", c.Kernel, c.M, c.N, c.K)
-		if c.Kernel == "gemv" {
-			shape = fmt.Sprintf("%s{%d,%d}", c.Kernel, c.M, c.N)
+		shape := fmt.Sprintf("%s{%d,%d,%d}", c.KernelName(), c.M, c.N, c.K)
+		if c.Kernel == core.GEMV {
+			shape = fmt.Sprintf("%s{%d,%d}", c.KernelName(), c.M, c.N)
 		}
 		advice := "CPU"
 		if v.Offload {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -105,11 +106,11 @@ func main() {
 				cfg.Step = *step
 				cfg.MaxDim = *maxDim
 				cfg.Validate.Enabled = false
-				s32, err := core.RunProblem(sys, pt, core.F32, cfg)
+				s32, err := core.RunProblem(context.Background(), sys, pt, core.F32, cfg)
 				if err != nil {
 					log.Fatal(err)
 				}
-				s64, err := core.RunProblem(sys, pt, core.F64, cfg)
+				s64, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
 				if err != nil {
 					log.Fatal(err)
 				}

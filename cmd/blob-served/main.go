@@ -1,0 +1,100 @@
+// blob-served serves the §III-D offload-advisor workflow over HTTP/JSON —
+// the long-running counterpart of the one-shot blob-advise CLI, for
+// automatic-offload runtimes that consult GPU-BLOB's models at dispatch
+// time.
+//
+// Endpoints:
+//
+//	POST /v1/advise     advisor verdicts for a batch of BLAS call groups
+//	POST /v1/threshold  offload-threshold sweep (cached, deduplicated)
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text metrics
+//
+// Usage:
+//
+//	blob-served -addr :8080 -workers 2 -queue 8 -cache 256 -drain 10s
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// in-flight requests get up to -drain to finish, then the sweep worker
+// pool is shut down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blob-served:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent threshold sweeps")
+		queue    = flag.Int("queue", 8, "sweep queue depth beyond the workers")
+		cache    = flag.Int("cache", 256, "threshold result cache entries")
+		maxDim   = flag.Int("max-dim", 4096, "largest sweep max_dim a request may ask for")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	svc := service.New(service.Options{
+		Workers:     *workers,
+		Queue:       *queue,
+		CacheSize:   *cache,
+		MaxSweepDim: *maxDim,
+		Logger:      logger,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	logger.Info("draining", "timeout", drain.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	// svc.Close (deferred) waits for in-flight sweeps before exit.
+	logger.Info("drained")
+	return nil
+}

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -105,7 +107,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	series, err := core.Run(sys, problems, []core.Precision{core.F32, core.F64}, cfg)
+	// Ctrl-C cancels the sweep between problem sizes instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	series, err := core.Run(ctx, sys, problems, []core.Precision{core.F32, core.F64}, cfg)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	chart.XLabel, chart.YLabel, chart.LogY = "M=N", "GFLOP/s", true
 	var serAOCL, serOpen *core.Series
 	for _, sys := range []systems.System{aocl, openblas} {
-		ser, err := core.RunProblem(sys, pt, core.F64, cfg)
+		ser, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

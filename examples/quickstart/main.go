@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	cfg := core.DefaultConfig(8)
 	cfg.MaxDim = 1024
 
-	series, err := core.RunProblem(sys, problem, core.F32, cfg)
+	series, err := core.RunProblem(context.Background(), sys, problem, core.F32, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -70,7 +71,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			ser, err := core.RunProblem(sys, pt, core.F32, cfg)
+			ser, err := core.RunProblem(context.Background(), sys, pt, core.F32, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,7 @@ func TestFullPipeline(t *testing.T) {
 	cfg.Step = 4
 	cfg.Validate = core.Validation{Enabled: true, Every: 16, MaxFlops: 4e7}
 
-	series, err := core.Run(sys, core.GemmProblems[:2], []core.Precision{core.F32, core.F64}, cfg)
+	series, err := core.Run(context.Background(), sys, core.GemmProblems[:2], []core.Precision{core.F32, core.F64}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestPaperHeadlines(t *testing.T) {
 	squareGemm, _ := core.FindProblem(core.GEMM, "square")
 
 	// DAWN, 1 iteration: the oneMKL drop pins the SGEMM threshold at 629.
-	ser, err := core.RunProblem(systems.DAWN(), squareGemm, core.F32, cfg)
+	ser, err := core.RunProblem(context.Background(), systems.DAWN(), squareGemm, core.F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestPaperHeadlines(t *testing.T) {
 	// Isambard-AI: {26,26,26} across strategies at 8 iterations.
 	cfg8 := core.DefaultConfig(8)
 	cfg8.Validate.Enabled = false
-	ser, err = core.RunProblem(systems.IsambardAI(), squareGemm, core.F32, cfg8)
+	ser, err = core.RunProblem(context.Background(), systems.IsambardAI(), squareGemm, core.F32, cfg8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestPaperHeadlines(t *testing.T) {
 	cfg128 := core.DefaultConfig(128)
 	cfg128.Validate.Enabled = false
 	for _, sys := range systems.All() {
-		ser, err := core.RunProblem(sys, squareGemv, core.F64, cfg128)
+		ser, err := core.RunProblem(context.Background(), sys, squareGemv, core.F64, cfg128)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,19 +19,24 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/flops"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
 
-// Call is one group of identical BLAS calls in an application trace.
+// Call is one group of identical BLAS calls in an application trace. It
+// is the typed request model shared by cmd/blob-advise and the serving
+// layer (internal/service): kernel and precision use core's enums, and
+// the stringly CSV/JSON spellings are mapped at the parse boundary
+// (ReadTrace here, request decoding in the service).
 type Call struct {
-	// Kernel is "gemm" or "gemv".
-	Kernel string
-	// M, N, K are the dimensions (K ignored for gemv).
+	// Kernel is the BLAS kernel family (core.GEMM or core.GEMV).
+	Kernel core.KernelKind
+	// M, N, K are the dimensions (K ignored for GEMV).
 	M, N, K int
-	// ElemSize is 4 (f32) or 8 (f64).
-	ElemSize int
+	// Precision selects the element type (core.F32 or core.F64).
+	Precision core.Precision
 	// Count is how many times the call repeats back to back on the same
 	// operands (GPU-BLOB's iteration count).
 	Count int
@@ -42,19 +47,19 @@ type Call struct {
 // Validate reports whether the call is well-formed.
 func (c Call) Validate() error {
 	switch c.Kernel {
-	case "gemm":
+	case core.GEMM:
 		if c.K < 1 {
 			return fmt.Errorf("advisor: gemm needs k >= 1, got %d", c.K)
 		}
-	case "gemv":
+	case core.GEMV:
 	default:
-		return fmt.Errorf("advisor: unknown kernel %q", c.Kernel)
+		return fmt.Errorf("advisor: unknown kernel %v", c.Kernel)
+	}
+	if c.Precision != core.F32 && c.Precision != core.F64 {
+		return fmt.Errorf("advisor: unknown precision %v", c.Precision)
 	}
 	if c.M < 1 || c.N < 1 {
 		return fmt.Errorf("advisor: dimensions must be >= 1, got m=%d n=%d", c.M, c.N)
-	}
-	if c.ElemSize != 4 && c.ElemSize != 8 {
-		return fmt.Errorf("advisor: elem size must be 4 or 8, got %d", c.ElemSize)
 	}
 	if c.Count < 1 {
 		return fmt.Errorf("advisor: count must be >= 1, got %d", c.Count)
@@ -62,9 +67,12 @@ func (c Call) Validate() error {
 	return nil
 }
 
+// KernelName returns the BLAS-style name of the call, e.g. "SGEMM".
+func (c Call) KernelName() string { return core.KernelName(c.Precision, c.Kernel) }
+
 // Flops returns the exact per-call FLOP count (§III-A model, beta = 0).
 func (c Call) Flops() int64 {
-	if c.Kernel == "gemv" {
+	if c.Kernel == core.GEMV {
 		return flops.Gemv(c.M, c.N, flops.Beta{IsZero: true})
 	}
 	return flops.Gemm(c.M, c.N, c.K, flops.Beta{IsZero: true})
@@ -87,13 +95,14 @@ func Advise(sys systems.System, c Call) (Verdict, error) {
 	if err := c.Validate(); err != nil {
 		return Verdict{}, err
 	}
+	es := c.Precision.ElemSize()
 	var cpu, gpu float64
-	if c.Kernel == "gemv" {
-		cpu = sys.CPU.GemvSeconds(c.ElemSize, c.M, c.N, true, c.Count)
-		gpu = sys.GPU.GemvSeconds(c.Strategy, c.ElemSize, c.M, c.N, true, c.Count)
+	if c.Kernel == core.GEMV {
+		cpu = sys.CPU.GemvSeconds(es, c.M, c.N, true, c.Count)
+		gpu = sys.GPU.GemvSeconds(c.Strategy, es, c.M, c.N, true, c.Count)
 	} else {
-		cpu = sys.CPU.GemmSeconds(c.ElemSize, c.M, c.N, c.K, true, c.Count)
-		gpu = sys.GPU.GemmSeconds(c.Strategy, c.ElemSize, c.M, c.N, c.K, true, c.Count)
+		cpu = sys.CPU.GemmSeconds(es, c.M, c.N, c.K, true, c.Count)
+		gpu = sys.GPU.GemmSeconds(c.Strategy, es, c.M, c.N, c.K, true, c.Count)
 	}
 	return Verdict{
 		Call: c, System: sys.Name,
@@ -192,10 +201,15 @@ func ReadTrace(r io.Reader) ([]Call, error) {
 	}
 }
 
+// parseTraceRow maps one stringly CSV record onto the typed Call model.
+// The trace format itself is unchanged; this is the sole place its
+// spellings are interpreted.
 func parseTraceRow(rec []string) (Call, error) {
 	var c Call
-	c.Kernel = strings.ToLower(strings.TrimSpace(rec[0]))
 	var err error
+	if c.Kernel, err = core.ParseKernelKind(rec[0]); err != nil {
+		return c, fmt.Errorf("advisor: bad kernel %q", rec[0])
+	}
 	if c.M, err = strconv.Atoi(strings.TrimSpace(rec[1])); err != nil {
 		return c, fmt.Errorf("advisor: bad m %q", rec[1])
 	}
@@ -205,13 +219,8 @@ func parseTraceRow(rec []string) (Call, error) {
 	if c.K, err = strconv.Atoi(strings.TrimSpace(rec[3])); err != nil {
 		return c, fmt.Errorf("advisor: bad k %q", rec[3])
 	}
-	switch p := strings.ToLower(strings.TrimSpace(rec[4])); p {
-	case "f32", "s", "single":
-		c.ElemSize = 4
-	case "f64", "d", "double":
-		c.ElemSize = 8
-	default:
-		return c, fmt.Errorf("advisor: unknown precision %q", rec[4])
+	if c.Precision, err = core.ParsePrecision(rec[4]); err != nil {
+		return c, fmt.Errorf("advisor: bad precision %q", rec[4])
 	}
 	if c.Count, err = strconv.Atoi(strings.TrimSpace(rec[5])); err != nil {
 		return c, fmt.Errorf("advisor: bad count %q", rec[5])

@@ -4,46 +4,50 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
 
 func TestCallValidate(t *testing.T) {
-	good := Call{Kernel: "gemm", M: 10, N: 10, K: 10, ElemSize: 8, Count: 1}
+	good := Call{Kernel: core.GEMM, M: 10, N: 10, K: 10, Precision: core.F64, Count: 1}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := []Call{
-		{Kernel: "trsm", M: 1, N: 1, K: 1, ElemSize: 8, Count: 1},
-		{Kernel: "gemm", M: 0, N: 1, K: 1, ElemSize: 8, Count: 1},
-		{Kernel: "gemm", M: 1, N: 1, K: 0, ElemSize: 8, Count: 1},
-		{Kernel: "gemm", M: 1, N: 1, K: 1, ElemSize: 2, Count: 1},
-		{Kernel: "gemm", M: 1, N: 1, K: 1, ElemSize: 8, Count: 0},
+		{Kernel: core.KernelKind(7), M: 1, N: 1, K: 1, Precision: core.F64, Count: 1},
+		{Kernel: core.GEMM, M: 0, N: 1, K: 1, Precision: core.F64, Count: 1},
+		{Kernel: core.GEMM, M: 1, N: 1, K: 0, Precision: core.F64, Count: 1},
+		{Kernel: core.GEMM, M: 1, N: 1, K: 1, Precision: core.Precision(9), Count: 1},
+		{Kernel: core.GEMM, M: 1, N: 1, K: 1, Precision: core.F64, Count: 0},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Fatalf("case %d should be invalid: %+v", i, c)
 		}
 	}
-	// gemv ignores K.
-	gv := Call{Kernel: "gemv", M: 10, N: 10, ElemSize: 4, Count: 1}
+	// GEMV ignores K.
+	gv := Call{Kernel: core.GEMV, M: 10, N: 10, Precision: core.F32, Count: 1}
 	if err := gv.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if got := gv.KernelName(); got != "SGEMV" {
+		t.Fatalf("KernelName = %q", got)
 	}
 }
 
 func TestAdviseDirections(t *testing.T) {
 	isam := systems.IsambardAI()
 	// A big, high-reuse square GEMM must offload on the GH200.
-	v, err := Advise(isam, Call{Kernel: "gemm", M: 2048, N: 2048, K: 2048, ElemSize: 4, Count: 32, Strategy: xfer.TransferOnce})
+	v, err := Advise(isam, Call{Kernel: core.GEMM, M: 2048, N: 2048, K: 2048, Precision: core.F32, Count: 32, Strategy: xfer.TransferOnce})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !v.Offload || v.Speedup <= 1 {
 		t.Fatalf("large GEMM should offload on GH200: %+v", v)
 	}
-	// A tiny single-shot GEMM must not.
-	v, _ = Advise(isam, Call{Kernel: "gemv", M: 8, N: 8, ElemSize: 8, Count: 1, Strategy: xfer.TransferAlways})
+	// A tiny single-shot GEMV must not.
+	v, _ = Advise(isam, Call{Kernel: core.GEMV, M: 8, N: 8, Precision: core.F64, Count: 1, Strategy: xfer.TransferAlways})
 	if v.Offload {
 		t.Fatalf("tiny gemv should stay on CPU: %+v", v)
 	}
@@ -55,8 +59,8 @@ func TestAdviseDirections(t *testing.T) {
 
 func TestAdviseAllAndSummarize(t *testing.T) {
 	calls := []Call{
-		{Kernel: "gemm", M: 1024, N: 1024, K: 1024, ElemSize: 8, Count: 16, Strategy: xfer.TransferOnce},
-		{Kernel: "gemv", M: 512, N: 512, ElemSize: 8, Count: 1, Strategy: xfer.TransferAlways},
+		{Kernel: core.GEMM, M: 1024, N: 1024, K: 1024, Precision: core.F64, Count: 16, Strategy: xfer.TransferOnce},
+		{Kernel: core.GEMV, M: 512, N: 512, Precision: core.F64, Count: 1, Strategy: xfer.TransferAlways},
 	}
 	verdicts, err := AdviseAll(systems.All(), calls)
 	if err != nil {
@@ -95,37 +99,54 @@ gemm,512,512,512,single,8,usm
 	if len(calls) != 3 {
 		t.Fatalf("calls = %d", len(calls))
 	}
-	if calls[0].Kernel != "gemm" || calls[0].K != 64 || calls[0].ElemSize != 8 || calls[0].Strategy != xfer.TransferOnce {
+	if calls[0].Kernel != core.GEMM || calls[0].K != 64 || calls[0].Precision != core.F64 || calls[0].Strategy != xfer.TransferOnce {
 		t.Fatalf("call 0: %+v", calls[0])
 	}
-	if calls[1].Kernel != "gemv" || calls[1].ElemSize != 4 || calls[1].Strategy != xfer.TransferAlways {
+	if calls[1].Kernel != core.GEMV || calls[1].Precision != core.F32 || calls[1].Strategy != xfer.TransferAlways {
 		t.Fatalf("call 1: %+v", calls[1])
 	}
-	if calls[2].ElemSize != 4 || calls[2].Strategy != xfer.Unified {
+	if calls[2].Precision != core.F32 || calls[2].Strategy != xfer.Unified {
 		t.Fatalf("call 2: %+v", calls[2])
 	}
 }
 
-func TestReadTraceErrors(t *testing.T) {
-	cases := []string{
-		"kernel,m,n,k,precision,count,movement\ngemm,x,1,1,f64,1,once\n",
-		"kernel,m,n,k,precision,count,movement\ngemm,1,1,1,f16,1,once\n",
-		"kernel,m,n,k,precision,count,movement\ngemm,1,1,1,f64,1,sometimes\n",
-		"kernel,m,n,k,precision,count,movement\nspmm,1,1,1,f64,1,once\n",
+// TestReadTraceMalformedRows covers each way a row can be rejected; the
+// error message must point at the offending field so traces are fixable
+// from the message alone.
+func TestReadTraceMalformedRows(t *testing.T) {
+	cases := []struct {
+		name, row, wantErr string
+	}{
+		{"bad m", "gemm,x,1,1,f64,1,once", "bad m"},
+		{"bad n", "gemm,1,?,1,f64,1,once", "bad n"},
+		{"bad k", "gemm,1,1,,f64,1,once", "bad k"},
+		{"unknown precision", "gemm,1,1,1,f16,1,once", "bad precision"},
+		{"bad count", "gemm,1,1,1,f64,lots,once", "bad count"},
+		{"zero count", "gemm,4,4,4,f64,0,once", "count must be >= 1"},
+		{"unknown movement", "gemm,1,1,1,f64,1,sometimes", "unknown strategy"},
+		{"bad kernel", "spmm,1,1,1,f64,1,once", "bad kernel"},
+		{"gemm zero k", "gemm,4,4,0,f64,1,once", "k >= 1"},
+		{"short record", "gemm,1,1,1,f64,1", "wrong number of fields"},
+		{"long record", "gemm,1,1,1,f64,1,once,extra", "wrong number of fields"},
 	}
-	for i, src := range cases {
-		if _, err := ReadTrace(strings.NewReader(src)); err == nil {
-			t.Fatalf("case %d should fail", i)
+	for _, tc := range cases {
+		src := "kernel,m,n,k,precision,count,movement\n" + tc.row + "\n"
+		_, err := ReadTrace(strings.NewReader(src))
+		if err == nil {
+			t.Fatalf("%s: row %q should fail", tc.name, tc.row)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
 	}
 }
 
 func TestCallFlops(t *testing.T) {
-	c := Call{Kernel: "gemm", M: 2, N: 3, K: 4, ElemSize: 8, Count: 1}
+	c := Call{Kernel: core.GEMM, M: 2, N: 3, K: 4, Precision: core.F64, Count: 1}
 	if got := c.Flops(); got != 2*2*3*4+2*3 {
 		t.Fatalf("gemm flops = %d", got)
 	}
-	c = Call{Kernel: "gemv", M: 3, N: 4, ElemSize: 8, Count: 1}
+	c = Call{Kernel: core.GEMV, M: 3, N: 4, Precision: core.F64, Count: 1}
 	if got := c.Flops(); got != 2*3*4+3 {
 		t.Fatalf("gemv flops = %d", got)
 	}

@@ -1,13 +1,18 @@
 // Package goroutinehygiene enforces the concurrency discipline of the
-// benchmark's hot paths (internal/blas, internal/core, internal/parallel):
+// benchmark's hot paths (internal/blas, internal/core, internal/parallel)
+// and of the serving layer (internal/service):
 //
-//  1. No naked go statements outside parallel.Pool. The interleaved
-//     CPU/GPU sweep assumes every kernel's parallelism is funnelled
-//     through the pool, whose worker count mirrors OMP_NUM_THREADS /
-//     BLIS_NUM_THREADS (§III-B); an ad-hoc goroutine escapes that budget
-//     and perturbs the very timings the benchmark publishes. Inside
-//     package parallel itself, go statements are permitted only in
-//     methods of Pool. Test files are exempt from this rule.
+//  1. No naked go statements outside a sanctioned Pool type. The
+//     interleaved CPU/GPU sweep assumes every kernel's parallelism is
+//     funnelled through parallel.Pool, whose worker count mirrors
+//     OMP_NUM_THREADS / BLIS_NUM_THREADS (§III-B); an ad-hoc goroutine
+//     escapes that budget and perturbs the very timings the benchmark
+//     publishes. The service makes the same promise for a different
+//     reason: its sweep concurrency is bounded by service.Pool, and a
+//     goroutine spawned anywhere else would dodge that bound (and the
+//     queue-depth metric). Inside the pool-defining packages (parallel,
+//     service), go statements are permitted only in methods of Pool.
+//     Test files are exempt from this rule.
 //
 //  2. wg.Add must lexically precede the go statement whose goroutine
 //     calls wg.Done. Add inside the spawned closure is the classic lost-
@@ -38,28 +43,32 @@ var Analyzer = &blobvet.Analyzer{
 }
 
 // hotPaths are the package-path suffixes the analyzer applies to.
-var hotPaths = []string{"internal/blas", "internal/core", "internal/parallel"}
+var hotPaths = []string{"internal/blas", "internal/core", "internal/parallel", "internal/service"}
+
+// poolPackages are the hot-path packages that define a sanctioned worker
+// pool: go statements are legal there, but only inside Pool's methods.
+var poolPackages = []string{"internal/parallel", "internal/service"}
 
 func run(pass *blobvet.Pass) error {
-	if !inScope(pass.Pkg.Path()) {
+	if !inScope(pass.Pkg.Path(), hotPaths) {
 		return nil
 	}
-	isParallel := strings.HasSuffix(pass.Pkg.Path(), "internal/parallel")
+	definesPool := inScope(pass.Pkg.Path(), poolPackages)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkNakedGo(pass, fn, isParallel)
+			checkNakedGo(pass, fn, definesPool)
 			checkFuncBody(pass, fn.Body)
 		}
 	}
 	return nil
 }
 
-func inScope(path string) bool {
-	for _, suffix := range hotPaths {
+func inScope(path string, suffixes []string) bool {
+	for _, suffix := range suffixes {
 		if strings.HasSuffix(path, suffix) {
 			return true
 		}
@@ -67,19 +76,19 @@ func inScope(path string) bool {
 	return false
 }
 
-// checkNakedGo reports go statements outside parallel.Pool methods
+// checkNakedGo reports go statements outside the sanctioned Pool methods
 // (rule 1). Production files only.
-func checkNakedGo(pass *blobvet.Pass, fn *ast.FuncDecl, isParallel bool) {
+func checkNakedGo(pass *blobvet.Pass, fn *ast.FuncDecl, definesPool bool) {
 	if pass.TestFile(fn.Pos()) {
 		return
 	}
-	if isParallel && isPoolMethod(fn) {
+	if definesPool && isPoolMethod(fn) {
 		return
 	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
 			pass.Reportf(g.Pos(),
-				"naked go statement in hot-path function %s; route parallelism through parallel.Pool",
+				"naked go statement in hot-path function %s; route parallelism through the package's Pool",
 				fn.Name.Name)
 		}
 		return true

@@ -21,6 +21,13 @@ func TestPoolExemption(t *testing.T) {
 		"../testdata/src/goroutinehygiene_pool", "fixture/internal/parallel")
 }
 
+// TestServicePoolExemption does the same for the serving layer: the
+// worker pool's Pool methods may spawn, handlers may not.
+func TestServicePoolExemption(t *testing.T) {
+	analysistest.Run(t, goroutinehygiene.Analyzer,
+		"../testdata/src/goroutinehygiene_service", "fixture/internal/service")
+}
+
 // TestOutOfScope: the same seeded file outside the hot-path packages
 // produces nothing.
 func TestOutOfScope(t *testing.T) {

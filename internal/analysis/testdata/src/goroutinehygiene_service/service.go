@@ -1,0 +1,38 @@
+// Fixture for goroutinehygiene's service.Pool exemption, loaded with
+// import path "fixture/internal/service": the serving layer's worker
+// pool may spawn goroutines from Pool methods, but a handler (or any
+// other function) that forks its own goroutine dodges the sweep
+// concurrency bound and is flagged.
+package service
+
+import "sync"
+
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// start spawns the workers: a Pool method, so its go statements are
+// sanctioned.
+func (p *Pool) start(workers int) {
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+}
+
+// handleSweep is not a Pool method: spawning the sweep directly instead
+// of submitting it to the pool escapes the concurrency bound.
+func handleSweep(sweep func()) {
+	done := make(chan struct{})
+	go func() { // want `naked go statement in hot-path function handleSweep`
+		sweep()
+		close(done)
+	}()
+	<-done
+}

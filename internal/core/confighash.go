@@ -1,0 +1,64 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Hash returns a stable, canonical identity for the configuration: two
+// Configs that normalize() to the same effective sweep — e.g. Step 0 and
+// Step 1, or Iterations 0 and 1 — hash identically, and any field that
+// changes the sweep's output changes the hash. The service result cache
+// and any future on-disk persistence key results by this value (together
+// with system, problem and precision), so the canonical form lives here,
+// next to normalize(), rather than being re-derived by each consumer.
+//
+// The hash is the hex SHA-256 of a versioned key=value rendering; bump
+// the leading version tag if the canonical form ever changes meaning.
+func (c Config) Hash() (string, error) {
+	s, err := c.canonicalString()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalString renders the normalized configuration as an ordered
+// key=value list. normalize() feeds it so defaulting rules stay in one
+// place.
+func (c Config) canonicalString() (string, error) {
+	if err := c.normalize(); err != nil {
+		return "", err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fields := []string{
+		"cfg-v1",
+		"min=" + strconv.Itoa(c.MinDim),
+		"max=" + strconv.Itoa(c.MaxDim),
+		"step=" + strconv.Itoa(c.Step),
+		"iters=" + strconv.Itoa(c.Iterations),
+		"alpha=" + f(c.Alpha),
+		"beta=" + f(c.Beta),
+		"mode=" + c.Mode.String(),
+		"validate=" + strconv.FormatBool(c.Validate.Enabled),
+		"every=" + strconv.Itoa(c.Validate.Every),
+		"maxflops=" + strconv.FormatInt(c.Validate.MaxFlops, 10),
+		"livecpu=" + liveCPUIdentity(c.LiveCPU),
+	}
+	return strings.Join(fields, " "), nil
+}
+
+// liveCPUIdentity folds the live-CPU timer into the identity. Live
+// measurements depend on the host, so any live config is distinct from
+// every modeled one; the timer's knobs (threads, repeats) are part of the
+// identity because they change the numbers a sweep reports.
+func liveCPUIdentity(l *LiveCPUTimer) string {
+	if l == nil {
+		return "off"
+	}
+	return fmt.Sprintf("t%d-r%d", l.Threads, l.repeats())
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigHashNormalizedEquivalence(t *testing.T) {
+	// Fields below their floors normalize to the defaults, so a zeroed
+	// Step/Iterations config must hash like its explicit-default twin.
+	a := Config{MinDim: 0, MaxDim: 128, Step: 0, Iterations: 0, Validate: Validation{Every: 0, MaxFlops: 0}}
+	b := Config{MinDim: 1, MaxDim: 128, Step: 1, Iterations: 1, Validate: Validation{Every: 1, MaxFlops: 64e6}}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("normalized-equal configs hash differently:\n%s\n%s", ha, hb)
+	}
+	if len(ha) != 64 || strings.ToLower(ha) != ha {
+		t.Fatalf("hash is not lowercase hex sha256: %q", ha)
+	}
+}
+
+func TestConfigHashDistinguishesFields(t *testing.T) {
+	base := DefaultConfig(8)
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Config{}
+	v := base
+	v.MaxDim = 2048
+	variants = append(variants, v)
+	v = base
+	v.Iterations = 16
+	variants = append(variants, v)
+	v = base
+	v.Beta = 1
+	variants = append(variants, v)
+	v = base
+	v.Mode = ModeCPUOnly
+	variants = append(variants, v)
+	v = base
+	v.Validate.Enabled = false
+	variants = append(variants, v)
+	v = base
+	v.LiveCPU = &LiveCPUTimer{Threads: 4}
+	variants = append(variants, v)
+	seen := map[string]bool{baseHash: true}
+	for i, vc := range variants {
+		h, err := vc.Hash()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if seen[h] {
+			t.Fatalf("variant %d collides with an earlier hash", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestConfigHashInvalid(t *testing.T) {
+	bad := Config{MinDim: 10, MaxDim: 5}
+	if _, err := bad.Hash(); err == nil {
+		t.Fatal("MaxDim < MinDim should not hash")
+	}
+}
+
+// Hash must not mutate the receiver: normalization happens on a copy.
+func TestConfigHashLeavesConfigUntouched(t *testing.T) {
+	c := Config{MaxDim: 64}
+	if _, err := c.Hash(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Step != 0 || c.Iterations != 0 || c.MinDim != 0 {
+		t.Fatalf("Hash normalized the caller's config: %+v", c)
+	}
+}
+
+func TestParseKernelKindAndPrecision(t *testing.T) {
+	for tok, want := range map[string]KernelKind{"gemm": GEMM, "GEMV": GEMV, " Gemm ": GEMM} {
+		got, err := ParseKernelKind(tok)
+		if err != nil || got != want {
+			t.Fatalf("ParseKernelKind(%q) = %v, %v", tok, got, err)
+		}
+	}
+	if _, err := ParseKernelKind("trsm"); err == nil {
+		t.Fatal("trsm should not parse")
+	}
+	for tok, want := range map[string]Precision{"f32": F32, "D": F64, "single": F32, "fp64": F64} {
+		got, err := ParsePrecision(tok)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", tok, got, err)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("f16 should not parse")
+	}
+	if KernelKind(3).Valid() || !GEMV.Valid() {
+		t.Fatal("KernelKind.Valid misclassifies")
+	}
+}

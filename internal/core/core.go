@@ -11,7 +11,10 @@
 //	C4 (transfer strategies)   -> every sample carries all three strategies
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Precision selects the element type of a run.
 type Precision int
@@ -38,6 +41,19 @@ func (p Precision) String() string {
 	return "D"
 }
 
+// ParsePrecision converts a CLI/CSV/JSON token into a Precision. It is
+// the single parse boundary shared by the advisor's trace reader and the
+// service's request decoding, so every surface accepts the same spellings.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "f32", "s", "single", "fp32", "float32":
+		return F32, nil
+	case "f64", "d", "double", "fp64", "float64":
+		return F64, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q", s)
+}
+
 // KernelKind identifies a BLAS kernel family.
 type KernelKind int
 
@@ -53,6 +69,23 @@ func (k KernelKind) String() string {
 		return "GEMM"
 	}
 	return "GEMV"
+}
+
+// Valid reports whether k is a known kernel kind. KernelKind values
+// arrive from typed call sites but also from decoded wire requests, so
+// consumers validate before switching on the value.
+func (k KernelKind) Valid() bool { return k == GEMM || k == GEMV }
+
+// ParseKernelKind converts a CLI/CSV/JSON token into a KernelKind — the
+// counterpart of ParsePrecision at the same parse boundary.
+func ParseKernelKind(s string) (KernelKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gemm":
+		return GEMM, nil
+	case "gemv":
+		return GEMV, nil
+	}
+	return 0, fmt.Errorf("core: unknown kernel %q", s)
 }
 
 // KernelName returns e.g. "SGEMM" for (F32, GEMM).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sim/systems"
@@ -52,7 +53,7 @@ func TestRunProblemLiveCPU(t *testing.T) {
 	cfg.Step = 32
 	cfg.Validate.Enabled = false
 	cfg.LiveCPU = &LiveCPUTimer{}
-	ser, err := RunProblem(systems.DAWN(), pt, F32, cfg)
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

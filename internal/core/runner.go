@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/flops"
@@ -158,7 +159,15 @@ func (s *Series) KernelName() string { return KernelName(s.Precision, s.Problem.
 // RunProblem sweeps one problem type on one system. Timing comes from the
 // system's calibrated models; numerics are validated by really executing
 // sampled problem sizes with two independent kernel implementations.
-func RunProblem(sys systems.System, pt ProblemType, prec Precision, cfg Config) (*Series, error) {
+//
+// Cancellation is checked between problem sizes: when ctx is done the
+// sweep stops and the context's error is returned (wrapped), so a caller
+// that hangs up — a disconnected HTTP client, a Ctrl-C — never pays for
+// the rest of the sweep.
+func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Precision, cfg Config) (*Series, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -178,6 +187,9 @@ func RunProblem(sys systems.System, pt ProblemType, prec Precision, cfg Config) 
 	var dets [NumStrategies]ThresholdDetector
 	sampleIdx := 0
 	for p := cfg.MinDim; ; p += cfg.Step {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: sweep cancelled at p=%d: %w", p, err)
+		}
 		d := pt.Dims(p)
 		if d.MaxDim() > cfg.MaxDim {
 			break
@@ -243,12 +255,13 @@ func RunProblem(sys systems.System, pt ProblemType, prec Precision, cfg Config) 
 
 // Run sweeps a set of problem types at both precisions, returning one
 // Series per (problem, precision) — the artifact's 28-CSV layout when given
-// AllProblems().
-func Run(sys systems.System, problems []ProblemType, precisions []Precision, cfg Config) ([]*Series, error) {
+// AllProblems(). Cancellation follows RunProblem: the first sweep that
+// observes a done ctx aborts the whole run.
+func Run(ctx context.Context, sys systems.System, problems []ProblemType, precisions []Precision, cfg Config) ([]*Series, error) {
 	var out []*Series
 	for _, pt := range problems {
 		for _, prec := range precisions {
-			ser, err := RunProblem(sys, pt, prec, cfg)
+			ser, err := RunProblem(ctx, sys, pt, prec, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sim/systems"
@@ -17,7 +18,7 @@ func testConfig(iters int) Config {
 
 func TestRunProblemSquareGemm(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
-	ser, err := RunProblem(systems.IsambardAI(), pt, F32, testConfig(8))
+	ser, err := RunProblem(context.Background(), systems.IsambardAI(), pt, F32, testConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRunProblemSquareGemm(t *testing.T) {
 
 func TestRunValidatesChecksums(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
-	ser, err := RunProblem(systems.DAWN(), pt, F64, testConfig(1))
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F64, testConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunValidatesChecksums(t *testing.T) {
 func TestRunGemvValidation(t *testing.T) {
 	pt, _ := FindProblem(GEMV, "square")
 	for _, prec := range []Precision{F32, F64} {
-		ser, err := RunProblem(systems.LUMI(), pt, prec, testConfig(1))
+		ser, err := RunProblem(context.Background(), systems.LUMI(), pt, prec, testConfig(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestRunNonDefaultAlphaBeta(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
 	cfg := testConfig(1)
 	cfg.Alpha, cfg.Beta = 2.5, 1.5
-	ser, err := RunProblem(systems.DAWN(), pt, F64, cfg)
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F64, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunCPUOnlyAndGPUOnly(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
 	cfg := testConfig(1)
 	cfg.Mode = ModeCPUOnly
-	ser, err := RunProblem(systems.LUMI(), pt, F32, cfg)
+	ser, err := RunProblem(context.Background(), systems.LUMI(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRunCPUOnlyAndGPUOnly(t *testing.T) {
 		}
 	}
 	cfg.Mode = ModeGPUOnly
-	ser, err = RunProblem(systems.LUMI(), pt, F32, cfg)
+	ser, err = RunProblem(context.Background(), systems.LUMI(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunSweepBoundsRespected(t *testing.T) {
 	cfg.MaxDim = 256
 	cfg.Step = 1
 	cfg.Validate.Enabled = false
-	ser, err := RunProblem(systems.DAWN(), pt, F32, cfg)
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +165,10 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
 	cfg := testConfig(1)
 	cfg.MinDim, cfg.MaxDim = 100, 10
-	if _, err := RunProblem(systems.DAWN(), pt, F32, cfg); err == nil {
+	if _, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg); err == nil {
 		t.Fatal("expected error for MaxDim < MinDim")
 	}
-	if _, err := RunProblem(systems.DAWN(), ProblemType{Name: "x", Kernel: GEMM}, F32, testConfig(1)); err == nil {
+	if _, err := RunProblem(context.Background(), systems.DAWN(), ProblemType{Name: "x", Kernel: GEMM}, F32, testConfig(1)); err == nil {
 		t.Fatal("expected error for nil Dims")
 	}
 }
@@ -177,7 +178,7 @@ func TestRunAllProblemsProduces28Series(t *testing.T) {
 	cfg.MaxDim = 64
 	cfg.Step = 8
 	cfg.Validate.Enabled = false
-	series, err := Run(systems.IsambardAI(), AllProblems(), []Precision{F32, F64}, cfg)
+	series, err := Run(context.Background(), systems.IsambardAI(), AllProblems(), []Precision{F32, F64}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestGpuGflopsIncludeTransfer(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
 	cfg := testConfig(8)
 	cfg.Validate.Enabled = false
-	ser, err := RunProblem(systems.DAWN(), pt, F64, cfg)
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F64, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestRunnerThresholdsConsistent(t *testing.T) {
 	cfg := DefaultConfig(8)
 	cfg.MaxDim = 512
 	cfg.Validate.Enabled = false
-	ser, err := RunProblem(systems.IsambardAI(), pt, F32, cfg)
+	ser, err := RunProblem(context.Background(), systems.IsambardAI(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestGflopsConsistency(t *testing.T) {
 	pt, _ := FindProblem(GEMM, "square")
 	cfg := testConfig(8)
 	cfg.Validate.Enabled = false
-	ser, err := RunProblem(systems.DAWN(), pt, F32, cfg)
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestFlopsPerIterBetaRule(t *testing.T) {
 			cfg.Beta = beta
 			cfg.MaxDim = 16
 			cfg.Validate.Enabled = false
-			ser, err := RunProblem(systems.DAWN(), pt, F64, cfg)
+			ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F64, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package csvio
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ func sampleSeries(t *testing.T, mode core.Mode) *core.Series {
 	cfg.Step = 8
 	cfg.Mode = mode
 	cfg.Validate.Enabled = false
-	ser, err := core.RunProblem(systems.IsambardAI(), pt, core.F32, cfg)
+	ser, err := core.RunProblem(context.Background(), systems.IsambardAI(), pt, core.F32, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestChecksumColumnSerialized(t *testing.T) {
 	cfg.MaxDim = 40
 	cfg.Step = 8
 	cfg.Validate = core.Validation{Enabled: true, Every: 1, MaxFlops: 1e9}
-	ser, err := core.RunProblem(systems.DAWN(), pt, core.F64, cfg)
+	ser, err := core.RunProblem(context.Background(), systems.DAWN(), pt, core.F64, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -51,7 +52,7 @@ func runSquare(sys systems.System, kernel core.KernelKind, prec core.Precision, 
 	if err != nil {
 		return nil, err
 	}
-	return core.RunProblem(sys, pt, prec, sweepConfig(opt, iters))
+	return core.RunProblem(context.Background(), sys, pt, prec, sweepConfig(opt, iters))
 }
 
 // Fig2 regenerates Fig 2: square SGEMM performance at one iteration on

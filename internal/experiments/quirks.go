@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -42,11 +43,11 @@ func QuirkAblation(w io.Writer, opt Options) error {
 			}
 			for _, it := range []int{1, 32} {
 				cfg := sweepConfig(opt, it)
-				withQ, err := core.RunProblem(base, pt, core.F32, cfg)
+				withQ, err := core.RunProblem(context.Background(), base, pt, core.F32, cfg)
 				if err != nil {
 					return err
 				}
-				withoutQ, err := core.RunProblem(clean, pt, core.F32, cfg)
+				withoutQ, err := core.RunProblem(context.Background(), clean, pt, core.F32, cfg)
 				if err != nil {
 					return err
 				}

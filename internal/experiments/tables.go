@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -32,11 +33,11 @@ func squareThresholds(sys systems.System, kernel core.KernelKind, opt Options, i
 		return out, err
 	}
 	cfg := sweepConfig(opt, iters)
-	s32, err := core.RunProblem(sys, pt, core.F32, cfg)
+	s32, err := core.RunProblem(context.Background(), sys, pt, core.F32, cfg)
 	if err != nil {
 		return out, err
 	}
-	s64, err := core.RunProblem(sys, pt, core.F64, cfg)
+	s64, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
 	if err != nil {
 		return out, err
 	}
@@ -89,7 +90,7 @@ func TableIV(w io.Writer, opt Options) error {
 func firstThresholdIteration(sys systems.System, pt core.ProblemType, prec core.Precision, opt Options) (int, error) {
 	for _, it := range IterationCounts {
 		cfg := sweepConfig(opt, it)
-		ser, err := core.RunProblem(sys, pt, prec, cfg)
+		ser, err := core.RunProblem(context.Background(), sys, pt, prec, cfg)
 		if err != nil {
 			return 0, err
 		}

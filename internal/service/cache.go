@@ -1,0 +1,67 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache. Threshold sweeps are pure
+// functions of (system, problem, precision, normalized config) — the key
+// is built from core.Config.Hash() — so entries never expire; they are
+// only evicted to bound memory.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding at most max entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,56 @@
+package service
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("a = %v", v)
+	}
+	// Refreshing also marks recency: a survives the next eviction.
+	c.Put("b", 1)
+	c.Put("a", 3)
+	c.Put("c", 1)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the service's stdlib-only observability layer: counters,
+// gauges and histograms with a Prometheus-text rendering, so a scrape of
+// GET /metrics works with standard tooling without importing a client
+// library (the repository is deliberately dependency-free).
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.n.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.n.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// defLatencyBounds are the histogram bucket upper bounds in seconds,
+// spanning sub-millisecond advise calls to multi-second threshold sweeps.
+var defLatencyBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+// NewHistogram returns a histogram over the default latency buckets.
+func NewHistogram() *Histogram {
+	return &Histogram{bounds: defLatencyBounds, counts: make([]int64, len(defLatencyBounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// snapshot returns cumulative bucket counts, the sum and the total.
+func (h *Histogram) snapshot() (cum []int64, sum float64, total int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.total
+}
+
+// Metrics aggregates every series the service exports. Request-scoped
+// series are labelled by endpoint (and status code for the counter);
+// label sets are created lazily and rendered in sorted order so scrapes
+// are deterministic.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*Counter   // "endpoint|code" -> count
+	latency  map[string]*Histogram // endpoint -> seconds histogram
+
+	// CacheHits / CacheMisses count /v1/threshold cache lookups.
+	CacheHits, CacheMisses Counter
+	// SweepsStarted / SweepsCompleted / SweepsCancelled count threshold
+	// sweeps actually executed by the worker pool (deduplicated requests
+	// never increment these — that is what the singleflight test asserts).
+	SweepsStarted, SweepsCompleted, SweepsCancelled Counter
+	// InFlight is the number of requests currently being served.
+	InFlight Gauge
+	// QueueDepth reads the worker pool's backlog at scrape time.
+	QueueDepth func() int
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: map[string]*Counter{},
+		latency:  map[string]*Histogram{},
+	}
+}
+
+// RequestCounter returns the counter for one endpoint and status code.
+func (m *Metrics) RequestCounter(endpoint string, code int) *Counter {
+	key := endpoint + "|" + strconv.Itoa(code)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = &Counter{}
+		m.requests[key] = c
+	}
+	return c
+}
+
+// LatencyHistogram returns the latency histogram for one endpoint.
+func (m *Metrics) LatencyHistogram(endpoint string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = NewHistogram()
+		m.latency[endpoint] = h
+	}
+	return h
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(reqKeys)
+	sort.Strings(latKeys)
+
+	fmt.Fprintf(&b, "# HELP blob_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(&b, "# TYPE blob_requests_total counter\n")
+	for _, k := range reqKeys {
+		ep, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "blob_requests_total{endpoint=%q,code=%q} %d\n",
+			ep, code, m.RequestCounter(ep, atoiOr(code)).Value())
+	}
+
+	fmt.Fprintf(&b, "# HELP blob_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(&b, "# TYPE blob_request_seconds histogram\n")
+	for _, ep := range latKeys {
+		cum, sum, total := m.LatencyHistogram(ep).snapshot()
+		for i, bound := range defLatencyBounds {
+			fmt.Fprintf(&b, "blob_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+		}
+		fmt.Fprintf(&b, "blob_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum[len(cum)-1])
+		fmt.Fprintf(&b, "blob_request_seconds_sum{endpoint=%q} %g\n", ep, sum)
+		fmt.Fprintf(&b, "blob_request_seconds_count{endpoint=%q} %d\n", ep, total)
+	}
+
+	fmt.Fprintf(&b, "# HELP blob_cache_hits_total Threshold cache hits.\n# TYPE blob_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "blob_cache_hits_total %d\n", m.CacheHits.Value())
+	fmt.Fprintf(&b, "# HELP blob_cache_misses_total Threshold cache misses.\n# TYPE blob_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "blob_cache_misses_total %d\n", m.CacheMisses.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_sweeps_total Threshold sweeps executed by the worker pool.\n# TYPE blob_sweeps_total counter\n")
+	fmt.Fprintf(&b, "blob_sweeps_total{result=\"started\"} %d\n", m.SweepsStarted.Value())
+	fmt.Fprintf(&b, "blob_sweeps_total{result=\"completed\"} %d\n", m.SweepsCompleted.Value())
+	fmt.Fprintf(&b, "blob_sweeps_total{result=\"cancelled\"} %d\n", m.SweepsCancelled.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_inflight_requests Requests currently being served.\n# TYPE blob_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "blob_inflight_requests %d\n", m.InFlight.Value())
+
+	if m.QueueDepth != nil {
+		fmt.Fprintf(&b, "# HELP blob_sweep_queue_depth Sweep jobs waiting for a worker.\n# TYPE blob_sweep_queue_depth gauge\n")
+		fmt.Fprintf(&b, "blob_sweep_queue_depth %d\n", m.QueueDepth())
+	}
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func atoiOr(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// handlers translate it into 503 Service Unavailable so sweep overload
+// never blocks (or starves) advise traffic.
+var ErrQueueFull = errors.New("service: sweep queue full")
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("service: pool closed")
+
+// Pool is the bounded worker pool that executes threshold sweeps. A
+// fixed worker count caps sweep parallelism (sweeps are CPU-heavy; the
+// advise path must stay responsive) and a bounded queue provides limited
+// buffering with fail-fast behaviour beyond it.
+//
+// Like parallel.Pool, this type is the one sanctioned home of go
+// statements in its package (enforced by blob-vet's goroutinehygiene
+// analyzer, which covers internal/service).
+type Pool struct {
+	mu      sync.Mutex
+	closed  bool
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of workers (min 1) with the given queue capacity
+// (min 0; a zero queue admits jobs only when a worker is idle).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{workers: workers, jobs: make(chan func(), queue)}
+	p.start()
+	return p
+}
+
+// start launches the workers. Split from NewPool so the go statements
+// live in a Pool method, where goroutinehygiene sanctions them.
+func (p *Pool) start() {
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+}
+
+// Submit enqueues job without blocking. It fails with ErrQueueFull when
+// every worker is busy and the queue is at capacity, and ErrPoolClosed
+// after Close.
+func (p *Pool) Submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int {
+	return len(p.jobs)
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops admission, drains queued jobs and waits for the workers to
+// finish — the pool half of graceful shutdown.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		// Submit can transiently fail while workers drain; retry rather
+		// than over-size the queue, as a client with backoff would.
+		for {
+			err := p.Submit(func() {
+				defer wg.Done()
+				ran.Add(1)
+			})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 16 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now busy
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("queue slot should admit: %v", err)
+	}
+	if p.QueueDepth() != 1 {
+		t.Fatalf("depth = %d", p.QueueDepth())
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsAndRefuses(t *testing.T) {
+	p := NewPool(1, 4)
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // waits for queued jobs
+	if ran.Load() != 3 {
+		t.Fatalf("ran = %d before Close returned", ran.Load())
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, -1)
+	defer p.Close()
+	if p.Workers() != 1 || p.QueueDepth() != 0 {
+		t.Fatalf("workers=%d depth=%d", p.Workers(), p.QueueDepth())
+	}
+}

@@ -1,0 +1,222 @@
+// Package service is the serving layer of the §III-D advisor workflow: a
+// long-running HTTP/JSON API that answers offload-advice queries
+// (POST /v1/advise) and offload-threshold sweeps (POST /v1/threshold)
+// from GPU-BLOB's calibrated models, the way an automatic-offload runtime
+// would consult them at dispatch time.
+//
+// Threshold sweeps are expensive (a full sweep evaluates thousands of
+// problem sizes), so the service layers three defences in front of
+// core.Run:
+//
+//   - a bounded LRU result cache keyed by core.Config.Hash() together
+//     with the system, problem and precision;
+//   - singleflight deduplication, so N concurrent identical requests
+//     compute one sweep and share the result;
+//   - a bounded worker pool with a fail-fast queue, so sweep load can
+//     never starve the cheap advise path.
+//
+// Cancellation is threaded end to end: a disconnected client abandons
+// its flight, and when a flight's last waiter is gone its context is
+// cancelled, which core.RunProblem observes between problem sizes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+)
+
+// SweepFunc runs one threshold sweep. It matches core.Run's signature so
+// the default is core.Run itself; tests substitute counting or blocking
+// implementations.
+type SweepFunc func(ctx context.Context, sys systems.System, problems []core.ProblemType, precisions []core.Precision, cfg core.Config) ([]*core.Series, error)
+
+// Options configures a Server. The zero value is serviceable.
+type Options struct {
+	// Workers bounds concurrent sweeps (default 2).
+	Workers int
+	// Queue is the sweep backlog beyond the workers (default 8).
+	Queue int
+	// CacheSize bounds the threshold result cache (default 256 entries).
+	CacheSize int
+	// MaxSweepDim caps a request's config.MaxDim (default 4096, the
+	// paper's d) so one request cannot ask for an unbounded sweep.
+	MaxSweepDim int
+	// Sweep replaces core.Run (tests only).
+	Sweep SweepFunc
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.Queue < 1 {
+		o.Queue = 8
+	}
+	if o.CacheSize < 1 {
+		o.CacheSize = 256
+	}
+	if o.MaxSweepDim < 1 {
+		o.MaxSweepDim = 4096
+	}
+	if o.Sweep == nil {
+		o.Sweep = core.Run
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Server holds the service's shared state. Create with New, expose with
+// Handler, and Close when draining.
+type Server struct {
+	opts    Options
+	sweep   SweepFunc
+	pool    *Pool
+	cache   *Cache
+	flights *flightGroup
+	metrics *Metrics
+	log     *slog.Logger
+	start   time.Time
+}
+
+// New assembles a Server (and starts its worker pool).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		sweep:   opts.Sweep,
+		pool:    NewPool(opts.Workers, opts.Queue),
+		cache:   NewCache(opts.CacheSize),
+		flights: newFlightGroup(),
+		metrics: NewMetrics(),
+		log:     opts.Logger,
+		start:   time.Now(),
+	}
+	s.metrics.QueueDepth = s.pool.QueueDepth
+	return s
+}
+
+// Metrics exposes the registry (used by tests and the metrics endpoint).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close stops the worker pool, waiting for running sweeps to finish.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the service's routed, instrumented HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/advise", s.instrument("/v1/advise", s.requirePost(s.handleAdvise)))
+	mux.Handle("/v1/threshold", s.instrument("/v1/threshold", s.requirePost(s.handleThreshold)))
+	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	return mux
+}
+
+// statusWriter captures the status code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the observability middleware:
+// in-flight gauge, per-endpoint request counter and latency histogram,
+// and one structured log line per request.
+func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		s.metrics.InFlight.Inc()
+		defer s.metrics.InFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(began)
+		s.metrics.RequestCounter(endpoint, sw.status).Inc()
+		s.metrics.LatencyHistogram(endpoint).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func (s *Server) requirePost(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		h(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.metrics.WriteTo(w); err != nil {
+		s.log.Warn("metrics write failed", "err", err)
+	}
+}
+
+// errorBody is the uniform error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
+}
+
+// decodeJSON decodes one JSON object from r into v, rejecting unknown
+// fields and trailing garbage so malformed requests fail loudly.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON body: trailing data")
+	}
+	return nil
+}

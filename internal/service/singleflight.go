@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key, in the spirit of
+// x/sync/singleflight but rebuilt on the standard library with two
+// service-specific twists:
+//
+//   - execution is delegated to a submit function (the worker pool) so
+//     sweep concurrency is bounded and never runs on request goroutines;
+//   - each flight owns a context that is cancelled when its last waiter
+//     hangs up, so an abandoned sweep stops mid-loop instead of running
+//     to completion for nobody (core.RunProblem checks the context
+//     between problem sizes).
+//
+// The flight context deliberately derives from context.Background(), not
+// from the first caller's request context: the leader is just whichever
+// request arrived first, and its disconnection must not kill the sweep
+// for the followers that joined afterwards.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done   chan struct{}
+	val    any
+	err    error
+	refs   int
+	cancel context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// Do returns the result of fn for key, computing it at most once across
+// concurrent callers. submit enqueues the computation (returning an error
+// when the queue is full, which fails the whole flight). shared reports
+// whether this caller joined an existing flight. When ctx is done before
+// the flight completes, Do detaches the caller and returns ctx's error;
+// the last caller to detach cancels the flight's context.
+func (g *flightGroup) Do(ctx context.Context, key string, submit func(func()) error, fn func(context.Context) (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	fl, ok := g.flights[key]
+	if ok {
+		fl.refs++
+		g.mu.Unlock()
+		return g.wait(ctx, key, fl, true)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	fl = &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.flights[key] = fl
+	g.mu.Unlock()
+
+	run := func() {
+		v, e := fn(fctx)
+		cancel() // release the flight context's resources
+		g.mu.Lock()
+		fl.val, fl.err = v, e
+		// Future calls for the key start a fresh flight; the result (if
+		// cacheable) is the fn closure's business, not the group's.
+		if g.flights[key] == fl {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(fl.done)
+	}
+	if err := submit(run); err != nil {
+		cancel()
+		g.mu.Lock()
+		fl.err = err
+		if g.flights[key] == fl {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(fl.done)
+	}
+	return g.wait(ctx, key, fl, false)
+}
+
+// waiterCount returns the number of callers currently waiting across all
+// flights. The concurrency tests use it as a deterministic barrier: once
+// every request has joined the flight, releasing the sweep proves the
+// whole batch shares one execution.
+func (g *flightGroup) waiterCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, fl := range g.flights {
+		n += fl.refs
+	}
+	return n
+}
+
+// wait blocks until the flight completes or the caller's ctx is done.
+func (g *flightGroup) wait(ctx context.Context, key string, fl *flight, shared bool) (any, bool, error) {
+	select {
+	case <-fl.done:
+		return fl.val, shared, fl.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		fl.refs--
+		last := fl.refs == 0
+		if last && g.flights[key] == fl {
+			// Remove the doomed flight so the next request for this key
+			// starts a fresh sweep instead of inheriting a cancellation.
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		if last {
+			fl.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}

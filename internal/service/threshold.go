@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// SweepConfigRequest is the wire form of the sweep knobs, mirroring the
+// artifact's CLI flags. Omitted fields take the benchmark's defaults
+// (min 1, max 4096, step 1, 8 iterations, alpha 1, beta 0); validation is
+// off because the service answers from the timing models.
+type SweepConfigRequest struct {
+	MinDim     int      `json:"min_dim,omitempty"`
+	MaxDim     int      `json:"max_dim,omitempty"`
+	Step       int      `json:"step,omitempty"`
+	Iterations int      `json:"iterations,omitempty"`
+	Alpha      *float64 `json:"alpha,omitempty"`
+	Beta       float64  `json:"beta,omitempty"`
+}
+
+// ThresholdRequest is the body of POST /v1/threshold: one offload-
+// threshold sweep for a system x problem x precision.
+type ThresholdRequest struct {
+	System    string             `json:"system"`
+	Kernel    string             `json:"kernel"`
+	Problem   string             `json:"problem,omitempty"` // default "square"
+	Precision string             `json:"precision"`
+	Config    SweepConfigRequest `json:"config"`
+}
+
+// ThresholdBody is one per-strategy threshold on the wire.
+type ThresholdBody struct {
+	Found    bool   `json:"found"`
+	M        int    `json:"m,omitempty"`
+	N        int    `json:"n,omitempty"`
+	K        int    `json:"k,omitempty"`
+	Notation string `json:"notation"`
+}
+
+// ThresholdResponse is the body of a successful POST /v1/threshold.
+type ThresholdResponse struct {
+	System     string                   `json:"system"`
+	Kernel     string                   `json:"kernel"`
+	Problem    string                   `json:"problem"`
+	Definition string                   `json:"definition"`
+	Precision  string                   `json:"precision"`
+	// Key is the cache identity of this result: system, problem and
+	// precision joined with core.Config.Hash().
+	Key        string                   `json:"key"`
+	Samples    int                      `json:"samples"`
+	Thresholds map[string]ThresholdBody `json:"thresholds"`
+	// Cached reports that the result was served from the cache;
+	// Deduplicated that it was computed once and shared with concurrent
+	// identical requests by singleflight.
+	Cached       bool `json:"cached"`
+	Deduplicated bool `json:"deduplicated,omitempty"`
+}
+
+// thresholdPlan is a fully resolved, validated threshold request.
+type thresholdPlan struct {
+	sys  systems.System
+	pt   core.ProblemType
+	prec core.Precision
+	cfg  core.Config
+	key  string
+}
+
+// resolve maps the wire request onto typed core values and computes the
+// canonical cache key.
+func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
+	var p thresholdPlan
+	var err error
+	if p.sys, err = systems.ByName(req.System); err != nil {
+		return p, err
+	}
+	kernel, err := core.ParseKernelKind(req.Kernel)
+	if err != nil {
+		return p, err
+	}
+	if p.prec, err = core.ParsePrecision(req.Precision); err != nil {
+		return p, err
+	}
+	problem := req.Problem
+	if problem == "" {
+		problem = "square"
+	}
+	if p.pt, err = core.FindProblem(kernel, problem); err != nil {
+		return p, err
+	}
+
+	c := req.Config
+	p.cfg = core.Config{
+		MinDim:     c.MinDim,
+		MaxDim:     c.MaxDim,
+		Step:       c.Step,
+		Iterations: c.Iterations,
+		Alpha:      1,
+		Beta:       c.Beta,
+		Mode:       core.ModeBoth,
+	}
+	if c.Alpha != nil {
+		p.cfg.Alpha = *c.Alpha
+	}
+	if p.cfg.MaxDim == 0 {
+		p.cfg.MaxDim = s.opts.MaxSweepDim
+	}
+	if p.cfg.MaxDim > s.opts.MaxSweepDim {
+		return p, fmt.Errorf("max_dim %d exceeds the service limit %d", p.cfg.MaxDim, s.opts.MaxSweepDim)
+	}
+	if p.cfg.Iterations == 0 {
+		p.cfg.Iterations = 8
+	}
+	hash, err := p.cfg.Hash()
+	if err != nil {
+		return p, err
+	}
+	p.key = fmt.Sprintf("%s|%s|%s|%s", p.sys.Name, p.pt.Kernel, p.pt.Name, p.prec) + "|" + hash
+	return p, nil
+}
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	var req ThresholdRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.resolveThreshold(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if v, ok := s.cache.Get(plan.key); ok {
+		s.metrics.CacheHits.Inc()
+		resp := v.(ThresholdResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.CacheMisses.Inc()
+
+	val, shared, err := s.flights.Do(r.Context(), plan.key, s.pool.Submit, func(ctx context.Context) (any, error) {
+		s.metrics.SweepsStarted.Inc()
+		resp, err := s.runSweep(ctx, plan)
+		switch {
+		case err == nil:
+			s.metrics.SweepsCompleted.Inc()
+			s.cache.Put(plan.key, resp)
+		case errors.Is(err, context.Canceled):
+			s.metrics.SweepsCancelled.Inc()
+		}
+		return resp, err
+	})
+	switch {
+	case err == nil:
+		resp := val.(ThresholdResponse)
+		resp.Deduplicated = shared
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case r.Context().Err() != nil:
+		// The client hung up; nobody is reading this response, but record
+		// the outcome for metrics/logs with nginx's 499 convention. The
+		// sweep was cancelled (or adopted by surviving waiters) already.
+		w.WriteHeader(499)
+		s.log.Info("threshold request abandoned", "key", plan.key)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// runSweep executes the sweep via the configured SweepFunc (core.Run in
+// production) and shapes the result for the wire.
+func (s *Server) runSweep(ctx context.Context, plan thresholdPlan) (ThresholdResponse, error) {
+	series, err := s.sweep(ctx, plan.sys, []core.ProblemType{plan.pt}, []core.Precision{plan.prec}, plan.cfg)
+	if err != nil {
+		return ThresholdResponse{}, err
+	}
+	if len(series) != 1 {
+		return ThresholdResponse{}, fmt.Errorf("sweep returned %d series, want 1", len(series))
+	}
+	ser := series[0]
+	resp := ThresholdResponse{
+		System:     plan.sys.Name,
+		Kernel:     plan.pt.Kernel.String(),
+		Problem:    plan.pt.Name,
+		Definition: plan.pt.Desc,
+		Precision:  plan.prec.String(),
+		Key:        plan.key,
+		Samples:    len(ser.Samples),
+		Thresholds: map[string]ThresholdBody{},
+	}
+	for _, st := range xfer.Strategies {
+		th := ser.Thresholds[st]
+		body := ThresholdBody{Found: th.Found, Notation: th.String()}
+		if th.Found {
+			body.M, body.N, body.K = th.Dims.M, th.Dims.N, th.Dims.K
+		}
+		resp.Thresholds[st.String()] = body
+	}
+	return resp, nil
+}

@@ -1,0 +1,318 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+)
+
+const smallSweep = `{
+  "system": "isambard-ai",
+  "kernel": "gemm",
+  "problem": "square",
+  "precision": "f32",
+  "config": {"max_dim": 96, "iterations": 8}
+}`
+
+func TestThresholdHappyPathAndCache(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/threshold", smallSweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out ThresholdResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached || out.System != "Isambard-AI" || out.Kernel != "GEMM" || out.Samples != 96 {
+		t.Fatalf("first response: %+v", out)
+	}
+	if len(out.Thresholds) != core.NumStrategies {
+		t.Fatalf("thresholds = %v", out.Thresholds)
+	}
+	// GH200 square SGEMM thresholds are small (Table III gives 52/82/180
+	// at 8 iterations); a 96-wide sweep must find Transfer-Once.
+	once := out.Thresholds["Once"]
+	if !once.Found || once.M < 2 || once.Notation == "—" {
+		t.Fatalf("Once threshold: %+v", once)
+	}
+
+	// The identical request is a cache hit: same key, Cached flag set.
+	resp, body = postJSON(t, ts.URL+"/v1/threshold", smallSweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d", resp.StatusCode)
+	}
+	var again ThresholdResponse
+	if err := json.Unmarshal([]byte(body), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != out.Key || again.Samples != out.Samples {
+		t.Fatalf("second response not served from cache: %+v", again)
+	}
+	if hits, misses := s.Metrics().CacheHits.Value(), s.Metrics().CacheMisses.Value(); hits != 1 || misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d", hits, misses)
+	}
+	if started := s.Metrics().SweepsStarted.Value(); started != 1 {
+		t.Fatalf("sweeps started = %d", started)
+	}
+}
+
+// A normalized-equal config (explicit defaults spelled out) must map to
+// the same cache key, because the key is built from core.Config.Hash().
+func TestThresholdCacheKeyCanonicalization(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	explicit := `{
+	  "system": "isambard-ai",
+	  "kernel": "gemm",
+	  "precision": "f32",
+	  "config": {"min_dim": 1, "max_dim": 96, "step": 1, "iterations": 8, "alpha": 1, "beta": 0}
+	}`
+	resp, body := postJSON(t, ts.URL+"/v1/threshold", smallSweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var a ThresholdResponse
+	if err := json.Unmarshal([]byte(body), &a); err != nil {
+		t.Fatal(err)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/threshold", explicit)
+	var b ThresholdResponse
+	if err := json.Unmarshal([]byte(body), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Key != b.Key || !b.Cached {
+		t.Fatalf("equivalent configs got different identities:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestThresholdBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown system", `{"system":"cray-1","kernel":"gemm","precision":"f32"}`, "unknown system"},
+		{"unknown kernel", `{"system":"dawn","kernel":"trsm","precision":"f32"}`, "unknown kernel"},
+		{"unknown problem", `{"system":"dawn","kernel":"gemm","problem":"round","precision":"f32"}`, "unknown GEMM problem"},
+		{"unknown precision", `{"system":"dawn","kernel":"gemm","precision":"f16"}`, "unknown precision"},
+		{"oversized sweep", `{"system":"dawn","kernel":"gemm","precision":"f32","config":{"max_dim":100000}}`, "exceeds the service limit"},
+		{"inverted range", `{"system":"dawn","kernel":"gemm","precision":"f32","config":{"min_dim":50,"max_dim":10}}`, "MaxDim"},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/threshold", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, body %s", tc.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, tc.wantErr) {
+			t.Fatalf("%s: body %q does not mention %q", tc.name, body, tc.wantErr)
+		}
+	}
+}
+
+// TestThresholdSingleflightDedup is the ISSUE's acceptance test: N
+// concurrent identical requests execute exactly one core.Run sweep; the
+// rest are served by singleflight (or, for stragglers, the cache).
+func TestThresholdSingleflightDedup(t *testing.T) {
+	const n = 8
+	var sweeps atomic.Int64
+	release := make(chan struct{})
+	counting := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		sweeps.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return core.Run(ctx, sys, pts, precs, cfg)
+	}
+	s, ts := newTestServer(t, Options{Sweep: counting})
+
+	results := make(chan ThresholdResponse, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/threshold", "application/json", strings.NewReader(smallSweep))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var out ThresholdResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			results <- out
+		}()
+	}
+
+	// Deterministic barrier: wait until every request has joined the one
+	// flight, then let the sweep run. (Requests still en route to the
+	// flight at release time are served from the cache instead — either
+	// way no second sweep can start.)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.waiterCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests joined the flight", s.flights.waiterCount(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got := 0
+	leaders := 0
+	for out := range results {
+		got++
+		if !out.Deduplicated && !out.Cached {
+			leaders++
+		}
+	}
+	if got != n {
+		t.Fatalf("responses = %d, want %d", got, n)
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+	if v := sweeps.Load(); v != 1 {
+		t.Fatalf("sweeps executed = %d, want exactly 1", v)
+	}
+	if v := s.Metrics().SweepsStarted.Value(); v != 1 {
+		t.Fatalf("SweepsStarted = %d, want 1", v)
+	}
+}
+
+// TestThresholdCancellation: cancelling the (only) client's request
+// cancels the flight context, which core.Run observes between problem
+// sizes — the sweep stops before completion.
+func TestThresholdCancellation(t *testing.T) {
+	started := make(chan struct{})
+	sweepErr := make(chan error, 1)
+	blocking := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		close(started)
+		// Hold mid-"sweep" until cancellation propagates, then hand the
+		// cancelled ctx to the real core.Run: it must refuse to sweep.
+		<-ctx.Done()
+		out, err := core.Run(ctx, sys, pts, precs, cfg)
+		sweepErr <- err
+		return out, err
+	}
+	s, ts := newTestServer(t, Options{Sweep: blocking})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/threshold", strings.NewReader(smallSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+
+	<-started
+	cancel()
+	if err := <-clientDone; err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-sweepErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sweep error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep never observed the cancellation")
+	}
+	// The cancelled result must not be cached, and the metrics must say
+	// the sweep was cancelled, not completed.
+	if s.cache.Len() != 0 {
+		t.Fatalf("cache has %d entries after a cancelled sweep", s.cache.Len())
+	}
+	waitFor(t, func() bool { return s.Metrics().SweepsCancelled.Value() == 1 })
+	if v := s.Metrics().SweepsCompleted.Value(); v != 0 {
+		t.Fatalf("SweepsCompleted = %d", v)
+	}
+}
+
+// TestThresholdQueueFull: with one worker and a one-deep queue, a third
+// distinct sweep is refused with 503 instead of blocking the handler.
+func TestThresholdQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return core.Run(context.Background(), sys, pts, precs, cfg)
+	}
+	s, ts := newTestServer(t, Options{Workers: 1, Queue: 1, Sweep: blocking})
+	body := func(maxDim int) string {
+		return fmt.Sprintf(`{"system":"dawn","kernel":"gemv","precision":"f64","config":{"max_dim":%d}}`, maxDim)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for _, dim := range []int{30, 40} {
+		go func(dim int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/threshold", "application/json", strings.NewReader(body(dim)))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(dim)
+	}
+	// Wait until the first sweep occupies the worker and the second fills
+	// the queue.
+	waitFor(t, func() bool { return s.flights.waiterCount() == 2 && s.pool.QueueDepth() == 1 })
+
+	resp, respBody := postJSON(t, ts.URL+"/v1/threshold", body(50))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, respBody)
+	}
+	if !strings.Contains(respBody, "queue full") {
+		t.Fatalf("body %q does not mention the queue", respBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// waitFor polls cond for up to 10s; it exists because some transitions
+// (worker picks up a queued job) have no completion signal to block on.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

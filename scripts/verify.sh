@@ -13,8 +13,9 @@
 #   4. go test       — full test suite (includes the blob-vet self-check
 #                      in internal/analysis/suite_test.go)
 #   5. go test -race — concurrency-sensitive packages under the race
-#                      detector: the worker pool, the harness, and the
-#                      multi-threaded BLAS kernels
+#                      detector: the worker pool, the harness, the
+#                      multi-threaded BLAS kernels, and the advisor
+#                      service (cache / singleflight / worker pool)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +31,7 @@ go run ./cmd/blob-vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (parallel, core, blas)"
-go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/...
+echo "==> go test -race (parallel, core, blas, service)"
+go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/...
 
 echo "verify: all gates passed"
