@@ -1,0 +1,57 @@
+package repro_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestBenchmarkIndexCoversRegistry is the drift check behind
+// EXPERIMENTS.md's benchmark index: every experiment in the registry must
+// have a testing.B benchmark in bench_test.go, every benchmarked ID must
+// exist in the registry, and the EXPERIMENTS.md index table must name
+// them all. Adding an experiment without its benchmark (or renaming an
+// ID in one place only) fails here instead of rotting silently.
+func TestBenchmarkIndexCoversRegistry(t *testing.T) {
+	src, err := os.ReadFile("bench_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	benched := map[string]bool{}
+	for _, m := range regexp.MustCompile(`runExperiment\(b, "([^"]+)"`).FindAllStringSubmatch(string(src), -1) {
+		benched[m[1]] = true
+	}
+	if len(benched) == 0 {
+		t.Fatal("no runExperiment calls found in bench_test.go")
+	}
+
+	registered := map[string]bool{}
+	for _, e := range experiments.Registry {
+		registered[e.ID] = true
+		if !benched[e.ID] {
+			t.Errorf("experiment %q has no benchmark in bench_test.go", e.ID)
+		}
+	}
+	for id := range benched {
+		if !registered[id] {
+			t.Errorf("bench_test.go benchmarks %q, which is not in the experiments registry", id)
+		}
+	}
+
+	md, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(md)
+	if !strings.Contains(doc, "## Benchmark index") {
+		t.Fatal("EXPERIMENTS.md is missing the Benchmark index section")
+	}
+	for id := range registered {
+		if !strings.Contains(doc, "`"+id+"`") {
+			t.Errorf("EXPERIMENTS.md benchmark index does not mention experiment %q", id)
+		}
+	}
+}

@@ -11,12 +11,16 @@
 //
 // The step/width knobs trade sweep resolution for benchmark runtime; the
 // shapes (who wins, where the crossovers sit) are stable under them.
+//
+// These benchmarks delegate to internal/benchmark, the same harness behind
+// cmd/blob-bench; EXPERIMENTS.md's benchmark index maps each one to the
+// paper element it regenerates and the blob-bench case that gates it.
 package repro_test
 
 import (
-	"io"
 	"testing"
 
+	"repro/internal/benchmark"
 	"repro/internal/experiments"
 )
 
@@ -34,16 +38,19 @@ func fullOpt() experiments.Options {
 
 func runExperiment(b *testing.B, id string, opt experiments.Options) {
 	b.Helper()
-	e, err := experiments.ByID(id)
+	c, err := benchmark.ExperimentCase(id, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, opt); err != nil {
-			b.Fatal(err)
-		}
+	benchmark.RunB(b, c)
+}
+
+// BenchmarkSuiteSmoke runs the blob-bench standardized suite at smoke
+// sizes under `go test -bench`, so the suite definition itself cannot rot:
+// a case whose Prepare or op errors fails here without needing the CLI.
+func BenchmarkSuiteSmoke(b *testing.B) {
+	for _, c := range benchmark.DefaultSuite(benchmark.Options{Smoke: true}) {
+		b.Run(c.Name, func(b *testing.B) { benchmark.RunB(b, c) })
 	}
 }
 

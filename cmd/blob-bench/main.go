@@ -1,0 +1,139 @@
+// blob-bench runs the repository's standardized benchmark suite and
+// manages the machine-readable BENCH_<tag>.json artifacts it produces —
+// the measurement counterpart of the paper's §III-C methodology applied
+// to this codebase itself (interleaved repetitions, discarded warm-up,
+// exact FLOP bookkeeping).
+//
+// Usage:
+//
+//	blob-bench                               # full suite -> BENCH_dev.json
+//	blob-bench -tag baseline                 # -> BENCH_baseline.json
+//	blob-bench -o out.json -reps 20          # explicit output and repetitions
+//	blob-bench -smoke                        # tiny sizes, 1 repetition (CI gate)
+//	blob-bench -run 'blas/gemm'              # only matching cases
+//	blob-bench -list                         # print the suite and exit
+//	blob-bench -compare OLD.json NEW.json    # regression gate
+//
+// The compare mode matches cases by name, classifies each median delta
+// against a noise band (-threshold, default 15%), and exits non-zero when
+// any case regressed beyond the band or disappeared — scripts/verify.sh
+// and PR reviews use it to hold the ROADMAP's "fast as the hardware
+// allows" line between BENCH_baseline.json and a fresh run.
+//
+// Exit status: 0 clean, 1 regression (compare mode), 2 operational error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"regexp"
+
+	"repro/internal/benchmark"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		tag       = flag.String("tag", "dev", "artifact tag; default output is BENCH_<tag>.json")
+		out       = flag.String("o", "", "output path (overrides the tag-derived name)")
+		reps      = flag.Int("reps", 0, "recorded repetitions per case (default 10, smoke 1)")
+		warmup    = flag.Int("warmup", 0, "discarded warm-up repetitions (0 = default: 2 full / 0 smoke; negative forces none)")
+		smoke     = flag.Bool("smoke", false, "tiny size ladder and one repetition: the CI smoke gate")
+		runRe     = flag.String("run", "", "regexp selecting case names to run")
+		list      = flag.Bool("list", false, "print the suite's case names and exit")
+		compare   = flag.Bool("compare", false, "compare two artifacts: blob-bench -compare old.json new.json")
+		threshold = flag.Float64("threshold", benchmark.DefaultNoiseThreshold,
+			"relative noise band for -compare; deltas beyond it are regressions/improvements")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *compare {
+		return runCompare(flag.Args(), *threshold)
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "blob-bench: positional arguments are only valid with -compare")
+		return 2
+	}
+
+	opt := benchmark.Options{Repetitions: *reps, Warmup: *warmup, Smoke: *smoke}
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blob-bench: bad -run regexp: %v\n", err)
+			return 2
+		}
+		opt.Filter = re
+	}
+	cases := benchmark.DefaultSuite(opt)
+	if *list {
+		for _, c := range cases {
+			fmt.Printf("%-10s %s\n", c.Group, c.Name)
+		}
+		return 0
+	}
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := benchmark.Run(ctx, cases, opt, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-bench: %v\n", err)
+		return 2
+	}
+	art := benchmark.NewArtifact(*tag, opt, results)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *tag)
+	}
+	if err := art.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "blob-bench: %v\n", err)
+		return 2
+	}
+	for _, c := range results {
+		if c.GFlops > 0 {
+			fmt.Printf("%-44s %14.0f ns/op  %8.2f GFLOP/s\n", c.Name, c.NsPerOp, c.GFlops)
+		} else {
+			fmt.Printf("%-44s %14.0f ns/op  p99 %12.0f ns\n", c.Name, c.NsPerOp, c.P99Ns)
+		}
+	}
+	fmt.Printf("wrote %s (%d cases)\n", path, len(results))
+	return 0
+}
+
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "blob-bench: -compare needs exactly two artifacts: old.json new.json")
+		return 2
+	}
+	oldArt, err := benchmark.ReadArtifact(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-bench: %v\n", err)
+		return 2
+	}
+	newArt, err := benchmark.ReadArtifact(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-bench: %v\n", err)
+		return 2
+	}
+	rep, err := benchmark.Compare(oldArt, newArt, threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blob-bench: %v\n", err)
+		return 2
+	}
+	rep.WriteText(os.Stdout)
+	if rep.Regressed() {
+		return 1
+	}
+	return 0
+}

@@ -14,6 +14,15 @@
 //
 //	blob-served -addr :8080 -workers 2 -queue 8 -cache 256 -drain 10s
 //
+// A separate debug listener (disabled by default) exposes net/http/pprof
+// and a runtime/metrics dump, so profiles can be captured from the
+// running service without putting the profiling surface on the public
+// port:
+//
+//	blob-served -addr :8080 -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	curl -s http://127.0.0.1:6060/debug/runtime
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight requests get up to -drain to finish, then the sweep worker
 // pool is shut down.
@@ -50,6 +59,7 @@ func run() error {
 		maxDim   = flag.Int("max-dim", 4096, "largest sweep max_dim a request may ask for")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		debug    = flag.String("debug-addr", "", "pprof/runtime-metrics listen address (empty = disabled; bind loopback)")
 	)
 	flag.Parse()
 
@@ -81,6 +91,25 @@ func run() error {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
 
+	// The debug listener is its own server on its own (ideally loopback)
+	// address: pprof never shares the public port. Failures here are
+	// fatal — a debug listener that silently failed to bind would defeat
+	// the point of asking for one.
+	var debugSrv *http.Server
+	if *debug != "" {
+		debugSrv = &http.Server{
+			Addr:              *debug,
+			Handler:           service.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+		logger.Info("debug listening", "addr", *debug)
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -91,6 +120,9 @@ func run() error {
 	logger.Info("draining", "timeout", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Close() // nothing to drain: profiles are best-effort
+	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown: %w", err)
 	}

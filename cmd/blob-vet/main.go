@@ -1,8 +1,9 @@
 // Command blob-vet runs the repository's custom static-analysis suite:
-// the four analyzers under internal/analysis that machine-check the
-// benchmark's numeric and concurrency invariants (argument validation in
-// BLAS kernels, no raw float equality, goroutine hygiene in the hot
-// paths, bit-reproducible simulator output).
+// the five analyzers under internal/analysis that machine-check the
+// benchmark's numeric, concurrency and documentation invariants
+// (argument validation in BLAS kernels, no raw float equality, goroutine
+// hygiene in the hot paths, bit-reproducible simulator output, and a real
+// GoDoc package comment on every package).
 //
 // Usage:
 //

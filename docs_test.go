@@ -1,0 +1,79 @@
+package repro_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocGoFencesParse extracts every ```go fence from the repository's
+// Markdown documentation and requires it to parse as Go. Snippets are
+// fragments, so each is accepted if any of three readings parses: a
+// complete file, a set of top-level declarations, or a sequence of
+// statements. This is the "docs can't silently rot" gate for the code
+// the README shows (the runnable counterparts live as Example tests in
+// internal/core, internal/blas, internal/advisor and internal/service).
+func TestDocGoFencesParse(t *testing.T) {
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		fences := goFences(string(data))
+		if doc == "README.md" && len(fences) == 0 {
+			t.Errorf("README.md has no ```go fences; the library sections should show code")
+		}
+		for _, f := range fences {
+			if err := parseFragment(f.src); err != nil {
+				t.Errorf("%s:%d: go fence does not parse: %v\n%s", doc, f.line, err, f.src)
+			}
+		}
+	}
+}
+
+type fence struct {
+	line int // 1-based line of the ```go marker
+	src  string
+}
+
+// goFences scans Markdown for ```go blocks.
+func goFences(md string) []fence {
+	var out []fence
+	lines := strings.Split(md, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, fence{line: start, src: strings.Join(body, "\n")})
+	}
+	return out
+}
+
+// parseFragment accepts the snippet under the loosest reading that
+// succeeds. Identifiers are not resolved — snippets legitimately use
+// variables introduced by surrounding prose — only syntax is checked.
+func parseFragment(src string) error {
+	fset := token.NewFileSet()
+	attempts := []string{
+		src,                                     // a complete file (has its own package clause)
+		"package p\n" + src,                     // top-level declarations
+		"package p\nfunc _() {\n" + src + "\n}", // statements
+	}
+	var firstErr error
+	for _, a := range attempts {
+		if _, err := parser.ParseFile(fset, "fence.go", a, parser.SkipObjectResolution); err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return fmt.Errorf("not a file, declarations, or statements (file reading: %v)", firstErr)
+}

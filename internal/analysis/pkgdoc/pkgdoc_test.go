@@ -1,0 +1,44 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pkgdoc"
+)
+
+// TestMissing: a package with no package comment at all is flagged once,
+// anchored to its first file's package clause.
+func TestMissing(t *testing.T) {
+	diags := analysistest.Run(t, pkgdoc.Analyzer,
+		"../testdata/src/pkgdoc_missing", "fixture/pkgdocmissing")
+	if len(diags) != 1 {
+		t.Errorf("want exactly 1 diagnostic, got %d", len(diags))
+	}
+}
+
+// TestStub: "Package foo." alone is not documentation.
+func TestStub(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer,
+		"../testdata/src/pkgdoc_stub", "fixture/pkgdocstub")
+}
+
+// TestWrongPrefix: a substantial comment that ignores the GoDoc
+// "Package <name>" convention is still a violation for library packages.
+func TestWrongPrefix(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer,
+		"../testdata/src/pkgdoc_wrongprefix", "fixture/pkgdocwrongprefix")
+}
+
+// TestOK: a conventional, substantial comment is silent.
+func TestOK(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, pkgdoc.Analyzer,
+		"../testdata/src/pkgdoc_ok", "fixture/pkgdocok")
+}
+
+// TestMainPackage: commands document the command, not "Package main", so
+// only existence and substance are enforced for main packages.
+func TestMainPackage(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, pkgdoc.Analyzer,
+		"../testdata/src/pkgdoc_main", "fixture/pkgdocmain")
+}

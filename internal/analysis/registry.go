@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/floatcompare"
 	"repro/internal/analysis/goroutinehygiene"
 	"repro/internal/analysis/kernelargcheck"
+	"repro/internal/analysis/pkgdoc"
 )
 
 // All returns the full analyzer suite in stable order.
@@ -20,5 +21,6 @@ func All() []*blobvet.Analyzer {
 		floatcompare.Analyzer,
 		goroutinehygiene.Analyzer,
 		kernelargcheck.Analyzer,
+		pkgdoc.Analyzer,
 	}
 }

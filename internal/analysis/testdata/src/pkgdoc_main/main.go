@@ -1,0 +1,6 @@
+// pkgdocmain is a command fixture: main packages document the command
+// ("what does running this do"), so the "Package main ..." prefix rule
+// does not apply — but the comment must still exist and say something.
+package main
+
+func main() {}

@@ -1,0 +1,5 @@
+package pkgdocmissing // want `package pkgdocmissing has no package comment`
+
+// Add is documented, but the package itself is not — function comments do
+// not substitute for a package comment.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,7 @@
+// Package pkgdocok divides integers and demonstrates the documentation
+// contract: a GoDoc-conventional, more-than-one-stub-sentence package
+// comment in a non-test file satisfies the pkgdoc analyzer.
+package pkgdocok
+
+// Div returns a/b; callers must ensure b is non-zero.
+func Div(a, b int) int { return a / b }

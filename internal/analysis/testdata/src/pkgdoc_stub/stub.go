@@ -1,0 +1,4 @@
+// Package pkgdocstub is small.
+package pkgdocstub // want `comment is a stub`
+
+func Sub(a, b int) int { return a - b }

@@ -1,0 +1,6 @@
+// This package multiplies integers together and exists so the analyzer can
+// check that a substantial comment still fails when it ignores the GoDoc
+// "Package <name> ..." convention.
+package pkgdocwrongprefix // want `does not start with "Package pkgdocwrongprefix \.\.\."`
+
+func Mul(a, b int) int { return a * b }

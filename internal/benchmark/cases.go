@@ -1,0 +1,309 @@
+package benchmark
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/flops"
+	"repro/internal/matrix"
+	"repro/internal/service"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// DefaultSuite builds the standardized suite: kernel cases over a size
+// ladder, modeled sweep and advisor cases, and end-to-end service cases.
+// The smoke ladder is small enough for a CI gate; the full ladder is what
+// BENCH_baseline.json records.
+func DefaultSuite(opt Options) []Case {
+	gemmSizes := []int{64, 128, 256}
+	gemvSizes := []int{512, 1024, 2048}
+	tallM := 2048
+	sweepDim := 256
+	if opt.Smoke {
+		gemmSizes = []int{32, 64}
+		gemvSizes = []int{128}
+		tallM = 256
+		sweepDim = 48
+	}
+
+	var cases []Case
+	for _, n := range gemmSizes {
+		cases = append(cases, gemmCase(core.F32, n, n, n, "square"))
+		cases = append(cases, gemmCase(core.F64, n, n, n, "square"))
+	}
+	// One of the paper's non-square problem types (§III-C): the tall-skinny
+	// rank-32 update shape that motivates Table V.
+	cases = append(cases, gemmCase(core.F32, tallM, 32, 32, "tallthin"))
+	for _, n := range gemvSizes {
+		cases = append(cases, gemvCase(core.F32, n))
+		cases = append(cases, gemvCase(core.F64, n))
+	}
+	cases = append(cases,
+		sweepCase("dawn", core.GEMM, core.F64, sweepDim),
+		sweepCase("isambard-ai", core.GEMV, core.F32, sweepDim),
+		adviseCase(),
+		serviceAdviseCase(),
+		serviceThresholdCachedCase(sweepDim),
+		serviceHealthzCase(),
+	)
+	return cases
+}
+
+// gemmCase benchmarks one Opt*gemm call on seeded operands.
+func gemmCase(prec core.Precision, m, n, k int, shape string) Case {
+	name := fmt.Sprintf("blas/gemm/f%d/%s/%d", 32*(1+int(prec)), shape, m)
+	return Case{
+		Name:       name,
+		Group:      "blas",
+		FlopsPerOp: flops.Gemm(m, n, k, flops.Beta{IsZero: true}),
+		Prepare: func() (func() error, func(), error) {
+			rng := matrix.NewRNG(matrix.DefaultSeed)
+			if prec == core.F32 {
+				a, b, c := matrix.NewDense32(m, k), matrix.NewDense32(k, n), matrix.NewDense32(m, n)
+				a.Fill(rng)
+				b.Fill(rng)
+				return func() error {
+					blas.OptSgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a.Data, a.Ld, b.Data, b.Ld, 0, c.Data, c.Ld)
+					return nil
+				}, nil, nil
+			}
+			a, b, c := matrix.NewDense64(m, k), matrix.NewDense64(k, n), matrix.NewDense64(m, n)
+			a.Fill(rng)
+			b.Fill(rng)
+			return func() error {
+				blas.OptDgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a.Data, a.Ld, b.Data, b.Ld, 0, c.Data, c.Ld)
+				return nil
+			}, nil, nil
+		},
+	}
+}
+
+// gemvCase benchmarks one square Opt*gemv call on seeded operands.
+func gemvCase(prec core.Precision, n int) Case {
+	name := fmt.Sprintf("blas/gemv/f%d/square/%d", 32*(1+int(prec)), n)
+	return Case{
+		Name:       name,
+		Group:      "blas",
+		FlopsPerOp: flops.Gemv(n, n, flops.Beta{IsZero: true}),
+		Prepare: func() (func() error, func(), error) {
+			rng := matrix.NewRNG(matrix.DefaultSeed)
+			if prec == core.F32 {
+				a, x, y := matrix.NewDense32(n, n), matrix.NewVector32(n), matrix.NewVector32(n)
+				a.Fill(rng)
+				x.Fill(rng)
+				return func() error {
+					blas.OptSgemv(blas.NoTrans, n, n, 1, a.Data, a.Ld, x.Data, x.Inc, 0, y.Data, y.Inc)
+					return nil
+				}, nil, nil
+			}
+			a, x, y := matrix.NewDense64(n, n), matrix.NewVector64(n), matrix.NewVector64(n)
+			a.Fill(rng)
+			x.Fill(rng)
+			return func() error {
+				blas.OptDgemv(blas.NoTrans, n, n, 1, a.Data, a.Ld, x.Data, x.Inc, 0, y.Data, y.Inc)
+				return nil
+			}, nil, nil
+		},
+	}
+}
+
+// sweepCase benchmarks one modeled offload sweep — the unit of work behind
+// POST /v1/threshold and the experiments registry. Validation is off so
+// the case isolates the sweep engine and timing models.
+func sweepCase(system string, kernel core.KernelKind, prec core.Precision, maxDim int) Case {
+	name := fmt.Sprintf("sweep/%s/%s/%s/d%d", kernelToken(kernel), precToken(prec), system, maxDim)
+	return Case{
+		Name:  name,
+		Group: "sweep",
+		Prepare: func() (func() error, func(), error) {
+			sys, err := systems.ByName(system)
+			if err != nil {
+				return nil, nil, err
+			}
+			pt, err := core.FindProblem(kernel, "square")
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg := core.Config{MinDim: 1, MaxDim: maxDim, Step: 1, Iterations: 8, Alpha: 1}
+			return func() error {
+				_, err := core.RunProblem(context.Background(), sys, pt, prec, cfg)
+				return err
+			}, nil, nil
+		},
+	}
+}
+
+// adviseCase benchmarks advisor.AdviseAll over a synthetic 64-call trace on
+// all three systems — cmd/blob-advise's hot path.
+func adviseCase() Case {
+	return Case{
+		Name:  "advise/trace64/all-systems",
+		Group: "advise",
+		Prepare: func() (func() error, func(), error) {
+			syss := systems.All()
+			calls := syntheticTrace(64)
+			return func() error {
+				_, err := advisor.AdviseAll(syss, calls)
+				return err
+			}, nil, nil
+		},
+	}
+}
+
+// syntheticTrace builds n deterministic call groups spanning both kernels,
+// both precisions and all three transfer strategies.
+func syntheticTrace(n int) []advisor.Call {
+	calls := make([]advisor.Call, 0, n)
+	for i := 0; i < n; i++ {
+		c := advisor.Call{
+			Kernel:    core.GEMM,
+			M:         64 + 32*(i%40),
+			N:         64 + 16*(i%40),
+			K:         64,
+			Precision: core.F32,
+			Count:     1 + i%32,
+			Strategy:  xfer.Strategies[i%len(xfer.Strategies)],
+		}
+		if i%2 == 1 {
+			c.Kernel = core.GEMV
+			c.K = 0
+		}
+		if i%3 == 0 {
+			c.Precision = core.F64
+		}
+		calls = append(calls, c)
+	}
+	return calls
+}
+
+// serviceEnv is a live in-process blob-served instance for the service
+// cases: real handlers, real middleware, loopback HTTP.
+type serviceEnv struct {
+	svc    *service.Server
+	ts     *httptest.Server
+	client *http.Client
+}
+
+func newServiceEnv() *serviceEnv {
+	svc := service.New(service.Options{Workers: 2, Queue: 8, CacheSize: 64})
+	ts := httptest.NewServer(svc.Handler())
+	return &serviceEnv{
+		svc:    svc,
+		ts:     ts,
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (e *serviceEnv) close() {
+	e.ts.Close()
+	e.svc.Close()
+}
+
+// do issues one request and fails on any non-2xx status.
+func (e *serviceEnv) do(method, path string, body []byte) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	return nil
+}
+
+// serviceAdviseCase measures the end-to-end latency of POST /v1/advise for
+// a two-call batch: JSON decode, validation, model evaluation, encode.
+func serviceAdviseCase() Case {
+	body := []byte(`{
+	  "systems": ["isambard-ai", "dawn"],
+	  "calls": [
+	    {"kernel":"gemm","m":1024,"n":1024,"k":1024,"precision":"f32","count":8,"movement":"once"},
+	    {"kernel":"gemv","m":4096,"n":4096,"precision":"f64","count":128,"movement":"always"}
+	  ]
+	}`)
+	return Case{
+		Name:  "service/advise/batch2",
+		Group: "service",
+		Prepare: func() (func() error, func(), error) {
+			env := newServiceEnv()
+			return func() error {
+				return env.do(http.MethodPost, "/v1/advise", body)
+			}, env.close, nil
+		},
+	}
+}
+
+// serviceThresholdCachedCase measures POST /v1/threshold on the cache-hit
+// path: one priming request computes the sweep, then every repetition is
+// served from the LRU — the steady state of a production advisor.
+func serviceThresholdCachedCase(maxDim int) Case {
+	body := []byte(fmt.Sprintf(`{
+	  "system": "dawn", "kernel": "gemm", "problem": "square",
+	  "precision": "f64", "config": {"max_dim": %d, "iterations": 8}
+	}`, maxDim))
+	return Case{
+		Name:  fmt.Sprintf("service/threshold/cached/d%d", maxDim),
+		Group: "service",
+		Prepare: func() (func() error, func(), error) {
+			env := newServiceEnv()
+			if err := env.do(http.MethodPost, "/v1/threshold", body); err != nil {
+				env.close()
+				return nil, nil, fmt.Errorf("priming threshold cache: %w", err)
+			}
+			return func() error {
+				return env.do(http.MethodPost, "/v1/threshold", body)
+			}, env.close, nil
+		},
+	}
+}
+
+// serviceHealthzCase measures GET /healthz — the floor of the HTTP stack
+// plus instrumentation middleware, useful to separate handler cost from
+// transport cost in the other service cases.
+func serviceHealthzCase() Case {
+	return Case{
+		Name:  "service/healthz",
+		Group: "service",
+		Prepare: func() (func() error, func(), error) {
+			env := newServiceEnv()
+			return func() error {
+				return env.do(http.MethodGet, "/healthz", nil)
+			}, env.close, nil
+		},
+	}
+}
+
+func kernelToken(k core.KernelKind) string {
+	if k == core.GEMM {
+		return "gemm"
+	}
+	return "gemv"
+}
+
+func precToken(p core.Precision) string {
+	if p == core.F32 {
+		return "f32"
+	}
+	return "f64"
+}

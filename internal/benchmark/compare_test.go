@@ -1,0 +1,149 @@
+package benchmark
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFixture(t *testing.T, name string) *Artifact {
+	t.Helper()
+	a, err := ReadArtifact(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return a
+}
+
+// TestCompareRegression is the acceptance proof for the gate: an injected
+// 30% slowdown on one case (beyond the 15% noise band) must classify as a
+// regression and flip Regressed(), which is exactly the condition under
+// which `blob-bench -compare` exits non-zero.
+func TestCompareRegression(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "regression.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected one", rep.Regressions)
+	}
+	d := rep.Regressions[0]
+	if d.Name != "blas/gemm/f64/square/256" {
+		t.Errorf("flagged %s, want blas/gemm/f64/square/256", d.Name)
+	}
+	if d.Ratio < 1.25 || d.Ratio > 1.35 {
+		t.Errorf("ratio = %.3f, want ~1.30 for the injected 30%% slowdown", d.Ratio)
+	}
+	if !rep.Regressed() {
+		t.Error("Regressed() = false; the CLI would exit 0 on a real regression")
+	}
+	// The 4% drift on the GEMV case must stay inside the band.
+	for _, u := range rep.Unchanged {
+		if u.Name == "blas/gemv/f64/square/1024" {
+			return
+		}
+	}
+	t.Error("the within-band GEMV drift was not classified as noise")
+}
+
+// TestCompareImprovement: a 40% speedup is reported as an improvement and
+// does not gate.
+func TestCompareImprovement(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "improvement.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressed() {
+		t.Fatalf("improvement artifact gated: %+v", rep)
+	}
+	if len(rep.Improvements) != 1 || rep.Improvements[0].Name != "sweep/gemm/f64/dawn/d256" {
+		t.Errorf("improvements = %+v, want exactly the sweep case", rep.Improvements)
+	}
+}
+
+// TestCompareNoiseBand: drift inside ±15% on every case is all noise —
+// no regressions, no improvements, exit zero.
+func TestCompareNoiseBand(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "noise.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressed() || len(rep.Improvements) != 0 {
+		t.Fatalf("noise-band artifact misclassified: %+v", rep)
+	}
+	if len(rep.Unchanged) != 4 {
+		t.Errorf("unchanged = %d cases, want all 4", len(rep.Unchanged))
+	}
+}
+
+// TestCompareSchemaMismatch: an artifact from a different schema version
+// must be refused at load time, not silently mis-compared.
+func TestCompareSchemaMismatch(t *testing.T) {
+	_, err := ReadArtifact(filepath.Join("testdata", "schema_mismatch.json"))
+	if err == nil {
+		t.Fatal("ReadArtifact accepted schema_version 2")
+	}
+	if !strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("error %q does not name the schema version", err)
+	}
+}
+
+// TestCompareMissingCase: a case that disappeared from the new artifact
+// gates, because deleting a benchmark is the easiest way to hide a
+// regression.
+func TestCompareMissingCase(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "missing_case.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "service/advise/batch2" {
+		t.Fatalf("OnlyOld = %v, want the dropped service case", rep.OnlyOld)
+	}
+	if !rep.Regressed() {
+		t.Error("a dropped case must gate")
+	}
+}
+
+// TestCompareSmokeVsFull: smoke artifacts measure different sizes, so
+// comparing one against a full artifact is an error.
+func TestCompareSmokeVsFull(t *testing.T) {
+	full := readFixture(t, "baseline.json")
+	smoke := readFixture(t, "noise.json")
+	smoke.Smoke = true
+	if _, err := Compare(full, smoke, 0.15); err == nil {
+		t.Fatal("smoke-vs-full comparison was accepted")
+	}
+}
+
+// TestCompareDefaultThreshold: threshold <= 0 falls back to the package
+// default, which must itself be 15% — the documented gate width.
+func TestCompareDefaultThreshold(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "regression.json"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold < 0.149 || rep.Threshold > 0.151 {
+		t.Errorf("default threshold = %g, want 0.15", rep.Threshold)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Errorf("default-threshold compare found %d regressions, want 1", len(rep.Regressions))
+	}
+}
+
+// TestReportWriteText: the human rendering names the regression and the
+// totals line; worst-first ordering is part of the contract.
+func TestReportWriteText(t *testing.T) {
+	rep, err := Compare(readFixture(t, "baseline.json"), readFixture(t, "regression.json"), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "blas/gemm/f64/square/256") {
+		t.Errorf("report text missing the regression line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("report text missing the totals line:\n%s", out)
+	}
+}

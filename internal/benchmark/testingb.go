@@ -1,0 +1,52 @@
+package benchmark
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentCase wraps one experiments-registry entry as a Case, so the
+// per-table/figure benchmarks in the top-level bench_test.go and the
+// blob-bench suite share one definition of "regenerate this paper
+// element".
+func ExperimentCase(id string, opt experiments.Options) (Case, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{
+		Name:  "experiment/" + e.ID,
+		Group: "experiment",
+		Prepare: func() (func() error, func(), error) {
+			return func() error { return e.Run(io.Discard, opt) }, nil, nil
+		},
+	}, nil
+}
+
+// RunB adapts a Case to a testing.B loop: Prepare outside the timer, the
+// op inside it. GFLOP/s is reported as a custom metric when the case
+// carries a FLOP count.
+func RunB(b *testing.B, c Case) {
+	b.Helper()
+	op, cleanup, err := c.Prepare()
+	if err != nil {
+		b.Fatalf("preparing %s: %v", c.Name, err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(); err != nil {
+			b.Fatalf("%s: %v", c.Name, err)
+		}
+	}
+	b.StopTimer()
+	if c.FlopsPerOp > 0 && b.Elapsed() > 0 {
+		totalFlops := float64(c.FlopsPerOp) * float64(b.N)
+		b.ReportMetric(totalFlops/float64(b.Elapsed().Nanoseconds()), "GFLOP/s")
+	}
+}

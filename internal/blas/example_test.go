@@ -1,0 +1,27 @@
+package blas_test
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+)
+
+// ExampleOptDgemm shows the README's standalone-BLAS usage: column-major
+// operands, beta = 0 so C is written without being read (the paper's
+// Table I contract). A is 2x3, B is 3x2, C is 2x2.
+func ExampleOptDgemm() {
+	m, n, k := 2, 2, 3
+	a := []float64{ // column-major 2x3: [1 2 3; 4 5 6]
+		1, 4,
+		2, 5,
+		3, 6,
+	}
+	b := []float64{ // column-major 3x2: [7 10; 8 11; 9 12]
+		7, 8, 9,
+		10, 11, 12,
+	}
+	c := make([]float64, m*n)
+	blas.OptDgemm(blas.NoTrans, blas.NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	fmt.Println(c)
+	// Output: [50 122 68 167]
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// ExampleRunProblem is the README's "Using the library" walkthrough as a
+// compiled, output-checked test: sweep square DGEMM on the DAWN model and
+// read off the Transfer-Once offload threshold. (The README quotes the
+// paper-scale d = 4096 run; this example sweeps to d = 1024 so `go test`
+// stays fast — the detector finds the same kind of answer either way.)
+func ExampleRunProblem() {
+	sys := systems.DAWN()
+	pt, _ := core.FindProblem(core.GEMM, "square")
+	cfg := core.DefaultConfig(8) // -i 8 -s 1
+	cfg.MaxDim = 1024            // -d 1024
+	series, _ := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
+	fmt.Println(series.Thresholds[xfer.TransferOnce])
+	// Output: {404, 404, 404}
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sort"
+)
+
+// DebugHandler returns the service's profiling and runtime-introspection
+// surface:
+//
+//	/debug/pprof/...  the standard net/http/pprof handlers (profile,
+//	                  heap, goroutine, trace, ...)
+//	/debug/runtime    a plain-text dump of the Go runtime/metrics
+//	                  supported on this toolchain
+//
+// It is deliberately NOT part of Handler(): profiles reveal memory
+// contents and can be made arbitrarily expensive to produce, so
+// cmd/blob-served mounts this handler only on the separate -debug-addr
+// listener (default disabled, loopback recommended) — guarded by network
+// reachability rather than sharing the public port.
+//
+// Note that importing net/http/pprof also registers handlers on
+// http.DefaultServeMux as a side effect; nothing in this repository ever
+// serves DefaultServeMux, so the explicit routes below are the only way
+// in.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", handleRuntimeMetrics)
+	return mux
+}
+
+// handleRuntimeMetrics samples every supported runtime/metrics entry and
+// writes one line per metric. Histogram-kind metrics are summarized as
+// count plus approximate p50/p99 taken from the bucket boundaries, which
+// is enough to watch GC pause and scheduling latency drift on a live
+// blob-served without attaching a profiler.
+func handleRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			count, p50, p99 := histogramSummary(h)
+			fmt.Fprintf(w, "%s count=%d p50=%g p99=%g\n", s.Name, count, p50, p99)
+		}
+	}
+}
+
+// histogramSummary returns the total count and the nearest-bucket p50/p99
+// upper bounds of a runtime histogram.
+func histogramSummary(h *metrics.Float64Histogram) (count uint64, p50, p99 float64) {
+	for _, c := range h.Counts {
+		count += c
+	}
+	if count == 0 {
+		return 0, 0, 0
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(q * float64(count))
+		var seen uint64
+		for i, c := range h.Counts {
+			seen += c
+			if seen > target {
+				// Buckets[i+1] is the bucket's upper bound; the last
+				// bucket's bound may be +Inf, in which case report the
+				// finite lower bound instead.
+				hi := h.Buckets[i+1]
+				if math.IsInf(hi, 1) {
+					return h.Buckets[i]
+				}
+				return hi
+			}
+		}
+		return h.Buckets[len(h.Buckets)-1]
+	}
+	return count, quantile(0.50), quantile(0.99)
+}

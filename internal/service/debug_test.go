@@ -1,0 +1,110 @@
+package service
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestDebugHandlerPprofIndex: the pprof index and the per-profile pages
+// must be reachable on the debug mux.
+func TestDebugHandlerPprofIndex(t *testing.T) {
+	ts := httptest.NewServer(DebugHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/heap?debug=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, body %.200s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}
+
+// TestDebugHandlerRuntimeMetrics: /debug/runtime must emit one line per
+// supported runtime metric, including the GC and scheduler families.
+func TestDebugHandlerRuntimeMetrics(t *testing.T) {
+	ts := httptest.NewServer(DebugHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	lines := strings.Count(text, "\n")
+	if want := len(metrics.All()); lines != want {
+		t.Errorf("got %d metric lines, want %d (one per supported metric)", lines, want)
+	}
+	for _, name := range []string{"/gc/heap/allocs:bytes", "/sched/latencies:seconds", "/memory/classes/total:bytes"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("missing metric %s in dump", name)
+		}
+	}
+}
+
+// TestDebugHandlerNotOnPublicMux: the public Handler must not expose the
+// profiling surface — that is the whole point of the separate listener.
+func TestDebugHandlerNotOnPublicMux(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("public mux served /debug/pprof/ with status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHistogramSummary exercises the quantile fold on a synthetic
+// histogram with a +Inf tail bucket.
+func TestHistogramSummary(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 9, 1},
+		Buckets: []float64{0, 1, 2, 3, inf()},
+	}
+	count, p50, p99 := histogramSummary(h)
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if p50 < 1.5 || p50 > 2.5 {
+		t.Errorf("p50 = %g, want the bulk bucket's bound 2", p50)
+	}
+	// The p99 sample lands in the +Inf bucket, whose reported bound must
+	// fall back to the finite lower edge 3.
+	if p99 < 2.5 || p99 > 3.5 {
+		t.Errorf("p99 = %g, want the finite lower bound 3", p99)
+	}
+
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if c, a, b := histogramSummary(empty); c != 0 || a > 0 || b > 0 {
+		t.Errorf("empty histogram summary = (%d, %g, %g), want zeros", c, a, b)
+	}
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,40 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Example_advise is the README's "Serving advice" curl, compiled: start
+// the blob-served handler in-process, POST one call group to /v1/advise,
+// and read the verdict. Everything the real daemon does — decoding,
+// validation, model evaluation, metrics — runs here too.
+func Example_advise() {
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/advise", "application/json", strings.NewReader(`{
+	  "systems": ["isambard-ai"],
+	  "calls": [{"kernel":"gemm","m":2048,"n":2048,"k":2048,
+	             "precision":"f32","count":32,"movement":"once"}]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	var body service.AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		panic(err)
+	}
+	v := body.Verdicts[0]
+	fmt.Printf("%s: offload=%v speedup=%.1fx\n", v.System, v.Offload, v.Speedup)
+	// Output: Isambard-AI: offload=true speedup=8.3x
+}

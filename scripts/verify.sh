@@ -9,10 +9,16 @@
 #   2. go vet        — stock Go static analysis
 #   3. blob-vet      — this repo's own analyzers (see internal/analysis):
 #                      kernelargcheck, floatcompare, goroutinehygiene,
-#                      determinism
+#                      determinism, pkgdoc
 #   4. go test       — full test suite (includes the blob-vet self-check
-#                      in internal/analysis/suite_test.go)
-#   5. go test -race — concurrency-sensitive packages under the race
+#                      in internal/analysis/suite_test.go and the doc
+#                      gates: README/DESIGN/EXPERIMENTS go fences must
+#                      parse, benchmark index must match the registry)
+#   5. blob-bench    — smoke run of the standardized benchmark suite
+#                      (tiny sizes, one interleaved repetition): proves
+#                      every case still prepares, runs and serializes
+#                      to a valid BENCH_*.json
+#   6. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, and the advisor
 #                      service (cache / singleflight / worker pool)
@@ -30,6 +36,11 @@ go run ./cmd/blob-vet ./...
 
 echo "==> go test ./..."
 go test ./...
+
+echo "==> blob-bench -smoke"
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 
 echo "==> go test -race (parallel, core, blas, service)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/...
