@@ -14,6 +14,18 @@
 //
 //	blob-served -addr :8080 -workers 2 -queue 8 -cache 256 -drain 10s
 //
+// The resilience layer is tunable from the command line: -request-timeout
+// bounds one threshold request end to end (expiry answers 504),
+// -sweep-retries retries transient backend faults inside a sweep,
+// -cache-ttl bounds how long a cached result counts as fresh (while a
+// system's circuit breaker is open, an expired entry is still served,
+// marked "stale": true), and -fault-plan arms a seeded fault-injection
+// plan (JSON, see DESIGN.md §11) on the simulated backends — the chaos
+// mode used to rehearse all of the above:
+//
+//	blob-served -request-timeout 30s -sweep-retries 10 -cache-ttl 1h \
+//	    -fault-plan plan.json
+//
 // A separate debug listener (disabled by default) exposes net/http/pprof
 // and a runtime/metrics dump, so profiles can be captured from the
 // running service without putting the profiling surface on the public
@@ -40,7 +52,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/service"
+	"repro/internal/sim/systems"
 )
 
 func main() {
@@ -60,6 +75,11 @@ func run() error {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		debug    = flag.String("debug-addr", "", "pprof/runtime-metrics listen address (empty = disabled; bind loopback)")
+
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for /v1/threshold; expiry answers 504 (0 = unbounded)")
+		retries    = flag.Int("sweep-retries", 0, "attempts per backend call inside a sweep for transient faults (0/1 = no retry)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "freshness window for cached threshold results; expired entries serve only while the backend's breaker is open, marked stale (0 = fresh forever)")
+		faultPlan  = flag.String("fault-plan", "", "seeded fault-injection plan (JSON file) to arm on the simulated backends — chaos mode")
 	)
 	flag.Parse()
 
@@ -69,13 +89,34 @@ func run() error {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	svc := service.New(service.Options{
-		Workers:     *workers,
-		Queue:       *queue,
-		CacheSize:   *cache,
-		MaxSweepDim: *maxDim,
-		Logger:      logger,
-	})
+	opts := service.Options{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cache,
+		MaxSweepDim:    *maxDim,
+		Logger:         logger,
+		RequestTimeout: *reqTimeout,
+		Resilience:     core.Resilience{MaxAttempts: *retries},
+		CacheTTL:       *cacheTTL,
+	}
+	if *faultPlan != "" {
+		plan, err := faultinject.LoadPlan(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("bad -fault-plan: %w", err)
+		}
+		inj := plan.Arm()
+		// One injector feeds every layer: the service-level site plus the
+		// sim backends of each sweep, so the fault stream is a single
+		// deterministic sequence under the plan's seed.
+		opts.Inject = inj
+		opts.Sweep = func(ctx context.Context, sys systems.System, problems []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+			sys.CPU.Inject = inj
+			sys.GPU.Inject = inj
+			return core.Run(ctx, sys, problems, precs, cfg)
+		}
+		logger.Warn("fault injection armed", "plan", *faultPlan, "seed", plan.Seed, "rules", len(plan.Rules))
+	}
+	svc := service.New(opts)
 	defer svc.Close()
 
 	httpSrv := &http.Server{

@@ -9,6 +9,13 @@
 //
 //	blob-threshold cpu.csv gpu.csv
 //	blob-threshold combined.csv
+//
+// It also reads the sweep checkpoints written by gpu-blob
+// -checkpoint-dir: -checkpoint prints the provisional per-strategy
+// thresholds of an interrupted sweep, computed from the completed
+// samples only:
+//
+//	blob-threshold -checkpoint out/sweep-1a2b3c4d5e6f7a8b.json
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/csvio"
+	"repro/internal/sim/xfer"
 )
 
 func main() {
@@ -28,11 +37,16 @@ func main() {
 }
 
 func run() error {
+	checkpoint := flag.String("checkpoint", "", "sweep checkpoint file (from gpu-blob -checkpoint-dir): print its partial thresholds instead of reading CSVs")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: blob-threshold <cpu.csv> [gpu.csv ...]")
+		fmt.Fprintln(os.Stderr, "       blob-threshold -checkpoint <sweep-*.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *checkpoint != "" {
+		return printCheckpoint(*checkpoint)
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		return fmt.Errorf("need at least one CSV file")
@@ -83,6 +97,24 @@ func run() error {
 		for _, s := range strategies {
 			fmt.Printf("  %-7s %s\n", s, th[s])
 		}
+	}
+	return nil
+}
+
+// printCheckpoint reports the provisional thresholds of an interrupted
+// sweep from its checkpoint file. They are marked provisional because a
+// CPU win at a larger, not-yet-swept size would move them.
+func printCheckpoint(path string) error {
+	cp, err := core.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s: %s %s %s, %d samples completed, next size parameter %d\n",
+		path, cp.System, cp.Problem, cp.Precision, len(cp.Samples), cp.NextP)
+	th := cp.PartialThresholds()
+	fmt.Println("provisional thresholds (completed samples only):")
+	for _, st := range xfer.Strategies {
+		fmt.Printf("  %-7s %s\n", st, th[st])
 	}
 	return nil
 }

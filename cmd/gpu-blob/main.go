@@ -12,6 +12,12 @@
 // the DAWN model with sizes 1..4096. Use --experiment to regenerate a
 // specific paper table or figure instead (table1, table3..table6, fig2..
 // fig7, flops-model, xnack, batched, perfstat, or "all").
+//
+// The resilience flags make long sweeps survivable: -retries retries
+// transient backend faults with full-jitter backoff, -checkpoint-dir
+// persists progress so a killed sweep resumes from the last completed
+// size (blob-threshold -checkpoint inspects the file), and -fault-plan
+// arms a seeded fault-injection plan (DESIGN.md §11) to rehearse both.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
@@ -56,6 +63,11 @@ func run() error {
 		liveReps   = flag.Int("live-repeats", 1, "with --live-cpu, measurement repeats per size (fastest kept)")
 		experiment = flag.String("experiment", "", "regenerate a paper element instead of sweeping (see package doc); 'all' runs every one")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+
+		retries   = flag.Int("retries", 0, "attempts per backend call for transient faults (0/1 = no retry)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for sweep checkpoints; an aborted sweep resumes from the last completed size (empty = off)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "samples between checkpoint writes (0 = default 64)")
+		faultPlan = flag.String("fault-plan", "", "seeded fault-injection plan (JSON file) to arm on the simulated backends — chaos mode")
 	)
 	flag.Parse()
 
@@ -89,8 +101,23 @@ func run() error {
 		MinDim: *minDim, MaxDim: *maxDim, Step: *step,
 		Iterations: *iters, Alpha: *alpha, Beta: *beta,
 		Validate: core.DefaultValidation(),
+		Resilience: core.Resilience{
+			MaxAttempts:     *retries,
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: *ckptEvery,
+		},
 	}
 	cfg.Validate.Enabled = !*noValidate
+	var inj *faultinject.Injector
+	if *faultPlan != "" {
+		plan, err := faultinject.LoadPlan(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("bad -fault-plan: %w", err)
+		}
+		inj = plan.Arm()
+		sys.CPU.Inject = inj
+		sys.GPU.Inject = inj
+	}
 	if *liveCPU {
 		cfg.LiveCPU = &core.LiveCPUTimer{Repeats: *liveReps}
 	}
@@ -112,6 +139,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	series, err := core.Run(ctx, sys, problems, []core.Precision{core.F32, core.F64}, cfg)
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(os.Stderr, "fault injection: %d evaluations, %d transient, %d hard, %d latency, %d panic\n",
+			st.Evaluations, st.Transients, st.Hards, st.Latencies, st.Panics)
+	}
 	if err != nil {
 		return err
 	}

@@ -42,8 +42,13 @@ var Analyzer = &blobvet.Analyzer{
 	Run: run,
 }
 
-// hotPaths are the package-path suffixes the analyzer applies to.
-var hotPaths = []string{"internal/blas", "internal/core", "internal/parallel", "internal/service"}
+// hotPaths are the package-path suffixes the analyzer applies to. The
+// resilience and fault-injection packages sit on every retried backend
+// call, so they carry the same hygiene bar as the kernels they guard.
+var hotPaths = []string{
+	"internal/blas", "internal/core", "internal/faultinject",
+	"internal/parallel", "internal/resilience", "internal/service",
+}
 
 // poolPackages are the hot-path packages that define a sanctioned worker
 // pool: go statements are legal there, but only inside Pool's methods.

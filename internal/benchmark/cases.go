@@ -12,6 +12,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flops"
 	"repro/internal/matrix"
 	"repro/internal/service"
@@ -50,6 +51,7 @@ func DefaultSuite(opt Options) []Case {
 	cases = append(cases,
 		sweepCase("dawn", core.GEMM, core.F64, sweepDim),
 		sweepCase("isambard-ai", core.GEMV, core.F32, sweepDim),
+		retryOverheadCase(sweepDim),
 		adviseCase(),
 		serviceAdviseCase(),
 		serviceThresholdCachedCase(sweepDim),
@@ -136,6 +138,45 @@ func sweepCase(system string, kernel core.KernelKind, prec core.Precision, maxDi
 			cfg := core.Config{MinDim: 1, MaxDim: maxDim, Step: 1, Iterations: 8, Alpha: 1}
 			return func() error {
 				_, err := core.RunProblem(context.Background(), sys, pt, prec, cfg)
+				return err
+			}, nil, nil
+		},
+	}
+}
+
+// retryOverheadCase benchmarks the same modeled sweep as sweepCase with
+// the resilience layer armed but quiet: a retry budget is configured and
+// a fault injector is consulted on every backend call, but its one rule
+// can never match. Comparing it against sweep/gemm/f64/dawn/d<N> bounds
+// the cost of carrying the fault-injection and retry plumbing on the hot
+// path — the issue's bar is under 1%.
+func retryOverheadCase(maxDim int) Case {
+	name := fmt.Sprintf("resilience/retry-overhead/d%d", maxDim)
+	return Case{
+		Name:  name,
+		Group: "resilience",
+		Prepare: func() (func() error, func(), error) {
+			sys, err := systems.ByName("dawn")
+			if err != nil {
+				return nil, nil, err
+			}
+			pt, err := core.FindProblem(core.GEMM, "square")
+			if err != nil {
+				return nil, nil, err
+			}
+			// The rule's size window sits above the sweep, so every
+			// consult is a miss: the injector runs its full matching path
+			// without ever firing a fault or triggering a retry.
+			plan := faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+				{Backend: faultinject.BackendGPU, MinDim: maxDim + 1, Probability: 1, Kind: faultinject.Transient},
+			}}
+			inj := plan.Arm()
+			sys.CPU.Inject = inj
+			sys.GPU.Inject = inj
+			cfg := core.Config{MinDim: 1, MaxDim: maxDim, Step: 1, Iterations: 8, Alpha: 1,
+				Resilience: core.Resilience{MaxAttempts: 3}}
+			return func() error {
+				_, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
 				return err
 			}, nil, nil
 		},

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim/systems"
+)
+
+// normalizedSamples strips the resilience bookkeeping (Retries) so a
+// chaos run can be compared byte-for-byte against a fault-free one.
+func normalizedSamples(t *testing.T, samples []Sample) []byte {
+	t.Helper()
+	clean := make([]Sample, len(samples))
+	copy(clean, samples)
+	for i := range clean {
+		clean[i].Retries = 0
+	}
+	data, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosSweepConvergesToFaultFreeVerdicts is the issue's seeded chaos
+// test: a sweep whose GPU backend fails transiently 30% of the time must,
+// with retries enabled, converge to byte-identical samples and identical
+// threshold verdicts as the fault-free run.
+func TestChaosSweepConvergesToFaultFreeVerdicts(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(8)
+
+	clean, err := RunProblem(context.Background(), systems.IsambardAI(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := systems.IsambardAI()
+	plan := &faultinject.Plan{Seed: 20260805, Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendGPU, Probability: 0.3, Kind: faultinject.Transient},
+	}}
+	sys.GPU.Inject = plan.Arm()
+	cfg.Resilience.MaxAttempts = 25 // P(25 straight 30% failures) ~ 8e-14
+	chaos, err := RunProblem(context.Background(), sys, pt, F32, cfg)
+	if err != nil {
+		t.Fatalf("chaos sweep did not converge: %v", err)
+	}
+
+	if chaos.Thresholds != clean.Thresholds {
+		t.Fatalf("verdicts diverged under chaos:\n  clean: %v\n  chaos: %v",
+			clean.Thresholds, chaos.Thresholds)
+	}
+	cb, xb := normalizedSamples(t, clean.Samples), normalizedSamples(t, chaos.Samples)
+	if string(cb) != string(xb) {
+		t.Fatal("samples diverged under chaos (beyond Retries bookkeeping)")
+	}
+	total := 0
+	for _, smp := range chaos.Samples {
+		total += smp.Retries
+	}
+	if total == 0 {
+		t.Fatal("a 30% fault plan caused zero retries — the plan never fired")
+	}
+	t.Logf("chaos sweep: %d samples, %d transient faults retried away", len(chaos.Samples), total)
+}
+
+// TestChaosHardFaultAborts: hard faults are not retried; the sweep fails
+// with the fault in the error chain.
+func TestChaosHardFaultAborts(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(4)
+	cfg.Resilience.MaxAttempts = 25
+	sys := systems.IsambardAI()
+	sys.GPU.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendGPU, MinDim: 100, Probability: 1, Kind: faultinject.Hard},
+	}}).Arm()
+	_, err := RunProblem(context.Background(), sys, pt, F32, cfg)
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) || fe.Transient() {
+		t.Fatalf("got %v, want a hard *faultinject.Error", err)
+	}
+}
+
+// TestChaosRetryBudgetExhaustion: when a site always fails transiently
+// and the budget runs out, the last fault surfaces.
+func TestChaosRetryBudgetExhaustion(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(4)
+	cfg.Resilience.MaxAttempts = 3
+	sys := systems.IsambardAI()
+	sys.CPU.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendCPU, Probability: 1, Kind: faultinject.Transient},
+	}}).Arm()
+	_, err := RunProblem(context.Background(), sys, pt, F32, cfg)
+	var fe *faultinject.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want *faultinject.Error after budget exhaustion", err)
+	}
+}
+
+// cancelAfter is an injection point that cancels a context after a fixed
+// number of consultations — a deterministic way to kill a sweep mid-run.
+type cancelAfter struct {
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) At(faultinject.Site) (float64, error) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+	return 0, nil
+}
+
+// TestCheckpointResume kills a sweep mid-run, then resumes it from the
+// checkpoint and verifies the final series is byte-identical to an
+// uninterrupted run — the issue's kill-and-resume acceptance criterion.
+func TestCheckpointResume(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(8)
+	dir := t.TempDir()
+	cfg.Resilience.CheckpointDir = dir
+	cfg.Resilience.CheckpointEvery = 8
+
+	clean, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The completed sweep must have cleaned up its checkpoint.
+	left, _ := filepath.Glob(filepath.Join(dir, "sweep-*.json"))
+	if len(left) != 0 {
+		t.Fatalf("completed sweep left checkpoints behind: %v", left)
+	}
+
+	// Kill a fresh sweep roughly half way through: each sample consults
+	// the gpu point 3x (strategies) + movement sites via the same Point,
+	// so ~40 samples in.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sys := systems.DAWN()
+	sys.GPU.Inject = &cancelAfter{n: 240, cancel: cancel}
+	_, err = RunProblem(ctx, sys, pt, F32, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed sweep returned %v, want context.Canceled", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "sweep-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("aborted sweep left %d checkpoints, want 1", len(files))
+	}
+	cp, err := LoadCheckpoint(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Samples) == 0 || len(cp.Samples) >= len(clean.Samples) {
+		t.Fatalf("checkpoint has %d samples, want a strict mid-run prefix of %d",
+			len(cp.Samples), len(clean.Samples))
+	}
+	if cp.System != "DAWN" || cp.Problem != pt.Name || cp.Precision != "S" {
+		t.Fatalf("checkpoint identity wrong: %+v", cp)
+	}
+
+	// Resume with a healthy system and compare against the clean run.
+	resumed, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if resumed.Thresholds != clean.Thresholds {
+		t.Fatalf("resumed thresholds %v != clean %v", resumed.Thresholds, clean.Thresholds)
+	}
+	cb, rb := normalizedSamples(t, clean.Samples), normalizedSamples(t, resumed.Samples)
+	if string(cb) != string(rb) {
+		t.Fatal("resumed samples differ from uninterrupted run")
+	}
+	left, _ = filepath.Glob(filepath.Join(dir, "sweep-*.json"))
+	if len(left) != 0 {
+		t.Fatalf("resumed sweep left checkpoints behind: %v", left)
+	}
+}
+
+// TestCheckpointKeyMismatchIgnored: a checkpoint bound to a different
+// sweep identity is ignored, not resumed into the wrong results.
+func TestCheckpointKeyMismatchIgnored(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(8)
+	dir := t.TempDir()
+	cfg.Resilience.CheckpointDir = dir
+
+	key, err := CheckpointKey(systems.DAWN(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := Checkpoint{Key: "someone|else|S|deadbeef", NextP: 9999}
+	data, _ := json.Marshal(&bogus)
+	if err := os.WriteFile(CheckpointPath(dir, key), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunProblem(context.Background(), systems.DAWN(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ser.Samples) != 64 {
+		t.Fatalf("mismatched checkpoint corrupted the sweep: %d samples", len(ser.Samples))
+	}
+}
+
+// TestPartialThresholds: a checkpoint reports provisional verdicts from
+// its prefix of samples.
+func TestPartialThresholds(t *testing.T) {
+	pt, _ := FindProblem(GEMM, "square")
+	cfg := testConfig(8)
+	clean, err := RunProblem(context.Background(), systems.IsambardAI(), pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Checkpoint{Samples: clean.Samples}
+	if got := cp.PartialThresholds(); got != clean.Thresholds {
+		t.Fatalf("full-prefix partial thresholds %v != final %v", got, clean.Thresholds)
+	}
+}
+
+// TestResilienceExcludedFromHash: retry and checkpoint knobs never change
+// what a sweep computes, so they must not change the cache identity.
+func TestResilienceExcludedFromHash(t *testing.T) {
+	base := testConfig(8)
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.Resilience = Resilience{MaxAttempts: 25, CheckpointDir: "/tmp/x", CheckpointEvery: 5}
+	h2, err := tuned.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("Resilience knobs changed Config.Hash: %s != %s", h1, h2)
+	}
+}

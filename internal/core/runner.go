@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/flops"
+	"repro/internal/resilience"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
@@ -53,6 +55,41 @@ func DefaultValidation() Validation {
 	return Validation{Enabled: true, Every: 8, MaxFlops: 64e6}
 }
 
+// Resilience tunes how a sweep survives backend failures. The zero value
+// preserves the historical behaviour exactly: one attempt per call, no
+// checkpointing. None of these knobs changes what a successful sweep
+// computes, so the block is deliberately excluded from Config.Hash —
+// a retried run and a first-try run share a cache identity.
+type Resilience struct {
+	// MaxAttempts bounds attempts per modeled backend call (0 and 1 both
+	// mean a single try, no retry). Only transient faults — errors whose
+	// chain implements resilience.Transienter and answers true — are
+	// retried; hard faults abort the sweep immediately.
+	MaxAttempts int
+	// BaseDelay and MaxDelay shape the full-jitter backoff between
+	// retries. 0 retries immediately, the right setting for modeled work.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// CheckpointDir, when non-empty, persists sweep progress to a file in
+	// that directory so an aborted sweep resumes from the last completed
+	// size instead of restarting. The file is removed when the sweep
+	// completes.
+	CheckpointDir string
+	// CheckpointEvery is how many recorded samples pass between
+	// checkpoint writes (default 64). A checkpoint is also written when
+	// the sweep aborts, whatever the cadence.
+	CheckpointEvery int
+}
+
+// retryPolicy converts the plain-value knobs into a resilience policy.
+func (r Resilience) retryPolicy() resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		MaxAttempts: r.MaxAttempts,
+		BaseDelay:   r.BaseDelay,
+		MaxDelay:    r.MaxDelay,
+	}
+}
+
 // Config holds one sweep's runtime arguments, mirroring the artifact's CLI:
 // -s (MinDim), -d (MaxDim), -i (Iterations).
 type Config struct {
@@ -68,6 +105,9 @@ type Config struct {
 	// wall-clock measurements of the repository's own BLAS kernels on the
 	// host machine. The GPU side stays modeled.
 	LiveCPU *LiveCPUTimer
+	// Resilience governs retries and checkpointing; the zero value means
+	// fail-fast with no checkpoint, the historical behaviour.
+	Resilience Resilience
 }
 
 // DefaultConfig mirrors the paper's runs: s=1, d=4096, every size, α=1 β=0.
@@ -102,6 +142,9 @@ func (c *Config) normalize() error {
 	if c.Validate.MaxFlops <= 0 {
 		c.Validate.MaxFlops = 64e6
 	}
+	if c.Resilience.CheckpointEvery < 1 {
+		c.Resilience.CheckpointEvery = 64
+	}
 	return nil
 }
 
@@ -123,6 +166,10 @@ type Sample struct {
 	Validated                bool
 	ChecksumOK               bool
 	CPUChecksum, GPUChecksum float64
+	// Retries counts transient backend faults that were retried away while
+	// measuring this size. 0 on a healthy run; never affects the timings,
+	// which always come from a successful attempt.
+	Retries int
 }
 
 // Threshold is a detected offload threshold.
@@ -164,6 +211,15 @@ func (s *Series) KernelName() string { return KernelName(s.Precision, s.Problem.
 // sweep stops and the context's error is returned (wrapped), so a caller
 // that hangs up — a disconnected HTTP client, a Ctrl-C — never pays for
 // the rest of the sweep.
+//
+// Resilience: with cfg.Resilience.MaxAttempts > 1, transient backend
+// faults (an armed faultinject plan; a flaky real backend) are retried
+// per call with full-jitter backoff, counted in the sample's Retries.
+// With CheckpointDir set, progress is persisted every CheckpointEvery
+// samples and on any abort, and a matching checkpoint found at startup
+// is resumed instead of recomputed — the detectors are rebuilt by
+// replaying the saved samples, so a resumed sweep is indistinguishable
+// from an uninterrupted one.
 func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Precision, cfg Config) (*Series, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -184,10 +240,34 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 	}
 	es := prec.ElemSize()
 	beta0 := cfg.Beta == 0
+	pol := cfg.Resilience.retryPolicy()
 	var dets [NumStrategies]ThresholdDetector
 	sampleIdx := 0
-	for p := cfg.MinDim; ; p += cfg.Step {
+	startP := cfg.MinDim
+	var ckpt *checkpointWriter
+	if cfg.Resilience.CheckpointDir != "" {
+		var err error
+		ckpt, err = newCheckpointWriter(sys, pt, prec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cp := ckpt.load(); cp != nil {
+			ser.Samples = cp.Samples
+			if cfg.Mode == ModeBoth {
+				for i := range ser.Samples {
+					smp := &ser.Samples[i]
+					for _, st := range xfer.Strategies {
+						dets[st].ObserveTimes(smp.Dims, smp.CPUSeconds, smp.GPUSeconds[st])
+					}
+				}
+			}
+			sampleIdx = len(ser.Samples)
+			startP = cp.NextP
+		}
+	}
+	for p := startP; ; p += cfg.Step {
 		if err := ctx.Err(); err != nil {
+			ckpt.save(ser.Samples, p)
 			return nil, fmt.Errorf("core: sweep cancelled at p=%d: %w", p, err)
 		}
 		d := pt.Dims(p)
@@ -205,18 +285,27 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 		}
 		smp := Sample{P: p, Dims: d, FlopsPerIter: fl}
 		totalFlops := int64(cfg.Iterations) * fl
+		onRetry := func(int, error) { smp.Retries++ }
 
 		if cfg.Mode != ModeGPUOnly {
 			var sec float64
-			switch {
-			case cfg.LiveCPU != nil && pt.Kernel == GEMM:
-				sec = cfg.LiveCPU.GemmSeconds(es, d.M, d.N, d.K, beta0, cfg.Iterations)
-			case cfg.LiveCPU != nil:
-				sec = cfg.LiveCPU.GemvSeconds(es, d.M, d.N, beta0, cfg.Iterations)
-			case pt.Kernel == GEMM:
-				sec = sys.CPU.GemmSeconds(es, d.M, d.N, d.K, beta0, cfg.Iterations)
-			default:
-				sec = sys.CPU.GemvSeconds(es, d.M, d.N, beta0, cfg.Iterations)
+			err := resilience.Do(ctx, pol, func() error {
+				var e error
+				switch {
+				case cfg.LiveCPU != nil && pt.Kernel == GEMM:
+					sec = cfg.LiveCPU.GemmSeconds(es, d.M, d.N, d.K, beta0, cfg.Iterations)
+				case cfg.LiveCPU != nil:
+					sec = cfg.LiveCPU.GemvSeconds(es, d.M, d.N, beta0, cfg.Iterations)
+				case pt.Kernel == GEMM:
+					sec, e = sys.CPU.TimeGemm(es, d.M, d.N, d.K, beta0, cfg.Iterations)
+				default:
+					sec, e = sys.CPU.TimeGemv(es, d.M, d.N, beta0, cfg.Iterations)
+				}
+				return e
+			}, onRetry)
+			if err != nil {
+				ckpt.save(ser.Samples, p)
+				return nil, fmt.Errorf("core: cpu backend at p=%d after %d retries: %w", p, smp.Retries, err)
 			}
 			smp.CPUSeconds = sec
 			smp.CPUGflops = flops.GFLOPS(totalFlops, sec)
@@ -224,10 +313,18 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 		if cfg.Mode != ModeCPUOnly {
 			for _, st := range xfer.Strategies {
 				var sec float64
-				if pt.Kernel == GEMM {
-					sec = sys.GPU.GemmSeconds(st, es, d.M, d.N, d.K, beta0, cfg.Iterations)
-				} else {
-					sec = sys.GPU.GemvSeconds(st, es, d.M, d.N, beta0, cfg.Iterations)
+				err := resilience.Do(ctx, pol, func() error {
+					var e error
+					if pt.Kernel == GEMM {
+						sec, e = sys.GPU.TimeGemm(st, es, d.M, d.N, d.K, beta0, cfg.Iterations)
+					} else {
+						sec, e = sys.GPU.TimeGemv(st, es, d.M, d.N, beta0, cfg.Iterations)
+					}
+					return e
+				}, onRetry)
+				if err != nil {
+					ckpt.save(ser.Samples, p)
+					return nil, fmt.Errorf("core: gpu backend (%v) at p=%d after %d retries: %w", st, p, smp.Retries, err)
 				}
 				smp.GPUSeconds[st] = sec
 				smp.GPUGflops[st] = flops.GFLOPS(totalFlops, sec)
@@ -243,6 +340,9 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 		}
 		ser.Samples = append(ser.Samples, smp)
 		sampleIdx++
+		if ckpt != nil && sampleIdx%cfg.Resilience.CheckpointEvery == 0 {
+			ckpt.save(ser.Samples, p+cfg.Step)
+		}
 	}
 	if cfg.Mode == ModeBoth {
 		for _, st := range xfer.Strategies {
@@ -250,6 +350,7 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 			ser.Thresholds[st] = Threshold{Dims: dims, Found: found}
 		}
 	}
+	ckpt.remove()
 	return ser, nil
 }
 

@@ -1,0 +1,43 @@
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/sim/systems"
+	"repro/internal/sim/xfer"
+)
+
+// Example is the README's "Fault injection & resilience" walkthrough as a
+// compiled, output-checked test: a seeded plan makes 30% of the GPU
+// model's calls fail transiently, and with a retry budget the sweep
+// still converges to exactly the threshold a fault-free run finds
+// (compare ExampleRunProblem in internal/core).
+func Example() {
+	plan := faultinject.Plan{
+		Seed: 20260805,
+		Rules: []faultinject.Rule{{
+			Backend:     faultinject.BackendGPU,
+			Probability: 0.3,
+			Kind:        faultinject.Transient,
+		}},
+	}
+	sys := systems.DAWN()
+	inj := plan.Arm()
+	sys.CPU.Inject = inj
+	sys.GPU.Inject = inj
+
+	pt, _ := core.FindProblem(core.GEMM, "square")
+	cfg := core.DefaultConfig(8) // -i 8 -s 1
+	cfg.MaxDim = 1024            // -d 1024
+	cfg.Resilience = core.Resilience{MaxAttempts: 25}
+	series, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
+	if err != nil {
+		fmt.Println("sweep failed:", err)
+		return
+	}
+	fmt.Println(series.Thresholds[xfer.TransferOnce])
+	// Output: {404, 404, 404}
+}

@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Allow when the breaker refuses the call. Callers
+// degrade (serve stale data, shed load) instead of hammering a backend
+// that is already failing.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// State is the breaker's position in the classic three-state machine.
+type State int
+
+// Breaker states.
+const (
+	// Closed: traffic flows; failures are counted against the ratio.
+	Closed State = iota
+	// Open: traffic is refused until OpenTimeout elapses.
+	Open
+	// HalfOpen: up to HalfOpenMax probes flow; one failure re-opens,
+	// HalfOpenMax successes close.
+	HalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// BreakerConfig tunes a Breaker, modeled on baseplate.go's breakerbp: a
+// low-water mark of requests plus a failure-ratio threshold decide the
+// closed->open trip, a timeout schedules the open->half-open transition,
+// and a bounded probe budget guards half-open->closed recovery.
+type BreakerConfig struct {
+	// MinRequests is how many outcomes a closed-state window needs before
+	// the breaker is eligible to trip (default 5) — one early failure
+	// must not open an idle breaker.
+	MinRequests int
+	// FailureRatio in (0,1] trips the breaker when failures/total meets
+	// or exceeds it with MinRequests observed (default 0.5).
+	FailureRatio float64
+	// Window resets the closed-state counts periodically so ancient
+	// history cannot mask a fresh failure burst (default 1m; <=0 keeps
+	// counts forever).
+	Window time.Duration
+	// OpenTimeout is how long the breaker stays open before allowing
+	// half-open probes (default 5s).
+	OpenTimeout time.Duration
+	// HalfOpenMax is how many concurrent/successive probes half-open
+	// admits, and how many successes close the breaker (default 1).
+	HalfOpenMax int
+	// Clock replaces time.Now (tests); nil uses the real clock.
+	Clock func() time.Time
+	// OnStateChange, when non-nil, observes transitions (metrics, logs).
+	// It is called with the breaker's lock held: keep it cheap and do not
+	// call back into the breaker.
+	OnStateChange func(from, to State)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.MinRequests < 1 {
+		c.MinRequests = 5
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.Window == 0 {
+		c.Window = time.Minute
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenMax < 1 {
+		c.HalfOpenMax = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker. Use Allow before the guarded
+// call and Record after it; Do wraps both for the common case. The zero
+// value is not usable — construct with NewBreaker.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       State
+	total       int       // closed: outcomes observed this window
+	failures    int       // closed: failures observed this window
+	windowStart time.Time // closed: when this window began
+	openedAt    time.Time // open: when the breaker tripped
+	probes      int       // half-open: probes admitted
+	successes   int       // half-open: probe successes
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, windowStart: cfg.Clock()}
+}
+
+// Allow reports whether a call may proceed. In the Open state it returns
+// ErrOpen until OpenTimeout has elapsed, then admits HalfOpenMax probes.
+// Every admitted call should be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock()
+	switch b.state {
+	case Closed:
+		if b.cfg.Window > 0 && now.Sub(b.windowStart) >= b.cfg.Window {
+			b.total, b.failures, b.windowStart = 0, 0, now
+		}
+		return nil
+	case Open:
+		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return ErrOpen
+		}
+		b.transition(HalfOpen)
+		b.probes, b.successes = 1, 0
+		return nil
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenMax {
+			return ErrOpen
+		}
+		b.probes++
+		return nil
+	}
+}
+
+// Record feeds one outcome back. Failures in Closed count toward the trip
+// ratio; any failure in HalfOpen re-opens; HalfOpenMax successes in
+// HalfOpen close the breaker and reset its counts.
+func (b *Breaker) Record(err error) {
+	failed := err != nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock()
+	switch b.state {
+	case Closed:
+		if b.cfg.Window > 0 && now.Sub(b.windowStart) >= b.cfg.Window {
+			b.total, b.failures, b.windowStart = 0, 0, now
+		}
+		b.total++
+		if failed {
+			b.failures++
+		}
+		if b.total >= b.cfg.MinRequests &&
+			float64(b.failures)/float64(b.total) >= b.cfg.FailureRatio {
+			b.transition(Open)
+			b.openedAt = now
+		}
+	case HalfOpen:
+		if failed {
+			b.transition(Open)
+			b.openedAt = now
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenMax {
+			b.transition(Closed)
+			b.total, b.failures, b.windowStart = 0, 0, now
+		}
+	default: // Open: a late Record from a call admitted earlier; ignore.
+	}
+}
+
+// Do wraps fn with Allow/Record. Context-cancellation errors pass through
+// without counting as backend failures: the caller hanging up says
+// nothing about the backend's health.
+func (b *Breaker) Do(fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		b.Record(nil) // the call didn't prove the backend unhealthy
+		return err
+	}
+	b.Record(err)
+	return err
+}
+
+// State returns the breaker's current state, advancing Open to HalfOpen
+// eligibility lazily exactly as Allow would (without admitting a probe).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition moves the state machine and notifies the observer. Caller
+// holds b.mu.
+func (b *Breaker) transition(to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}

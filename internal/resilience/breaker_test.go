@@ -1,0 +1,255 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for driving the breaker's
+// window and open-timeout logic in virtual time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+var errBoom = errors.New("boom")
+
+// newTestBreaker returns a breaker with a tight config and its clock:
+// trips at 2 failures out of >=4 outcomes, reopens probes after 10s.
+func newTestBreaker(t *testing.T) (*Breaker, *fakeClock, *[]string) {
+	t.Helper()
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		MinRequests:  4,
+		FailureRatio: 0.5,
+		Window:       time.Minute,
+		OpenTimeout:  10 * time.Second,
+		HalfOpenMax:  2,
+		Clock:        clock.Now,
+		OnStateChange: func(from, to State) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+	return b, clock, &transitions
+}
+
+func record(t *testing.T, b *Breaker, err error) {
+	t.Helper()
+	if aerr := b.Allow(); aerr != nil {
+		t.Fatalf("Allow refused in state %v: %v", b.State(), aerr)
+	}
+	b.Record(err)
+}
+
+// TestBreakerTripsAtRatio: the breaker stays closed below the low-water
+// mark, then opens once MinRequests outcomes meet the failure ratio.
+func TestBreakerTripsAtRatio(t *testing.T) {
+	b, _, _ := newTestBreaker(t)
+	// Three straight failures: below MinRequests, must stay closed.
+	for i := 0; i < 3; i++ {
+		record(t, b, errBoom)
+	}
+	if b.State() != Closed {
+		t.Fatalf("tripped below MinRequests: %v", b.State())
+	}
+	// Fourth outcome is a success: 3/4 >= 0.5 — trips on Record.
+	record(t, b, nil)
+	if b.State() != Open {
+		t.Fatalf("state %v after 3/4 failures, want open", b.State())
+	}
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+// TestBreakerHealthyStaysClosed: a mostly-healthy stream below the ratio
+// never trips.
+func TestBreakerHealthyStaysClosed(t *testing.T) {
+	b, _, _ := newTestBreaker(t)
+	for i := 0; i < 100; i++ {
+		var err error
+		if i%4 == 0 { // 25% failures < 50% threshold
+			err = errBoom
+		}
+		record(t, b, err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("healthy stream tripped the breaker: %v", b.State())
+	}
+}
+
+// TestBreakerWindowReset: failures older than Window do not combine with
+// fresh ones to trip the breaker.
+func TestBreakerWindowReset(t *testing.T) {
+	b, clock, _ := newTestBreaker(t)
+	record(t, b, errBoom)
+	record(t, b, errBoom)
+	clock.Advance(2 * time.Minute) // the old failures age out
+	record(t, b, errBoom)
+	record(t, b, errBoom)
+	// Four lifetime failures, but only two in the current window: closed.
+	if b.State() != Closed {
+		t.Fatalf("stale window counts tripped the breaker")
+	}
+	record(t, b, errBoom)
+	record(t, b, errBoom)
+	if b.State() != Open {
+		t.Fatalf("four fresh failures did not trip")
+	}
+}
+
+// TestBreakerRecoveryCycle: open -> (timeout) -> half-open probes ->
+// closed, with the transition observer seeing every hop.
+func TestBreakerRecoveryCycle(t *testing.T) {
+	b, clock, transitions := newTestBreaker(t)
+	for i := 0; i < 4; i++ {
+		record(t, b, errBoom)
+	}
+	if b.State() != Open {
+		t.Fatalf("setup: breaker not open")
+	}
+	// Still open before the timeout.
+	clock.Advance(9 * time.Second)
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatalf("breaker reopened %v early", time.Second)
+	}
+	// After the timeout: HalfOpenMax=2 probes admitted, no more.
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe admitted, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatalf("probe budget exceeded: third probe allowed")
+	}
+	// Both probes succeed: closed, counts reset.
+	b.Record(nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("closed after only one probe success")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state %v after probe successes, want closed", b.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", *transitions, want)
+		}
+	}
+	// Fresh window after recovery: a single failure must not re-trip.
+	record(t, b, errBoom)
+	if b.State() != Closed {
+		t.Fatalf("counts not reset on close")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: one failed probe sends the breaker
+// straight back to open with a fresh timeout.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clock, _ := newTestBreaker(t)
+	for i := 0; i < 4; i++ {
+		record(t, b, errBoom)
+	}
+	clock.Advance(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatalf("failed probe left state %v, want open", b.State())
+	}
+	// The open timeout restarted at the failed probe.
+	clock.Advance(9 * time.Second)
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatal("re-opened breaker admitted a call before its fresh timeout")
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe round refused: %v", err)
+	}
+}
+
+// TestBreakerDo: Do refuses when open, records outcomes, and does not
+// hold context cancellations against the backend.
+func TestBreakerDo(t *testing.T) {
+	b, clock, _ := newTestBreaker(t)
+	// Cancellations all day must not trip the breaker.
+	for i := 0; i < 20; i++ {
+		if err := b.Do(func() error { return context.Canceled }); err == nil {
+			t.Fatal("Do swallowed the error")
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("cancellations tripped the breaker")
+	}
+	clock.Advance(2 * time.Minute) // age out the cancellation successes
+	for i := 0; i < 4; i++ {
+		_ = b.Do(func() error { return errBoom })
+	}
+	if b.State() != Open {
+		t.Fatalf("Do failures did not trip")
+	}
+	called := false
+	if err := b.Do(func() error { called = true; return nil }); err != ErrOpen {
+		t.Fatalf("open Do returned %v, want ErrOpen", err)
+	}
+	if called {
+		t.Fatal("open Do still invoked fn")
+	}
+}
+
+// TestBreakerConcurrent exercises Allow/Record/State from many goroutines
+// so the race detector can vet the locking.
+func TestBreakerConcurrent(t *testing.T) {
+	b, clock, _ := newTestBreaker(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := b.Allow(); err == nil {
+					var res error
+					if (g+i)%3 == 0 {
+						res = errBoom
+					}
+					b.Record(res)
+				}
+				_ = b.State()
+				if i%50 == 0 {
+					clock.Advance(time.Second)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

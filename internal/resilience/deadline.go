@@ -1,0 +1,24 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline applies a time budget to ctx: with d > 0 it returns a derived
+// context that expires after d, and with d <= 0 it returns ctx unchanged
+// with a no-op cancel — so "-request-timeout 0 means off" costs callers
+// no branching. The returned cancel must always be called.
+func Deadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Expired reports whether ctx's budget (from Deadline or any deadline-
+// carrying parent) has run out, as opposed to the caller having cancelled:
+// handlers use it to pick 504 over 499.
+func Expired(ctx context.Context) bool {
+	return ctx.Err() == context.DeadlineExceeded
+}

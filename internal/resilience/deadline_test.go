@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDeadlineOff: d <= 0 means no budget — the context comes back
+// untouched with a harmless cancel.
+func TestDeadlineOff(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := Deadline(parent, 0)
+	defer cancel()
+	if ctx != parent {
+		t.Fatal("Deadline(0) wrapped the context")
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("Deadline(0) attached a deadline")
+	}
+	cancel() // must be safe to call
+	if ctx.Err() != nil {
+		t.Fatal("no-op cancel cancelled the parent")
+	}
+}
+
+// TestDeadlineOn: a positive budget attaches a real deadline.
+func TestDeadlineOn(t *testing.T) {
+	ctx, cancel := Deadline(context.Background(), time.Hour)
+	defer cancel()
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("Deadline(1h) attached no deadline")
+	}
+	if until := time.Until(d); until <= 0 || until > time.Hour {
+		t.Fatalf("deadline %v away, want within (0, 1h]", until)
+	}
+	if Expired(ctx) {
+		t.Fatal("fresh budget reported expired")
+	}
+	cancel()
+	if Expired(ctx) {
+		t.Fatal("cancellation misreported as budget expiry")
+	}
+}
+
+// TestExpired distinguishes a spent budget (504) from a hung-up caller
+// (499).
+func TestExpired(t *testing.T) {
+	ctx, cancel := Deadline(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if !Expired(ctx) {
+		t.Fatal("elapsed budget not reported expired")
+	}
+	if Expired(context.Background()) {
+		t.Fatal("live context reported expired")
+	}
+}

@@ -3,33 +3,56 @@ package service
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Cache is a bounded LRU result cache. Threshold sweeps are pure
 // functions of (system, problem, precision, normalized config) — the key
-// is built from core.Config.Hash() — so entries never expire; they are
-// only evicted to bound memory.
+// is built from core.Config.Hash() — so entries are correct forever; they
+// are evicted to bound memory, and an optional TTL bounds how long an
+// entry counts as fresh. Expired entries are NOT deleted: they remain
+// readable through GetStale so the server can degrade to a known-good
+// (if dated) answer when its sweep backend is unhealthy, rather than
+// failing the request.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
+	ttl   time.Duration            // 0 = entries never expire
+	clock func() time.Time         // tests swap in a fake
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key -> element whose Value is *cacheEntry
 }
 
 type cacheEntry struct {
-	key string
-	val any
+	key      string
+	val      any
+	storedAt time.Time
 }
 
-// NewCache returns a cache holding at most max entries (min 1).
+// NewCache returns a cache holding at most max entries (min 1) whose
+// entries never expire.
 func NewCache(max int) *Cache {
+	return NewCacheTTL(max, 0)
+}
+
+// NewCacheTTL returns a cache holding at most max entries (min 1). With
+// ttl > 0, Get stops returning an entry ttl after it was stored, while
+// GetStale keeps serving it until eviction.
+func NewCacheTTL(max int, ttl time.Duration) *Cache {
 	if max < 1 {
 		max = 1
 	}
-	return &Cache{max: max, order: list.New(), items: map[string]*list.Element{}}
+	return &Cache{
+		max:   max,
+		ttl:   ttl,
+		clock: time.Now,
+		order: list.New(),
+		items: map[string]*list.Element{},
+	}
 }
 
-// Get returns the cached value for key and marks it most recently used.
+// Get returns the cached value for key if it is still fresh, marking it
+// most recently used.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,8 +60,29 @@ func (c *Cache) Get(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.clock().Sub(ent.storedAt) > c.ttl {
+		return nil, false
+	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return ent.val, true
+}
+
+// GetStale returns the cached value for key regardless of age — the
+// degraded-mode read used when the sweep backend's circuit breaker is
+// open. It reports whether the entry had already expired (always false
+// when the cache has no TTL). The entry is intentionally not promoted:
+// stale serves should not keep dead entries pinned over fresh ones.
+func (c *Cache) GetStale(key string) (val any, expired, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	expired = c.ttl > 0 && c.clock().Sub(ent.storedAt) > c.ttl
+	return ent.val, expired, true
 }
 
 // Put inserts or refreshes key, evicting the least recently used entry
@@ -47,11 +91,13 @@ func (c *Cache) Put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		ent.val = val
+		ent.storedAt = c.clock()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, storedAt: c.clock()})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -102,6 +102,23 @@ type Metrics struct {
 	InFlight Gauge
 	// QueueDepth reads the worker pool's backlog at scrape time.
 	QueueDepth func() int
+
+	// PanicsTotal counts panics recovered by the containment layer (the
+	// HTTP middleware and the sweep flight wrapper) instead of crashing
+	// the process.
+	PanicsTotal Counter
+	// StaleServes counts threshold responses served from an expired or
+	// breaker-shielded cache entry, marked "stale": true on the wire.
+	StaleServes Counter
+	// TimeoutsTotal counts requests that exhausted their deadline budget
+	// and were answered 504.
+	TimeoutsTotal Counter
+	// BreakerOpenTotal counts requests refused (or degraded to a stale
+	// serve) because a backend's circuit breaker was open.
+	BreakerOpenTotal Counter
+	// BreakerTransitions counts circuit-breaker state changes across all
+	// per-system breakers.
+	BreakerTransitions Counter
 }
 
 // NewMetrics returns an empty registry.
@@ -187,6 +204,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 
 	fmt.Fprintf(&b, "# HELP blob_inflight_requests Requests currently being served.\n# TYPE blob_inflight_requests gauge\n")
 	fmt.Fprintf(&b, "blob_inflight_requests %d\n", m.InFlight.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_panics_total Panics recovered instead of crashing the process.\n# TYPE blob_panics_total counter\n")
+	fmt.Fprintf(&b, "blob_panics_total %d\n", m.PanicsTotal.Value())
+	fmt.Fprintf(&b, "# HELP blob_stale_serves_total Threshold responses served stale from the cache.\n# TYPE blob_stale_serves_total counter\n")
+	fmt.Fprintf(&b, "blob_stale_serves_total %d\n", m.StaleServes.Value())
+	fmt.Fprintf(&b, "# HELP blob_timeouts_total Requests that exhausted their deadline budget.\n# TYPE blob_timeouts_total counter\n")
+	fmt.Fprintf(&b, "blob_timeouts_total %d\n", m.TimeoutsTotal.Value())
+	fmt.Fprintf(&b, "# HELP blob_breaker_open_total Requests refused or degraded by an open circuit breaker.\n# TYPE blob_breaker_open_total counter\n")
+	fmt.Fprintf(&b, "blob_breaker_open_total %d\n", m.BreakerOpenTotal.Value())
+	fmt.Fprintf(&b, "# HELP blob_breaker_transitions_total Circuit breaker state changes across all backends.\n# TYPE blob_breaker_transitions_total counter\n")
+	fmt.Fprintf(&b, "blob_breaker_transitions_total %d\n", m.BreakerTransitions.Value())
 
 	if m.QueueDepth != nil {
 		fmt.Fprintf(&b, "# HELP blob_sweep_queue_depth Sweep jobs waiting for a worker.\n# TYPE blob_sweep_queue_depth gauge\n")

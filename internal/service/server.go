@@ -27,9 +27,12 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/sim/systems"
 )
 
@@ -53,6 +56,30 @@ type Options struct {
 	Sweep SweepFunc
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
+
+	// RequestTimeout bounds how long one /v1/threshold request may take
+	// end to end; expiry answers 504 with a JSON body. 0 (the default)
+	// disables the budget.
+	RequestTimeout time.Duration
+	// Resilience is applied to every sweep the service runs: retry
+	// budget for transient backend faults and (rarely useful in a
+	// server) checkpointing. It never changes a sweep's results, so it
+	// is invisible to the cache key.
+	Resilience core.Resilience
+	// Breaker tunes the per-system circuit breakers guarding the sweep
+	// backend; the zero value takes resilience.BreakerConfig's defaults.
+	// While a system's breaker is open, threshold requests for it serve
+	// a stale cache entry (marked "stale": true) when one exists and 503
+	// otherwise.
+	Breaker resilience.BreakerConfig
+	// CacheTTL bounds how long a cached threshold result counts as
+	// fresh; expired entries are only served (marked stale) while the
+	// breaker is open. 0 (the default) keeps entries fresh forever.
+	CacheTTL time.Duration
+	// Inject, when non-nil, is consulted once per executed sweep
+	// (Backend "service") before the backend runs — the service-layer
+	// chaos hook. Nil costs a single comparison.
+	Inject faultinject.Point
 }
 
 func (o Options) withDefaults() Options {
@@ -88,23 +115,47 @@ type Server struct {
 	metrics *Metrics
 	log     *slog.Logger
 	start   time.Time
+
+	breakerMu sync.Mutex
+	breakers  map[string]*resilience.Breaker // system name -> breaker
 }
 
 // New assembles a Server (and starts its worker pool).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		sweep:   opts.Sweep,
-		pool:    NewPool(opts.Workers, opts.Queue),
-		cache:   NewCache(opts.CacheSize),
-		flights: newFlightGroup(),
-		metrics: NewMetrics(),
-		log:     opts.Logger,
-		start:   time.Now(),
+		opts:     opts,
+		sweep:    opts.Sweep,
+		pool:     NewPool(opts.Workers, opts.Queue),
+		cache:    NewCacheTTL(opts.CacheSize, opts.CacheTTL),
+		flights:  newFlightGroup(),
+		metrics:  NewMetrics(),
+		log:      opts.Logger,
+		start:    time.Now(),
+		breakers: map[string]*resilience.Breaker{},
 	}
 	s.metrics.QueueDepth = s.pool.QueueDepth
 	return s
+}
+
+// breaker returns the circuit breaker guarding one system's sweep
+// backend, creating it on first use. Separate breakers per system keep
+// one unhealthy backend from shedding every system's traffic.
+func (s *Server) breaker(system string) *resilience.Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b, ok := s.breakers[system]
+	if !ok {
+		cfg := s.opts.Breaker
+		cfg.OnStateChange = func(from, to resilience.State) {
+			s.metrics.BreakerTransitions.Inc()
+			s.log.Warn("circuit breaker state change",
+				"system", system, "from", from.String(), "to", to.String())
+		}
+		b = resilience.NewBreaker(cfg)
+		s.breakers[system] = b
+	}
+	return b
 }
 
 // Metrics exposes the registry (used by tests and the metrics endpoint).
@@ -113,13 +164,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Close stops the worker pool, waiting for running sweeps to finish.
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the service's routed, instrumented HTTP handler.
+// Handler returns the service's routed, instrumented HTTP handler. The
+// middleware order matters: instrument wraps the ResponseWriter first, so
+// the recovery layer inside it can tell whether a response was already
+// started when a panic arrives.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/v1/advise", s.instrument("/v1/advise", s.requirePost(s.handleAdvise)))
-	mux.Handle("/v1/threshold", s.instrument("/v1/threshold", s.requirePost(s.handleThreshold)))
-	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
-	mux.Handle("/metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("/v1/advise", s.instrument("/v1/advise", s.recovered(s.requirePost(s.handleAdvise))))
+	mux.Handle("/v1/threshold", s.instrument("/v1/threshold", s.recovered(s.requirePost(s.handleThreshold))))
+	mux.Handle("/healthz", s.instrument("/healthz", s.recovered(http.HandlerFunc(s.handleHealthz))))
+	mux.Handle("/metrics", s.instrument("/metrics", s.recovered(http.HandlerFunc(s.handleMetrics))))
 	return mux
 }
 
@@ -128,17 +182,48 @@ type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// recovered is the panic-containment middleware: a panicking handler is
+// logged, counted in blob_panics_total, and answered with a JSON 500 —
+// one bad request must never take the process (or the connection pool)
+// down with it. http.ErrAbortHandler is re-raised: it is net/http's
+// sanctioned way to abort a response and must keep its meaning. If the
+// handler already started its response the status cannot be rewritten;
+// the panic is still logged and counted.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.metrics.PanicsTotal.Inc()
+			s.log.Error("panic recovered",
+				"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // instrument wraps a handler with the observability middleware:

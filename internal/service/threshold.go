@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
@@ -45,11 +49,11 @@ type ThresholdBody struct {
 
 // ThresholdResponse is the body of a successful POST /v1/threshold.
 type ThresholdResponse struct {
-	System     string                   `json:"system"`
-	Kernel     string                   `json:"kernel"`
-	Problem    string                   `json:"problem"`
-	Definition string                   `json:"definition"`
-	Precision  string                   `json:"precision"`
+	System     string `json:"system"`
+	Kernel     string `json:"kernel"`
+	Problem    string `json:"problem"`
+	Definition string `json:"definition"`
+	Precision  string `json:"precision"`
 	// Key is the cache identity of this result: system, problem and
 	// precision joined with core.Config.Hash().
 	Key        string                   `json:"key"`
@@ -60,6 +64,10 @@ type ThresholdResponse struct {
 	// identical requests by singleflight.
 	Cached       bool `json:"cached"`
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Stale marks a degraded answer: the sweep backend's circuit breaker
+	// was open, so the service returned the last known result even
+	// though its freshness window had lapsed.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // thresholdPlan is a fully resolved, validated threshold request.
@@ -116,6 +124,10 @@ func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
 	if p.cfg.Iterations == 0 {
 		p.cfg.Iterations = 8
 	}
+	// Sweep-level retries never change the result, only whether a flaky
+	// backend produces one; Config.Hash excludes the block, so the cache
+	// key below is identical with or without it.
+	p.cfg.Resilience = s.opts.Resilience
 	hash, err := p.cfg.Hash()
 	if err != nil {
 		return p, err
@@ -135,6 +147,10 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The deadline budget covers everything after request validation:
+	// queueing, the sweep itself, and result shaping.
+	ctx, cancel := resilience.Deadline(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
 
 	if v, ok := s.cache.Get(plan.key); ok {
 		s.metrics.CacheHits.Inc()
@@ -145,9 +161,30 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.CacheMisses.Inc()
 
-	val, shared, err := s.flights.Do(r.Context(), plan.key, s.pool.Submit, func(ctx context.Context) (any, error) {
+	br := s.breaker(plan.sys.Name)
+	val, shared, err := s.flights.Do(ctx, plan.key, s.pool.Submit, func(fctx context.Context) (any, error) {
 		s.metrics.SweepsStarted.Inc()
-		resp, err := s.runSweep(ctx, plan)
+		var resp ThresholdResponse
+		// The breaker observes exactly one outcome per executed flight:
+		// deduplicated waiters share the leader's Allow/Record, so a
+		// thundering herd counts as one request against the trip ratio.
+		err := br.Do(func() (err error) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					// A panicking backend (or a PanicKind fault) is contained
+					// here, before it can kill the pool worker; it counts as
+					// a backend failure for the breaker.
+					s.metrics.PanicsTotal.Inc()
+					s.log.Error("panic recovered in sweep", "key", plan.key, "panic", fmt.Sprint(rec))
+					err = fmt.Errorf("sweep panicked: %v", rec)
+				}
+			}()
+			if err := s.consultInject(plan); err != nil {
+				return err
+			}
+			resp, err = s.runSweep(fctx, plan)
+			return err
+		})
 		switch {
 		case err == nil:
 			s.metrics.SweepsCompleted.Inc()
@@ -162,9 +199,28 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		resp := val.(ThresholdResponse)
 		resp.Deduplicated = shared
 		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, resilience.ErrOpen):
+		// Graceful degradation: an open breaker means the backend is
+		// known-unhealthy, so prefer the last known answer — clearly
+		// marked — over an error the client can do nothing with.
+		s.metrics.BreakerOpenTotal.Inc()
+		if v, _, ok := s.cache.GetStale(plan.key); ok {
+			s.metrics.StaleServes.Inc()
+			resp := v.(ThresholdResponse)
+			resp.Cached = true
+			resp.Stale = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
+	case resilience.Expired(ctx):
+		s.metrics.TimeoutsTotal.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("request timed out after %s", s.opts.RequestTimeout))
 	case r.Context().Err() != nil:
 		// The client hung up; nobody is reading this response, but record
 		// the outcome for metrics/logs with nginx's 499 convention. The
@@ -174,6 +230,27 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
+}
+
+// consultInject asks the service-layer injection point (when armed)
+// whether this sweep execution should fail or stall — the hook the chaos
+// gate uses to rehearse panics and backend errors above the sim layer.
+func (s *Server) consultInject(plan thresholdPlan) error {
+	if s.opts.Inject == nil {
+		return nil
+	}
+	extra, err := s.opts.Inject.At(faultinject.Site{
+		Backend: faultinject.BackendService,
+		Kernel:  strings.ToLower(plan.pt.Kernel.String()),
+		Dim:     plan.cfg.MaxDim,
+	})
+	if err != nil {
+		return err
+	}
+	if extra > 0 {
+		time.Sleep(time.Duration(extra * float64(time.Second)))
+	}
+	return nil
 }
 
 // runSweep executes the sweep via the configured SweepFunc (core.Run in

@@ -28,6 +28,7 @@ package cpumodel
 import (
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/flops"
 	"repro/internal/sim/hw"
 )
@@ -107,6 +108,11 @@ type Model struct {
 	CPU     hw.CPUSpec
 	Lib     Profile
 	Threads int
+	// Inject, when non-nil, is consulted by TimeGemm/TimeGemv before each
+	// modeled call (Backend "cpu"); nil — the normal configuration — adds
+	// a single nil check and nothing else. Arm it with a faultinject.Plan
+	// to rehearse backend failures.
+	Inject faultinject.Point
 }
 
 // gemmThreads returns the thread count the library would use for a GEMM of
@@ -291,6 +297,55 @@ func (mo *Model) GemvSeconds(elemSize, m, n int, beta0 bool, iters int) float64 
 	warmUS := math.Max(computeUS, float64(bytes)/(warmBW*1e3))
 	totalUS := float64(iters)*mo.dispatchUS(t) + coldUS + float64(iters-1)*warmUS
 	return totalUS * 1e-6
+}
+
+// TimeGemm is GemmSeconds behind the fault-injection point: it consults
+// Inject (Backend "cpu", Kernel "gemm", Dim max(m,n,k)) and returns the
+// fault error, or the modeled time plus any injected latency. Callers
+// that can fail — internal/core's resilient sweep loop — use this; the
+// plain GemmSeconds signature stays for calibration code and plots that
+// never inject faults.
+func (mo *Model) TimeGemm(elemSize, m, n, k int, beta0 bool, iters int) (float64, error) {
+	var extra float64
+	if mo.Inject != nil {
+		var err error
+		extra, err = mo.Inject.At(faultinject.Site{
+			Backend: faultinject.BackendCPU, Kernel: "gemm", Dim: maxDim3(m, n, k),
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return mo.GemmSeconds(elemSize, m, n, k, beta0, iters) + extra, nil
+}
+
+// TimeGemv is GemvSeconds behind the fault-injection point (Backend
+// "cpu", Kernel "gemv", Dim max(m,n)).
+func (mo *Model) TimeGemv(elemSize, m, n int, beta0 bool, iters int) (float64, error) {
+	var extra float64
+	if mo.Inject != nil {
+		var err error
+		extra, err = mo.Inject.At(faultinject.Site{
+			Backend: faultinject.BackendCPU, Kernel: "gemv", Dim: maxDim3(m, n, 0),
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return mo.GemvSeconds(elemSize, m, n, beta0, iters) + extra, nil
+}
+
+// maxDim3 is the characteristic dimension a fault rule's size range keys
+// on: the largest of the call's dimensions.
+func maxDim3(m, n, k int) int {
+	d := m
+	if n > d {
+		d = n
+	}
+	if k > d {
+		d = k
+	}
+	return d
 }
 
 // EffectiveCPUs reports the average number of CPUs a long run of the kernel

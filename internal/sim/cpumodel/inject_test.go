@@ -1,0 +1,70 @@
+package cpumodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestTimeGemmNoInjector: with Inject nil, TimeGemm/TimeGemv are exactly
+// GemmSeconds/GemvSeconds with a nil error.
+func TestTimeGemmNoInjector(t *testing.T) {
+	m := dawnCPU()
+	got, err := m.TimeGemm(8, 256, 256, 256, true, 4)
+	if err != nil {
+		t.Fatalf("TimeGemm: %v", err)
+	}
+	if want := m.GemmSeconds(8, 256, 256, 256, true, 4); math.Abs(got-want) > 0 {
+		t.Fatalf("TimeGemm %g != GemmSeconds %g", got, want)
+	}
+	got, err = m.TimeGemv(8, 256, 256, true, 4)
+	if err != nil {
+		t.Fatalf("TimeGemv: %v", err)
+	}
+	if want := m.GemvSeconds(8, 256, 256, true, 4); math.Abs(got-want) > 0 {
+		t.Fatalf("TimeGemv %g != GemvSeconds %g", got, want)
+	}
+}
+
+// TestTimeGemmFaults: an armed plan targeting the cpu backend surfaces
+// faults through TimeGemm — errors for transient/hard rules, extra
+// modeled seconds for latency rules — keyed on the call's largest
+// dimension.
+func TestTimeGemmFaults(t *testing.T) {
+	m := dawnCPU()
+	m.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendCPU, Kernel: "gemm", MinDim: 1000, Probability: 1, Kind: faultinject.Transient},
+	}}).Arm()
+
+	// k=2048 is the largest dim: the MinDim 1000 rule matches.
+	if _, err := m.TimeGemm(4, 64, 64, 2048, true, 1); err == nil {
+		t.Fatal("matching rule injected no fault")
+	} else {
+		var fe *faultinject.Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("got %v, want transient *faultinject.Error", err)
+		}
+	}
+	// Below the size range: clean.
+	if _, err := m.TimeGemm(4, 64, 64, 64, true, 1); err != nil {
+		t.Fatalf("non-matching size faulted: %v", err)
+	}
+	// Different kernel: clean.
+	if _, err := m.TimeGemv(4, 2048, 2048, true, 1); err != nil {
+		t.Fatalf("gemv hit a gemm-only rule: %v", err)
+	}
+
+	m.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendCPU, Probability: 1, Kind: faultinject.Latency, LatencySeconds: 0.5},
+	}}).Arm()
+	base := m.GemvSeconds(4, 512, 512, true, 1)
+	got, err := m.TimeGemv(4, 512, 512, true, 1)
+	if err != nil {
+		t.Fatalf("latency rule errored: %v", err)
+	}
+	if math.Abs(got-(base+0.5)) > 1e-12 {
+		t.Fatalf("latency fault not added: got %g, want %g", got, base+0.5)
+	}
+}

@@ -19,6 +19,7 @@ package gpumodel
 import (
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/flops"
 	"repro/internal/sim/hw"
 	"repro/internal/sim/usm"
@@ -57,6 +58,12 @@ type Model struct {
 	// twice the raw compute, but cross-tile traffic wrecks efficiency and
 	// makes it inconsistent.
 	ImplicitScaling bool
+	// Inject, when non-nil, is consulted by TimeGemm/TimeGemv before each
+	// modeled call: once for the device kernel (Backend "gpu") and once
+	// for its data movement (Backend "xfer" for explicit strategies,
+	// "usm" for Unified). Nil — the normal configuration — adds a single
+	// nil check and nothing else.
+	Inject faultinject.Point
 }
 
 // achievedGemvGF returns the modeled GEMV compute rate for m rows of
@@ -155,6 +162,68 @@ func (g *Model) GemvSeconds(s xfer.Strategy, elemSize, m, n int, beta0 bool, ite
 		moveUS = g.transferUS(s, toDev, fromDev, iters)
 	}
 	return (computeUS + moveUS) * 1e-6
+}
+
+// TimeGemm is GemmSeconds behind the fault-injection point: the device
+// kernel site (Backend "gpu", Kernel "gemm", Dim max(m,n,k)) is consulted
+// first, then the movement site for the strategy ("xfer" for explicit
+// copies, "usm" for Unified). The first fault error wins; latency faults
+// from both sites accumulate onto the modeled time. Callers that can
+// fail — internal/core's resilient sweep loop — use this; the plain
+// GemmSeconds signature stays for calibration code that never injects.
+func (g *Model) TimeGemm(s xfer.Strategy, elemSize, m, n, k int, beta0 bool, iters int) (float64, error) {
+	extra, err := g.consult(s, "gemm", maxDim3(m, n, k))
+	if err != nil {
+		return 0, err
+	}
+	return g.GemmSeconds(s, elemSize, m, n, k, beta0, iters) + extra, nil
+}
+
+// TimeGemv is GemvSeconds behind the fault-injection point (Backend
+// "gpu" then "xfer"/"usm", Kernel "gemv", Dim max(m,n)).
+func (g *Model) TimeGemv(s xfer.Strategy, elemSize, m, n int, beta0 bool, iters int) (float64, error) {
+	extra, err := g.consult(s, "gemv", maxDim3(m, n, 0))
+	if err != nil {
+		return 0, err
+	}
+	return g.GemvSeconds(s, elemSize, m, n, beta0, iters) + extra, nil
+}
+
+// consult asks the injection point about the device-kernel site and the
+// strategy's movement site, accumulating injected latency.
+func (g *Model) consult(s xfer.Strategy, kernel string, dim int) (float64, error) {
+	if g.Inject == nil {
+		return 0, nil
+	}
+	extra, err := g.Inject.At(faultinject.Site{
+		Backend: faultinject.BackendGPU, Kernel: kernel, Dim: dim,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var moveExtra float64
+	if s == xfer.Unified {
+		moveExtra, err = usm.CheckFault(g.Inject, kernel, dim)
+	} else {
+		moveExtra, err = xfer.CheckFault(g.Inject, kernel, dim)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return extra + moveExtra, nil
+}
+
+// maxDim3 is the characteristic dimension a fault rule's size range keys
+// on: the largest of the call's dimensions.
+func maxDim3(m, n, k int) int {
+	d := m
+	if n > d {
+		d = n
+	}
+	if k > d {
+		d = k
+	}
+	return d
 }
 
 // GemmGFLOPS returns modeled GFLOP/s including transfer time, the quantity

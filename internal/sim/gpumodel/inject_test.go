@@ -1,0 +1,89 @@
+package gpumodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim/xfer"
+)
+
+// TestTimeGemmNoInjector: with Inject nil, the Time* wrappers are exactly
+// the *Seconds models with a nil error.
+func TestTimeGemmNoInjector(t *testing.T) {
+	g := gh200()
+	got, err := g.TimeGemm(xfer.TransferOnce, 4, 256, 256, 256, true, 4)
+	if err != nil {
+		t.Fatalf("TimeGemm: %v", err)
+	}
+	if want := g.GemmSeconds(xfer.TransferOnce, 4, 256, 256, 256, true, 4); math.Abs(got-want) > 0 {
+		t.Fatalf("TimeGemm %g != GemmSeconds %g", got, want)
+	}
+	got, err = g.TimeGemv(xfer.Unified, 4, 256, 256, true, 4)
+	if err != nil {
+		t.Fatalf("TimeGemv: %v", err)
+	}
+	if want := g.GemvSeconds(xfer.Unified, 4, 256, 256, true, 4); math.Abs(got-want) > 0 {
+		t.Fatalf("TimeGemv %g != GemvSeconds %g", got, want)
+	}
+}
+
+// TestTimeGemmDeviceFault: a gpu-backend rule fires for every strategy.
+func TestTimeGemmDeviceFault(t *testing.T) {
+	g := mi250x()
+	g.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendGPU, Probability: 1, Kind: faultinject.Transient},
+	}}).Arm()
+	for _, st := range xfer.Strategies {
+		_, err := g.TimeGemm(st, 4, 512, 512, 512, true, 4)
+		var fe *faultinject.Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("%v: got %v, want transient *faultinject.Error", st, err)
+		}
+	}
+}
+
+// TestTimeGemmMovementSites: explicit strategies consult the "xfer"
+// backend, Unified consults "usm" — so a plan can break the interconnect
+// without breaking the device, and vice versa.
+func TestTimeGemmMovementSites(t *testing.T) {
+	g := pvc()
+	g.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendXfer, Probability: 1, Kind: faultinject.Hard},
+	}}).Arm()
+	if _, err := g.TimeGemm(xfer.TransferOnce, 4, 512, 512, 512, true, 4); err == nil {
+		t.Fatal("xfer rule did not break an explicit-copy run")
+	}
+	if _, err := g.TimeGemm(xfer.Unified, 4, 512, 512, 512, true, 4); err != nil {
+		t.Fatalf("xfer rule broke a USM run: %v", err)
+	}
+
+	g.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendUSM, Probability: 1, Kind: faultinject.Hard},
+	}}).Arm()
+	if _, err := g.TimeGemv(xfer.Unified, 4, 512, 512, true, 4); err == nil {
+		t.Fatal("usm rule did not break a USM run")
+	}
+	if _, err := g.TimeGemv(xfer.TransferAlways, 4, 512, 512, true, 4); err != nil {
+		t.Fatalf("usm rule broke an explicit-copy run: %v", err)
+	}
+}
+
+// TestTimeGemmLatencyAccumulates: latency faults on the device and the
+// movement path both land on the modeled time.
+func TestTimeGemmLatencyAccumulates(t *testing.T) {
+	g := gh200()
+	g.Inject = (&faultinject.Plan{Rules: []faultinject.Rule{
+		{Backend: faultinject.BackendGPU, Probability: 1, Kind: faultinject.Latency, LatencySeconds: 0.25},
+		{Backend: faultinject.BackendXfer, Probability: 1, Kind: faultinject.Latency, LatencySeconds: 0.5},
+	}}).Arm()
+	base := g.GemmSeconds(xfer.TransferOnce, 4, 256, 256, 256, true, 1)
+	got, err := g.TimeGemm(xfer.TransferOnce, 4, 256, 256, 256, true, 1)
+	if err != nil {
+		t.Fatalf("latency rules errored: %v", err)
+	}
+	if math.Abs(got-(base+0.75)) > 1e-12 {
+		t.Fatalf("latency faults not accumulated: got %g, want %g", got, base+0.75)
+	}
+}

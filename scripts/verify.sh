@@ -20,8 +20,15 @@
 #                      to a valid BENCH_*.json
 #   6. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
-#                      multi-threaded BLAS kernels, and the advisor
-#                      service (cache / singleflight / worker pool)
+#                      multi-threaded BLAS kernels, the advisor
+#                      service (cache / singleflight / worker pool),
+#                      and the resilience layer (retry / breaker /
+#                      fault injection)
+#   7. chaos         — the seeded fault-injection gate: the chaos tests
+#                      re-run under the race detector with a fixed seed,
+#                      proving a sweep under a 30%-transient fault plan
+#                      still converges to fault-free verdicts and that
+#                      kill-and-resume checkpointing is byte-identical
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +49,12 @@ bench_tmp="$(mktemp -d)"
 trap 'rm -rf "$bench_tmp"' EXIT
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 
-echo "==> go test -race (parallel, core, blas, service)"
-go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/...
+echo "==> go test -race (parallel, core, blas, service, resilience, faultinject)"
+go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
+	./internal/resilience/... ./internal/faultinject/...
+
+echo "==> chaos gate (seeded fault plans under -race)"
+go test -race -count=1 -run 'TestChaos|TestCheckpoint|TestThresholdUnderChaosPlan' \
+	./internal/core/ ./internal/service/
 
 echo "verify: all gates passed"
