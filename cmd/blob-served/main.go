@@ -26,6 +26,18 @@
 //	blob-served -request-timeout 30s -sweep-retries 10 -cache-ttl 1h \
 //	    -fault-plan plan.json
 //
+// Overload robustness is the admission-control layer in front of the
+// sweep pool (DESIGN.md §12): -target-latency turns on the AIMD adaptive
+// concurrency limiter (admitted sweeps shrink when completions overshoot
+// the setpoint), -fair-share / -fair-share-burst enable per-client
+// token-bucket quotas, and clients may tighten their own deadline with
+// an X-Deadline-Ms request header. Requests the service cannot serve in
+// time are shed early with a Retry-After header and a machine-readable
+// JSON "reason" (queue_full, over_quota, deadline_budget, breaker_open,
+// shutting_down):
+//
+//	blob-served -workers 4 -queue 16 -target-latency 2s -fair-share 0.5
+//
 // A separate debug listener (disabled by default) exposes net/http/pprof
 // and a runtime/metrics dump, so profiles can be captured from the
 // running service without putting the profiling surface on the public
@@ -80,6 +92,10 @@ func run() error {
 		retries    = flag.Int("sweep-retries", 0, "attempts per backend call inside a sweep for transient faults (0/1 = no retry)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "freshness window for cached threshold results; expired entries serve only while the backend's breaker is open, marked stale (0 = fresh forever)")
 		faultPlan  = flag.String("fault-plan", "", "seeded fault-injection plan (JSON file) to arm on the simulated backends — chaos mode")
+
+		targetLat  = flag.Duration("target-latency", 0, "AIMD setpoint for sweep latency: completions above it shrink admitted sweep concurrency toward 1, below it grow it back toward -workers (0 = fixed at -workers)")
+		fairShare  = flag.Float64("fair-share", 0, "per-client sweep admissions per second (X-API-Key header, else remote host); 0 disables fair-share shedding")
+		fairBurst  = flag.Int("fair-share-burst", 4, "per-client token-bucket burst for -fair-share")
 	)
 	flag.Parse()
 
@@ -98,6 +114,9 @@ func run() error {
 		RequestTimeout: *reqTimeout,
 		Resilience:     core.Resilience{MaxAttempts: *retries},
 		CacheTTL:       *cacheTTL,
+		TargetLatency:  *targetLat,
+		FairShareRate:  *fairShare,
+		FairShareBurst: *fairBurst,
 	}
 	if *faultPlan != "" {
 		plan, err := faultinject.LoadPlan(*faultPlan)

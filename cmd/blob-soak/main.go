@@ -1,0 +1,612 @@
+// blob-soak is the deterministic overload/soak harness for the blob-served
+// service. It stands up the service in-process, drives scripted load
+// profiles against it with seeded closed-loop clients, and asserts the
+// overload SLOs that the admission-control layer (DESIGN.md §12) exists to
+// uphold:
+//
+//   - the fast tiers answer fast: the p99 latency over shed responses and
+//     cache hits stays under the SLO even at 4x sweep capacity — immediate
+//     paths are never queued behind cold sweeps;
+//   - the service sheds instead of melting: every rejection carries one of
+//     the known machine-readable reasons, and some work still completes;
+//   - nothing leaks: after each profile drains, the goroutine count is
+//     back at its pre-profile baseline;
+//   - chaos does not corrupt: with a seeded fault plan armed, every
+//     threshold verdict the service does serve is byte-identical to the
+//     fault-free reference.
+//
+// Profiles (select with -profiles, comma-separated):
+//
+//	ramp     client count doubles phase by phase up to 4x sweep capacity
+//	spike    idle baseline, then a sudden 4x burst
+//	sustain  4x capacity for the whole window, AIMD limiter engaged
+//	chaos    sustain plus a seeded fault-injection plan on the backends
+//
+// The run writes a schema-versioned SOAK_<tag>.json artifact (see
+// EXPERIMENTS.md) and exits non-zero when any profile violates its SLOs:
+//
+//	blob-soak -seed 1 -short -tag ci
+//	blob-soak -profiles sustain,chaos -workers 2 -o /tmp/soak.json
+//
+// The request schedule is deterministic under -seed; wall-clock latencies
+// are measured, so the artifact records them but the pass verdict depends
+// only on the SLO ceilings.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchmark"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/service"
+	"repro/internal/sim/systems"
+)
+
+// SchemaVersion tags the artifact format; readers refuse to interpret a
+// version they do not know.
+const SchemaVersion = "blob-soak/v1"
+
+// The SLO ceilings. fastP99SLO bounds the immediate tiers (sheds and
+// cache hits); goroutineTolerance absorbs runtime bookkeeping noise on
+// top of the pre-profile baseline.
+const (
+	fastP99SLO         = 250 * time.Millisecond
+	maxShedRate        = 0.99
+	goroutineTolerance = 8
+)
+
+// knownReasons are the only rejection reasons a healthy overloaded
+// service may emit; anything else is a bug, not load shedding.
+var knownReasons = map[string]bool{
+	"queue_full": true, "over_quota": true, "deadline_budget": true,
+	"breaker_open": true, "shutting_down": true, "deadline_exceeded": true,
+	"abandoned": true,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blob-soak:", err)
+		os.Exit(1)
+	}
+}
+
+// phase is one step of a profile's load schedule.
+type phase struct {
+	clients  int
+	fraction float64 // of the profile window
+}
+
+// profile is one scripted overload scenario.
+type profile struct {
+	name   string
+	phases []phase
+	faults bool // arm the chaos fault plan
+	fair   bool // enable per-client fair share
+	aimd   bool // enable the AIMD target latency
+}
+
+// profiles returns the scripted scenarios for a given worker count; 4x
+// capacity is the saturation point the acceptance criteria name.
+func allProfiles(workers int) []profile {
+	burst := 4 * workers
+	return []profile{
+		{name: "ramp", phases: []phase{
+			{1, 0.25}, {workers, 0.25}, {2 * workers, 0.25}, {burst, 0.25}}},
+		{name: "spike", fair: true, phases: []phase{{1, 0.5}, {burst, 0.5}}},
+		{name: "sustain", aimd: true, phases: []phase{{burst, 1}}},
+		{name: "chaos", faults: true, phases: []phase{{burst, 1}}},
+	}
+}
+
+// shot is one recorded request outcome.
+type shot struct {
+	status  int
+	reason  string
+	cached  bool
+	latency time.Duration
+	dim     int
+	// thresholds is the canonical verdict rendering for 200 responses —
+	// the chaos profile compares these against the fault-free reference.
+	thresholds string
+}
+
+// ProfileResult is the artifact's per-profile record.
+type ProfileResult struct {
+	Name       string         `json:"name"`
+	DurationMs float64        `json:"duration_ms"`
+	PeakLoad   int            `json:"peak_clients"`
+	Requests   int            `json:"requests"`
+	OK         int            `json:"ok"`
+	Cached     int            `json:"cached"`
+	Sheds      map[string]int `json:"sheds,omitempty"`
+	Statuses   map[string]int `json:"statuses"`
+	// FastP99Ms is the p99 latency over the immediate tiers: admission
+	// sheds and cache hits. The SLO applies to this number.
+	FastP99Ms          float64  `json:"fast_p99_ms"`
+	ShedRate           float64  `json:"shed_rate"`
+	GoroutineBaseline  int      `json:"goroutine_baseline"`
+	GoroutineAfter     int      `json:"goroutine_after"`
+	VerdictDigest      string   `json:"verdict_digest,omitempty"`
+	ReferenceDigest    string   `json:"reference_digest,omitempty"`
+	Violations         []string `json:"violations,omitempty"`
+	Pass               bool     `json:"pass"`
+}
+
+// Artifact is one SOAK_<tag>.json.
+type Artifact struct {
+	SchemaVersion string          `json:"schema_version"`
+	GeneratedAt   time.Time       `json:"generated_at"`
+	Host          benchmark.Host  `json:"host"`
+	Seed          int64           `json:"seed"`
+	Short         bool            `json:"short"`
+	Workers       int             `json:"workers"`
+	SweepCostMs   float64         `json:"sweep_cost_ms"`
+	FastP99SLOMs  float64         `json:"fast_p99_slo_ms"`
+	MaxShedRate   float64         `json:"max_shed_rate"`
+	Profiles      []ProfileResult `json:"profiles"`
+	Pass          bool            `json:"pass"`
+}
+
+func run() error {
+	var (
+		seed      = flag.Int64("seed", 1, "seed for the request schedule (deterministic per seed)")
+		sel       = flag.String("profiles", "ramp,spike,sustain,chaos", "comma-separated profiles to run")
+		short     = flag.Bool("short", false, "short windows (~2s per profile): the verify-gate mode")
+		tag       = flag.String("tag", "dev", "artifact tag; default output is SOAK_<tag>.json")
+		out       = flag.String("o", "", "output path (overrides the tag-derived name)")
+		workers   = flag.Int("workers", 2, "sweep worker count of the service under test")
+		sweepCost = flag.Duration("sweep-cost", 20*time.Millisecond, "artificial cost added to every sweep (creates saturation)")
+		planPath  = flag.String("fault-plan", "", "fault plan for the chaos profile (default: built-in transient-fault plan)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	window := 8 * time.Second
+	if *short {
+		window = 2 * time.Second
+	}
+	plan, err := chaosPlan(*planPath)
+	if err != nil {
+		return err
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*sel, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	art := Artifact{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC(),
+		Host:          benchmark.CurrentHost(),
+		Seed:          *seed,
+		Short:         *short,
+		Workers:       *workers,
+		SweepCostMs:   float64(*sweepCost) / float64(time.Millisecond),
+		FastP99SLOMs:  float64(fastP99SLO) / float64(time.Millisecond),
+		MaxShedRate:   maxShedRate,
+		Pass:          true,
+	}
+	ran := map[string]bool{}
+	for _, p := range allProfiles(*workers) {
+		if !selected[p.name] {
+			continue
+		}
+		ran[p.name] = true
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "soak: profile %-8s window %s peak %d clients\n",
+				p.name, window, p.phases[len(p.phases)-1].clients)
+		}
+		res := runProfile(p, *workers, *seed, window, *sweepCost, plan)
+		if !res.Pass {
+			art.Pass = false
+		}
+		art.Profiles = append(art.Profiles, res)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "soak: profile %-8s %s  requests=%d ok=%d shed_rate=%.2f fast_p99=%.1fms\n",
+				res.Name, passStr(res.Pass), res.Requests, res.OK, res.ShedRate, res.FastP99Ms)
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "soak:   violation: %s\n", v)
+			}
+		}
+	}
+	for name := range selected {
+		if name != "" && !ran[name] {
+			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos)", name)
+		}
+	}
+	if len(art.Profiles) == 0 {
+		return fmt.Errorf("no profiles selected")
+	}
+
+	path := *out
+	if path == "" {
+		path = "SOAK_" + *tag + ".json"
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "soak: wrote %s (%s)\n", path, passStr(art.Pass))
+	}
+	if !art.Pass {
+		return fmt.Errorf("SLO violations (see %s)", path)
+	}
+	return nil
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// chaosPlan loads the operator's plan or falls back to the built-in one:
+// transient GPU faults only, which the sweep retry budget absorbs without
+// changing any result — the point of the chaos profile is proving
+// verdicts survive faults, not manufacturing failures.
+func chaosPlan(path string) (*faultinject.Plan, error) {
+	if path != "" {
+		return faultinject.LoadPlan(path)
+	}
+	// A sweep makes thousands of backend calls, so the per-call fault
+	// probability is kept small enough that a 5-attempt retry budget
+	// absorbs every transient (0.02^5 per call is negligible even across
+	// a full soak window).
+	return faultinject.ParsePlan([]byte(
+		`{"seed": 7, "rules": [{"backend": "gpu", "probability": 0.02, "kind": "transient"}]}`))
+}
+
+// The sweep-size working set: randomDim draws from ~500 distinct sweep
+// sizes — wide enough that the result cache (256 entries) cannot absorb
+// the load and cold sweeps keep arriving for the admission layer to
+// arbitrate. hotDim sits outside the random range; it is warmed before
+// the load starts and must keep answering from the cache throughout.
+func randomDim(rng *rand.Rand) int { return 24 + 2*rng.Intn(500) }
+
+const hotDim = 2048
+
+func thresholdBody(dim int) string {
+	return fmt.Sprintf(`{"system":"dawn","kernel":"gemv","precision":"f64","config":{"max_dim":%d}}`, dim)
+}
+
+// runProfile stands up a fresh server, drives the profile's phases, and
+// scores the outcome against the SLOs.
+func runProfile(p profile, workers int, seed int64, window time.Duration, sweepCost time.Duration, plan *faultinject.Plan) ProfileResult {
+	res := ProfileResult{
+		Name:     p.name,
+		PeakLoad: p.phases[len(p.phases)-1].clients,
+		Sheds:    map[string]int{},
+		Statuses: map[string]int{},
+		Pass:     true,
+	}
+	res.GoroutineBaseline = runtime.NumGoroutine()
+
+	opts := service.Options{
+		Workers:        workers,
+		Queue:          2 * workers,
+		RequestTimeout: 2 * time.Second,
+		Resilience:     core.Resilience{MaxAttempts: 5},
+		Sweep:          costedSweep(sweepCost, nil),
+	}
+	if p.aimd {
+		opts.TargetLatency = sweepCost / 2 // every sweep overshoots: AIMD engages
+	}
+	if p.fair {
+		opts.FairShareRate = 20
+		opts.FairShareBurst = 2 * workers
+	}
+	if p.faults {
+		inj := plan.Arm()
+		opts.Inject = inj
+		opts.Sweep = costedSweep(sweepCost, inj)
+	}
+	svc := service.New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	transport := &http.Transport{MaxIdleConnsPerHost: 64}
+	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+
+	// Warm the hot cache entry while the service is idle.
+	warm, _ := post(client, ts.URL, thresholdBody(hotDim), nil)
+	hotWarmed := warm != nil && warm.status == http.StatusOK
+
+	began := time.Now()
+	var shots []shot
+	for _, ph := range p.phases {
+		shots = append(shots, runPhase(client, ts.URL, ph, seed, time.Duration(float64(window)*ph.fraction))...)
+	}
+	res.DurationMs = float64(time.Since(began)) / float64(time.Millisecond)
+
+	// Drain and count goroutines once everything is torn down.
+	ts.Close()
+	svc.Close()
+	transport.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res.GoroutineAfter = runtime.NumGoroutine()
+		if res.GoroutineAfter <= res.GoroutineBaseline+goroutineTolerance || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	score(&res, shots, hotWarmed)
+	if p.faults {
+		verifyVerdicts(&res, shots, workers)
+	}
+	return res
+}
+
+// costedSweep wraps core.Run with an artificial per-sweep cost (so a
+// small worker pool saturates at scripted load) and, for the chaos
+// profile, the armed fault injector on the sim backends.
+func costedSweep(cost time.Duration, inj faultinject.Point) service.SweepFunc {
+	return func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		if inj != nil {
+			sys.CPU.Inject = inj
+			sys.GPU.Inject = inj
+		}
+		select {
+		case <-time.After(cost):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return core.Run(ctx, sys, pts, precs, cfg)
+	}
+}
+
+// runPhase runs one phase's closed-loop clients and merges their shots.
+// Each client derives its own PRNG from the run seed, so the request
+// schedule is reproducible per (seed, profile, phase).
+func runPhase(client *http.Client, url string, ph phase, seed int64, d time.Duration) []shot {
+	stop := time.Now().Add(d)
+	var mu sync.Mutex
+	var all []shot
+	var wg sync.WaitGroup
+	for i := 0; i < ph.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(id)))
+			hdr := map[string]string{"X-API-Key": fmt.Sprintf("client-%d", id)}
+			var mine []shot
+			for n := 0; time.Now().Before(stop); n++ {
+				dim := randomDim(rng)
+				if n%7 == 3 {
+					dim = hotDim // every client revisits the hot cached entry
+				}
+				h := hdr
+				if n%5 == 4 {
+					// A slice of traffic carries a client deadline tighter
+					// than the sweep cost: once the p50 estimator warms,
+					// these shed deterministically on budget.
+					h = map[string]string{"X-API-Key": hdr["X-API-Key"], "X-Deadline-Ms": "10"}
+				}
+				s, err := post(client, url, thresholdBody(dim), h)
+				if err == nil {
+					s.dim = dim
+					mine = append(mine, *s)
+				}
+				time.Sleep(2 * time.Millisecond) // think time bounds the spin
+			}
+			mu.Lock()
+			all = append(all, mine...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return all
+}
+
+// post issues one threshold request and decodes the outcome.
+func post(client *http.Client, url, body string, hdr map[string]string) (*shot, error) {
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/threshold", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	began := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	s := &shot{status: resp.StatusCode, latency: time.Since(began)}
+	if resp.StatusCode == http.StatusOK {
+		var tr struct {
+			Cached     bool            `json:"cached"`
+			Thresholds json.RawMessage `json:"thresholds"`
+		}
+		if err := json.Unmarshal(raw, &tr); err == nil {
+			s.cached = tr.Cached
+			s.thresholds = canonicalJSON(tr.Thresholds)
+		}
+	} else {
+		var eb struct {
+			Reason string `json:"reason"`
+		}
+		_ = json.Unmarshal(raw, &eb)
+		s.reason = eb.Reason
+	}
+	return s, nil
+}
+
+// canonicalJSON re-marshals a JSON fragment with sorted object keys so
+// byte comparison means semantic comparison.
+func canonicalJSON(raw json.RawMessage) string {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return string(raw)
+	}
+	out, err := json.Marshal(v) // maps marshal with sorted keys
+	if err != nil {
+		return string(raw)
+	}
+	return string(out)
+}
+
+// score aggregates the shots and applies the SLO ceilings.
+func score(res *ProfileResult, shots []shot, hotWarmed bool) {
+	var fast []time.Duration
+	shed := 0
+	for _, s := range shots {
+		res.Requests++
+		res.Statuses[fmt.Sprint(s.status)]++
+		switch {
+		case s.status == http.StatusOK:
+			res.OK++
+			if s.cached {
+				res.Cached++
+				fast = append(fast, s.latency)
+			}
+		case s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable:
+			shed++
+			res.Sheds[s.reason]++
+			fast = append(fast, s.latency)
+		default:
+			shed++
+			res.Sheds[s.reason]++
+		}
+	}
+	if res.Requests == 0 {
+		res.fail("profile produced no requests")
+		return
+	}
+	res.ShedRate = float64(shed) / float64(res.Requests)
+	res.FastP99Ms = float64(p99(fast)) / float64(time.Millisecond)
+
+	if !hotWarmed {
+		res.fail("hot cache entry failed to warm")
+	}
+	if res.OK == 0 {
+		res.fail("no request completed: total collapse, not load shedding")
+	}
+	if res.ShedRate > maxShedRate {
+		res.fail(fmt.Sprintf("shed rate %.3f above ceiling %.2f", res.ShedRate, maxShedRate))
+	}
+	if d := time.Duration(res.FastP99Ms * float64(time.Millisecond)); d > fastP99SLO {
+		res.fail(fmt.Sprintf("fast-tier p99 %.1fms above SLO %s", res.FastP99Ms, fastP99SLO))
+	}
+	for reason, n := range res.Sheds {
+		if !knownReasons[reason] {
+			res.fail(fmt.Sprintf("%d sheds with unknown reason %q", n, reason))
+		}
+	}
+	if res.GoroutineAfter > res.GoroutineBaseline+goroutineTolerance {
+		res.fail(fmt.Sprintf("goroutine leak: %d after drain, baseline %d",
+			res.GoroutineAfter, res.GoroutineBaseline))
+	}
+}
+
+func (r *ProfileResult) fail(msg string) {
+	r.Pass = false
+	r.Violations = append(r.Violations, msg)
+}
+
+// p99 returns the 99th-percentile duration (0 for an empty set).
+func p99(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*99 + 99) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// verifyVerdicts proves chaos serves no corrupted result: every verdict
+// the chaos profile returned must be byte-identical to a fault-free
+// reference sweep of the same dimension. Both digests land in the
+// artifact so two runs are comparable at a glance.
+func verifyVerdicts(res *ProfileResult, shots []shot, workers int) {
+	verdicts := map[int]string{}
+	for _, s := range shots {
+		if s.status != http.StatusOK || s.thresholds == "" {
+			continue
+		}
+		if prev, ok := verdicts[s.dim]; ok && prev != s.thresholds {
+			res.fail(fmt.Sprintf("dim %d served two different verdicts under chaos", s.dim))
+		}
+		verdicts[s.dim] = s.thresholds
+	}
+	if len(verdicts) == 0 {
+		res.fail("chaos profile completed no verdicts to verify")
+		return
+	}
+
+	// The fault-free reference: a quiet server, sequential requests.
+	svc := service.New(service.Options{Workers: workers, Sweep: costedSweep(0, nil)})
+	ts := httptest.NewServer(svc.Handler())
+	transport := &http.Transport{}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	reference := map[int]string{}
+	dims := make([]int, 0, len(verdicts))
+	for dim := range verdicts {
+		dims = append(dims, dim)
+	}
+	sort.Ints(dims)
+	for _, dim := range dims {
+		s, err := post(client, ts.URL, thresholdBody(dim), nil)
+		if err != nil || s.status != http.StatusOK {
+			res.fail(fmt.Sprintf("reference sweep for dim %d failed", dim))
+			continue
+		}
+		reference[dim] = s.thresholds
+		if verdicts[dim] != s.thresholds {
+			res.fail(fmt.Sprintf("dim %d: chaos verdict differs from fault-free reference", dim))
+		}
+	}
+	ts.Close()
+	svc.Close()
+	transport.CloseIdleConnections()
+
+	res.VerdictDigest = digest(verdicts)
+	res.ReferenceDigest = digest(reference)
+}
+
+// digest is a stable fingerprint of a dim -> verdict map.
+func digest(m map[int]string) string {
+	dims := make([]int, 0, len(m))
+	for d := range m {
+		dims = append(dims, d)
+	}
+	sort.Ints(dims)
+	h := sha256.New()
+	for _, d := range dims {
+		fmt.Fprintf(h, "%d=%s\n", d, m[d])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

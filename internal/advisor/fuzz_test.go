@@ -1,0 +1,32 @@
+package advisor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes through the trace-CSV reader. The
+// parser sits on the service's untrusted edge (blob-advise -trace takes
+// user files), so the invariants are: never panic, and every Call that
+// survives parsing also passes its own Validate — a row cannot sneak
+// past the row parser in a state the planner would choke on.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("kernel,m,n,k,precision,count,movement\ngemm,2048,2048,64,f64,32,once\n"))
+	f.Add([]byte("kernel,m,n,k,precision,count,movement\ngemv,4096,4096,0,f32,128,always\n"))
+	f.Add([]byte("# comment\nkernel,m,n,k,precision,count,movement\n"))
+	f.Add([]byte("gemm,1,1,1,f64,1,once"))
+	f.Add([]byte(""))
+	f.Add([]byte("kernel,m,n,k,precision,count,movement\ngemm,-3,0,x,f16,,never\n"))
+	f.Add([]byte("kernel,m,n,k,precision,count,movement\r\ngemm, 2048 ,2048,64,F64,32,ONCE\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		calls, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing on it is not
+		}
+		for i, c := range calls {
+			if verr := c.Validate(); verr != nil {
+				t.Fatalf("ReadTrace accepted row %d that fails Validate: %+v: %v", i, c, verr)
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/flops"
 	"repro/internal/matrix"
+	"repro/internal/overload"
 	"repro/internal/service"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
@@ -56,6 +57,8 @@ func DefaultSuite(opt Options) []Case {
 		serviceAdviseCase(),
 		serviceThresholdCachedCase(sweepDim),
 		serviceHealthzCase(),
+		overloadAcquireCase(),
+		serviceThresholdShedCase(),
 	)
 	return cases
 }
@@ -331,6 +334,98 @@ func serviceHealthzCase() Case {
 			return func() error {
 				return env.do(http.MethodGet, "/healthz", nil)
 			}, env.close, nil
+		},
+	}
+}
+
+// overloadAcquireCase measures the admission controller's uncontended
+// grant/release round trip — the fixed tax every admitted sweep pays on
+// top of its own cost, which must stay in the nanosecond range.
+func overloadAcquireCase() Case {
+	return Case{
+		Name:  "overload/acquire-release",
+		Group: "overload",
+		Prepare: func() (func() error, func(), error) {
+			c := overload.New(overload.Config{MaxConcurrent: 4, TargetLatency: time.Second})
+			return func() error {
+				p, err := c.Acquire(context.Background(), overload.Ticket{Client: "bench"})
+				if err != nil {
+					return err
+				}
+				p.Release(time.Microsecond)
+				return nil
+			}, func() {}, nil
+		},
+	}
+}
+
+// serviceThresholdShedCase measures the shed fast path end to end: with
+// the worker and admission queue saturated by never-finishing sweeps, a
+// cold request must be refused in HTTP-round-trip time — the whole point
+// of shedding early is that saying no stays cheap under overload.
+func serviceThresholdShedCase() Case {
+	body := []byte(`{
+	  "system": "dawn", "kernel": "gemm", "problem": "square",
+	  "precision": "f64", "config": {"max_dim": 77, "iterations": 8}
+	}`)
+	return Case{
+		Name:  "service/threshold/shed",
+		Group: "service",
+		Prepare: func() (func() error, func(), error) {
+			release := make(chan struct{})
+			blocked := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+				return nil, ctx.Err()
+			}
+			svc := service.New(service.Options{Workers: 1, Queue: 1, Sweep: blocked})
+			ts := httptest.NewServer(svc.Handler())
+			env := &serviceEnv{svc: svc, ts: ts, client: &http.Client{Timeout: 30 * time.Second}}
+			saturator := func(dim int) []byte {
+				return []byte(fmt.Sprintf(`{"system":"dawn","kernel":"gemm","precision":"f64","config":{"max_dim":%d}}`, dim))
+			}
+			done := make(chan struct{}, 2)
+			for i := 0; i < 2; i++ {
+				go func(dim int) {
+					_ = env.do(http.MethodPost, "/v1/threshold", saturator(dim))
+					done <- struct{}{}
+				}(60 + i)
+			}
+			// Wait until the worker slot and the admission queue are held.
+			for deadline := time.Now().Add(10 * time.Second); ; {
+				m := svc.Metrics()
+				if m.AdmissionQueued != nil && m.AdmissionQueued() == 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					close(release)
+					env.close()
+					return nil, nil, fmt.Errorf("saturating the admission queue timed out")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			cleanup := func() {
+				close(release)
+				<-done
+				<-done
+				env.close()
+			}
+			return func() error {
+				resp, err := env.client.Post(ts.URL+"/v1/threshold", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					return err
+				}
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					return fmt.Errorf("expected a 503 shed, got %d", resp.StatusCode)
+				}
+				return nil
+			}, cleanup, nil
 		},
 	}
 }

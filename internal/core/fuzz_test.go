@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+// FuzzConfigHash hammers the canonical config identity that keys the
+// service result cache. Invariants: Hash never panics on any field
+// combination, it is deterministic, equal configs hash equal, and the
+// documented normalization equivalences hold (Step 0 ≡ Step 1,
+// Iterations 0 ≡ Iterations 1) — a cache key that drifted between
+// equivalent configs would silently halve the hit rate.
+func FuzzConfigHash(f *testing.F) {
+	f.Add(1, 64, 1, 8, 1.0, 0.0, uint8(0), false, 4, int64(0))
+	f.Add(0, 0, 0, 0, 0.0, 0.0, uint8(1), true, 0, int64(-1))
+	f.Add(100, 50, -3, -1, -2.5, 1e300, uint8(200), true, -7, int64(1<<40))
+	f.Fuzz(func(t *testing.T, minDim, maxDim, step, iters int, alpha, beta float64, mode uint8, validate bool, every int, maxFlops int64) {
+		cfg := Config{
+			MinDim:     minDim,
+			MaxDim:     maxDim,
+			Step:       step,
+			Iterations: iters,
+			Alpha:      alpha,
+			Beta:       beta,
+			Mode:       Mode(mode),
+			Validate:   Validation{Enabled: validate, Every: every, MaxFlops: maxFlops},
+		}
+		h1, err := cfg.Hash()
+		if err != nil {
+			return // invalid sweeps (max < min) are rejected, not hashed
+		}
+		if len(h1) != 64 {
+			t.Fatalf("hash %q is not hex SHA-256", h1)
+		}
+		h2, err := cfg.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("Hash not deterministic: %q then %q (err %v)", h1, h2, err)
+		}
+		clone := cfg
+		if h3, _ := clone.Hash(); h3 != h1 {
+			t.Fatalf("equal configs hash differently: %q vs %q", h1, h3)
+		}
+
+		// Normalization equivalences: the defaulted spelling and the
+		// explicit spelling are one identity.
+		if step == 0 {
+			one := cfg
+			one.Step = 1
+			if h, err := one.Hash(); err != nil || h != h1 {
+				t.Fatalf("Step 0 and Step 1 diverge: %q vs %q (err %v)", h1, h, err)
+			}
+		}
+		if iters == 0 {
+			one := cfg
+			one.Iterations = 1
+			if h, err := one.Hash(); err != nil || h != h1 {
+				t.Fatalf("Iterations 0 and 1 diverge: %q vs %q (err %v)", h1, h, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPlanJSON drives ParsePlan with arbitrary bytes. Plans are
+// hand-edited operator input (-fault-plan files), so the parser must
+// never panic, and any plan it accepts must round-trip: Marshal output
+// re-parses to a plan that marshals byte-identically (the wire form is
+// canonical, not lossy).
+func FuzzPlanJSON(f *testing.F) {
+	f.Add([]byte(`{"seed": 42, "rules": [{"backend": "gpu", "probability": 0.3, "kind": "transient"}]}`))
+	f.Add([]byte(`{"seed": 1, "rules": [{"backend": "xfer", "kernel": "gemm", "min_dim": 512, "probability": 0.05, "kind": "latency", "latency_seconds": 0.002}]}`))
+	f.Add([]byte(`{"seed": 7, "rules": [{"backend": "service", "probability": 1, "kind": "panic", "max_hits": 1}]}`))
+	f.Add([]byte(`{"rules": []}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": -1, "rules": [{"probability": 2, "kind": "hard"}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("plan accepted by ParsePlan fails Marshal: %v\ninput: %q", err, data)
+		}
+		p2, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("marshalled plan does not re-parse: %v\nwire: %s", err, out)
+		}
+		out2, err := p2.Marshal()
+		if err != nil {
+			t.Fatalf("re-parsed plan fails Marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("plan wire form not canonical:\nfirst:  %s\nsecond: %s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package overload
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// costEstimator tracks the p50 cost of recently completed sweeps over a
+// fixed ring of samples. The admission queue sheds a request early when
+// its remaining deadline budget cannot cover this estimate: if the median
+// sweep takes longer than the client is willing to wait, queueing the
+// request only converts a cheap immediate shed into an expensive late
+// timeout (the CoDel argument, applied to deadline budgets).
+type costEstimator struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int
+	full    bool
+}
+
+func newCostEstimator(window int) *costEstimator {
+	if window < 1 {
+		window = 32
+	}
+	return &costEstimator{samples: make([]time.Duration, window)}
+}
+
+// add records one completed sweep's duration.
+func (e *costEstimator) add(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.samples[e.next] = d
+	e.next++
+	if e.next == len(e.samples) {
+		e.next = 0
+		e.full = true
+	}
+}
+
+// p50 returns the median of the recorded window, or 0 before any sample
+// exists (no estimate — never shed on a guess).
+func (e *costEstimator) p50() time.Duration {
+	e.mu.Lock()
+	n := e.next
+	if e.full {
+		n = len(e.samples)
+	}
+	if n == 0 {
+		e.mu.Unlock()
+		return 0
+	}
+	window := make([]time.Duration, n)
+	copy(window, e.samples[:n])
+	e.mu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[n/2]
+}

@@ -63,7 +63,7 @@ type BreakerConfig struct {
 	// admits, and how many successes close the breaker (default 1).
 	HalfOpenMax int
 	// Clock replaces time.Now (tests); nil uses the real clock.
-	Clock func() time.Time
+	Clock Clock
 	// OnStateChange, when non-nil, observes transitions (metrics, logs).
 	// It is called with the breaker's lock held: keep it cheap and do not
 	// call back into the breaker.
@@ -202,6 +202,18 @@ func (b *Breaker) State() State {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// Refusing reports whether an Allow issued now would return ErrOpen: the
+// breaker is Open and its OpenTimeout has not yet elapsed. Callers that
+// can degrade without attempting the call at all (the service's stale
+// serves, which bypass admission control entirely) consult it before
+// spending a queue slot; once the timeout lapses it answers false so
+// half-open probes still flow through the normal Allow path.
+func (b *Breaker) Refusing() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == Open && b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenTimeout
 }
 
 // transition moves the state machine and notifies the observer. Caller

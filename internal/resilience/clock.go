@@ -1,0 +1,19 @@
+package resilience
+
+import "time"
+
+// Clock is the time source shared by the failure-handling layers: the
+// circuit breaker's windows, the overload controller's AIMD cooldowns and
+// fair-share refills all read time through one injectable function so
+// tests drive them in deterministic virtual time. A nil Clock means the
+// real clock; Now centralizes that defaulting so callers never branch.
+type Clock func() time.Time
+
+// Now returns the clock's current time, falling back to time.Now when the
+// clock is nil (the zero value of every config that embeds one).
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}

@@ -88,9 +88,11 @@ func (h *Histogram) snapshot() (cum []int64, sum float64, total int64) {
 // label sets are created lazily and rendered in sorted order so scrapes
 // are deterministic.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]*Counter   // "endpoint|code" -> count
-	latency  map[string]*Histogram // endpoint -> seconds histogram
+	mu          sync.Mutex
+	requests    map[string]*Counter   // "endpoint|code" -> count
+	latency     map[string]*Histogram // endpoint -> seconds histogram
+	sheds       map[string]*Counter   // shed reason -> count
+	clientSheds map[string]*Counter   // client -> count (bounded; overflow -> "_other")
 
 	// CacheHits / CacheMisses count /v1/threshold cache lookups.
 	CacheHits, CacheMisses Counter
@@ -119,14 +121,63 @@ type Metrics struct {
 	// BreakerTransitions counts circuit-breaker state changes across all
 	// per-system breakers.
 	BreakerTransitions Counter
+
+	// AdmittedTotal counts sweeps admitted by the overload controller
+	// (queued-then-granted included; sheds excluded).
+	AdmittedTotal Counter
+	// AdmissionSeconds is the admission decision latency: how long a
+	// request waited for the controller to either grant it a slot or shed
+	// it — the p99 of this histogram is the soak harness's SLO.
+	AdmissionSeconds *Histogram
+	// AdmissionLimit and AdmissionQueued read the overload controller's
+	// current AIMD limit and queue depth at scrape time.
+	AdmissionLimit, AdmissionQueued func() int
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: map[string]*Counter{},
-		latency:  map[string]*Histogram{},
+		requests:         map[string]*Counter{},
+		latency:          map[string]*Histogram{},
+		sheds:            map[string]*Counter{},
+		clientSheds:      map[string]*Counter{},
+		AdmissionSeconds: NewHistogram(),
 	}
+}
+
+// maxShedClients bounds the per-client shed series so a client-key
+// minting attack cannot grow the scrape without bound; overflow clients
+// aggregate under "_other".
+const maxShedClients = 256
+
+// ShedCounter returns the shed counter for one reason.
+func (m *Metrics) ShedCounter(reason string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.sheds[reason]
+	if !ok {
+		c = &Counter{}
+		m.sheds[reason] = c
+	}
+	return c
+}
+
+// ClientShedCounter returns the shed counter for one client identity.
+func (m *Metrics) ClientShedCounter(client string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clientSheds[client]
+	if !ok {
+		if len(m.clientSheds) >= maxShedClients {
+			client = "_other"
+			if c, ok = m.clientSheds[client]; ok {
+				return c
+			}
+		}
+		c = &Counter{}
+		m.clientSheds[client] = c
+	}
+	return c
 }
 
 // RequestCounter returns the counter for one endpoint and status code.
@@ -167,9 +218,19 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for k := range m.latency {
 		latKeys = append(latKeys, k)
 	}
+	shedKeys := make([]string, 0, len(m.sheds))
+	for k := range m.sheds {
+		shedKeys = append(shedKeys, k)
+	}
+	clientKeys := make([]string, 0, len(m.clientSheds))
+	for k := range m.clientSheds {
+		clientKeys = append(clientKeys, k)
+	}
 	m.mu.Unlock()
 	sort.Strings(reqKeys)
 	sort.Strings(latKeys)
+	sort.Strings(shedKeys)
+	sort.Strings(clientKeys)
 
 	fmt.Fprintf(&b, "# HELP blob_requests_total Requests served, by endpoint and status code.\n")
 	fmt.Fprintf(&b, "# TYPE blob_requests_total counter\n")
@@ -219,6 +280,36 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if m.QueueDepth != nil {
 		fmt.Fprintf(&b, "# HELP blob_sweep_queue_depth Sweep jobs waiting for a worker.\n# TYPE blob_sweep_queue_depth gauge\n")
 		fmt.Fprintf(&b, "blob_sweep_queue_depth %d\n", m.QueueDepth())
+	}
+
+	fmt.Fprintf(&b, "# HELP blob_admitted_total Sweeps admitted by the overload controller.\n# TYPE blob_admitted_total counter\n")
+	fmt.Fprintf(&b, "blob_admitted_total %d\n", m.AdmittedTotal.Value())
+	fmt.Fprintf(&b, "# HELP blob_shed_total Requests shed by admission control, by reason.\n# TYPE blob_shed_total counter\n")
+	for _, k := range shedKeys {
+		fmt.Fprintf(&b, "blob_shed_total{reason=%q} %d\n", k, m.ShedCounter(k).Value())
+	}
+	fmt.Fprintf(&b, "# HELP blob_client_shed_total Requests shed by admission control, by client.\n# TYPE blob_client_shed_total counter\n")
+	for _, k := range clientKeys {
+		fmt.Fprintf(&b, "blob_client_shed_total{client=%q} %d\n", k, m.ClientShedCounter(k).Value())
+	}
+	fmt.Fprintf(&b, "# HELP blob_admission_seconds Admission decision latency (grant or shed).\n# TYPE blob_admission_seconds histogram\n")
+	{
+		cum, sum, total := m.AdmissionSeconds.snapshot()
+		for i, bound := range defLatencyBounds {
+			fmt.Fprintf(&b, "blob_admission_seconds_bucket{le=%q} %d\n",
+				strconv.FormatFloat(bound, 'g', -1, 64), cum[i])
+		}
+		fmt.Fprintf(&b, "blob_admission_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+		fmt.Fprintf(&b, "blob_admission_seconds_sum %g\n", sum)
+		fmt.Fprintf(&b, "blob_admission_seconds_count %d\n", total)
+	}
+	if m.AdmissionLimit != nil {
+		fmt.Fprintf(&b, "# HELP blob_admission_limit Current AIMD concurrency limit.\n# TYPE blob_admission_limit gauge\n")
+		fmt.Fprintf(&b, "blob_admission_limit %d\n", m.AdmissionLimit())
+	}
+	if m.AdmissionQueued != nil {
+		fmt.Fprintf(&b, "# HELP blob_admission_queue_depth Requests queued for admission.\n# TYPE blob_admission_queue_depth gauge\n")
+		fmt.Fprintf(&b, "blob_admission_queue_depth %d\n", m.AdmissionQueued())
 	}
 
 	n, err := io.WriteString(w, b.String())

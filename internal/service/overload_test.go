@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim/systems"
+)
+
+// blockingSweep returns a SweepFunc that parks until release is closed
+// (or the sweep's context is cancelled), then answers from the timing
+// models as usual. Tests use it to hold the admission layer saturated
+// at a known point. Sweeps with MaxDim >= 100 skip the gate, so a test
+// can warm the cache while others block.
+func blockingSweep(release <-chan struct{}) SweepFunc {
+	return func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		if cfg.MaxDim < 100 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return core.Run(context.Background(), sys, pts, precs, cfg)
+	}
+}
+
+func thresholdBody(maxDim int) string {
+	return fmt.Sprintf(`{"system":"dawn","kernel":"gemv","precision":"f64","config":{"max_dim":%d}}`, maxDim)
+}
+
+// releasedGate is a pre-closed blocking channel: the sweep runs
+// immediately but still travels the full admission path.
+func releasedGate() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// saturate occupies every worker slot and fills the admission queue with
+// distinct blocked sweeps, returning once the server observably holds
+// them all. Callers must release the sweep gate before waiting on the
+// returned group.
+func saturate(t *testing.T, s *Server, url string, workers, queue int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < workers+queue; i++ {
+		wg.Add(1)
+		go func(dim int) {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/threshold", "application/json",
+				strings.NewReader(thresholdBody(dim)))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(30 + 2*i)
+	}
+	waitFor(t, func() bool {
+		return s.admission.Inflight() == workers && s.admission.QueueDepth() == queue
+	})
+	return &wg
+}
+
+func postJSONHeaders(t *testing.T, url, body string, headers map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// assertRejection posts body and requires the full rejection contract:
+// the expected status, a positive integer Retry-After header, and the
+// JSON envelope with a matching machine-readable reason.
+func assertRejection(t *testing.T, url, body string, headers map[string]string, status int, reason string) {
+	t.Helper()
+	resp, respBody := postJSONHeaders(t, url+"/v1/threshold", body, headers)
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d; body %s", resp.StatusCode, status, respBody)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%d response without Retry-After; body %s", status, respBody)
+	}
+	var secs int
+	if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
+	}
+	var envelope struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(respBody), &envelope); err != nil {
+		t.Fatalf("rejection body %q is not the JSON envelope: %v", respBody, err)
+	}
+	if envelope.Reason != reason {
+		t.Fatalf("reason = %q, want %q (body %s)", envelope.Reason, reason, respBody)
+	}
+	if envelope.Error == "" {
+		t.Fatalf("rejection without human-readable error text: %s", respBody)
+	}
+}
+
+// TestRejectionContract pins the uniform rejection envelope: every load-
+// shedding status carries a Retry-After header and a machine-readable
+// JSON "reason" alongside the human "error" text, so a client can
+// branch on (status, reason) without parsing prose.
+func TestRejectionContract(t *testing.T) {
+	t.Run("queue_full", func(t *testing.T) {
+		release := make(chan struct{})
+		s, ts := newTestServer(t, Options{Workers: 1, Queue: 1, Sweep: blockingSweep(release)})
+		wg := saturate(t, s, ts.URL, 1, 1)
+		defer func() { close(release); wg.Wait() }()
+		assertRejection(t, ts.URL, thresholdBody(90), nil,
+			http.StatusServiceUnavailable, "queue_full")
+	})
+
+	t.Run("over_quota", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{Workers: 2, FairShareRate: 0.001, FairShareBurst: 1,
+			Sweep: blockingSweep(releasedGate())})
+		resp, body := postJSONHeaders(t, ts.URL+"/v1/threshold", thresholdBody(30),
+			map[string]string{"X-API-Key": "tenant-a"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request status = %d, body %s", resp.StatusCode, body)
+		}
+		assertRejection(t, ts.URL, thresholdBody(32), map[string]string{"X-API-Key": "tenant-a"},
+			http.StatusTooManyRequests, "over_quota")
+	})
+
+	t.Run("deadline_exceeded", func(t *testing.T) {
+		release := make(chan struct{})
+		_, ts := newTestServer(t, Options{Workers: 1, RequestTimeout: 30 * time.Millisecond,
+			Sweep: blockingSweep(release)})
+		defer close(release)
+		assertRejection(t, ts.URL, thresholdBody(30), nil,
+			http.StatusGatewayTimeout, "deadline_exceeded")
+	})
+
+	t.Run("shutting_down", func(t *testing.T) {
+		s := New(Options{Workers: 1, Sweep: blockingSweep(releasedGate())})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		s.Close()
+		assertRejection(t, ts.URL, thresholdBody(30), nil,
+			http.StatusServiceUnavailable, "shutting_down")
+	})
+
+	t.Run("bad_deadline_header", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{Workers: 1, Sweep: blockingSweep(releasedGate())})
+		resp, body := postJSONHeaders(t, ts.URL+"/v1/threshold", thresholdBody(30),
+			map[string]string{"X-Deadline-Ms": "soon"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+		}
+	})
+}
+
+// TestFairShareIsolatesClients: one tenant burning through its burst is
+// 429'd while another tenant's identical traffic keeps flowing — fair
+// share charges the offender, not the pool.
+func TestFairShareIsolatesClients(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, FairShareRate: 0.001, FairShareBurst: 2,
+		Sweep: blockingSweep(releasedGate())})
+
+	// Tenant a: 2 admitted (the burst), then quota-shed. Distinct dims
+	// defeat the cache so every request reaches admission.
+	dim := 30
+	for i := 0; i < 2; i++ {
+		resp, body := postJSONHeaders(t, ts.URL+"/v1/threshold", thresholdBody(dim),
+			map[string]string{"X-API-Key": "tenant-a"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant-a request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		dim += 2
+	}
+	assertRejection(t, ts.URL, thresholdBody(dim), map[string]string{"X-API-Key": "tenant-a"},
+		http.StatusTooManyRequests, "over_quota")
+	dim += 2
+
+	// Tenant b is untouched by a's exhaustion.
+	resp, body := postJSONHeaders(t, ts.URL+"/v1/threshold", thresholdBody(dim),
+		map[string]string{"X-API-Key": "tenant-b"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-b status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestCachedTierBypassesAdmission: a cached answer is served even while
+// the admission layer is fully saturated and shedding cold sweeps — the
+// cheap tier can never be queued behind the expensive one.
+func TestCachedTierBypassesAdmission(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Options{Workers: 1, Queue: 1, Sweep: blockingSweep(release)})
+
+	// Warm the cache (dim >= 100 skips the sweep gate).
+	resp, body := postJSON(t, ts.URL+"/v1/threshold", thresholdBody(200))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d, body %s", resp.StatusCode, body)
+	}
+
+	wg := saturate(t, s, ts.URL, 1, 1)
+	defer func() { close(release); wg.Wait() }()
+
+	// Cold sweeps shed...
+	assertRejection(t, ts.URL, thresholdBody(90), nil,
+		http.StatusServiceUnavailable, "queue_full")
+	// ...while the cached tier answers instantly.
+	resp, body = postJSON(t, ts.URL+"/v1/threshold", thresholdBody(200))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request under saturation: status %d, body %s", resp.StatusCode, body)
+	}
+	var tr ThresholdResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil || !tr.Cached {
+		t.Fatalf("response under saturation not served from cache: %s", body)
+	}
+}
+
+// TestDrainUnderLoad is the graceful-shutdown invariant: with sweeps in
+// flight and the admission queue full, Close sheds the queued waiters
+// (shutting_down), lets the in-flight work finish, and leaves no
+// goroutines behind.
+func TestDrainUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	s := New(Options{Workers: 2, Queue: 2, Sweep: blockingSweep(release)})
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	statuses := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(dim int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/threshold", "application/json",
+				strings.NewReader(thresholdBody(dim)))
+			if err != nil {
+				statuses <- 0
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}(30 + 2*i)
+	}
+	waitFor(t, func() bool {
+		return s.admission.Inflight() == 2 && s.admission.QueueDepth() == 2
+	})
+
+	// Drain: queued waiters shed immediately, in-flight sweeps complete
+	// once released.
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	waitFor(t, func() bool { return s.admission.QueueDepth() == 0 })
+	close(release)
+	<-done
+	wg.Wait()
+	close(statuses)
+	ts.Close()
+
+	var ok, unavailable int
+	for st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			unavailable++
+		default:
+			t.Fatalf("unexpected status %d during drain", st)
+		}
+	}
+	if ok != 2 || unavailable != 2 {
+		t.Fatalf("drain outcome ok=%d 503=%d, want 2 and 2", ok, unavailable)
+	}
+
+	// Goroutines return to baseline: nothing in the admission layer or
+	// the pool leaked. The tolerance absorbs runtime bookkeeping noise.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+2 })
+}
+
+// TestAdaptiveLimitSheds: with a TargetLatency far below the sweeps'
+// actual cost, the AIMD limiter walks the admitted concurrency down from
+// Workers toward 1 — visible through the admission-limit gauge.
+func TestAdaptiveLimitSheds(t *testing.T) {
+	slow := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
+		time.Sleep(20 * time.Millisecond)
+		return core.Run(context.Background(), sys, pts, precs, cfg)
+	}
+	s, ts := newTestServer(t, Options{Workers: 4, TargetLatency: time.Millisecond, Sweep: slow})
+	if got := s.admission.Limit(); got != 4 {
+		t.Fatalf("initial admission limit = %d, want 4", got)
+	}
+	// Each completion overshoots the 1ms target; the cooldown defaults to
+	// the target, so sequential completions keep halving the limit.
+	for dim := 30; dim <= 38; dim += 2 {
+		resp, body := postJSON(t, ts.URL+"/v1/threshold", thresholdBody(dim))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status %d, body %s", resp.StatusCode, body)
+		}
+	}
+	if got := s.admission.Limit(); got >= 4 {
+		t.Fatalf("admission limit = %d after sustained overshoots, want < 4", got)
+	}
+}

@@ -26,12 +26,15 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/sim/systems"
 )
@@ -80,6 +83,22 @@ type Options struct {
 	// (Backend "service") before the backend runs — the service-layer
 	// chaos hook. Nil costs a single comparison.
 	Inject faultinject.Point
+
+	// TargetLatency is the AIMD setpoint of the adaptive concurrency
+	// limiter: sweep completions above it shrink the admitted
+	// concurrency multiplicatively (toward 1), completions below it grow
+	// it back toward Workers. 0 (the default) pins the limit at Workers —
+	// the historical fixed-pool behaviour.
+	TargetLatency time.Duration
+	// FairShareRate enables per-client fair-share token buckets: each
+	// client (X-API-Key header, else remote host) refills at this many
+	// sweep admissions per second, FairShareBurst deep (default 4).
+	// 0 disables the fair-share layer.
+	FairShareRate  float64
+	FairShareBurst int
+	// AdmissionClock replaces time.Now inside the overload controller
+	// (tests run admission in virtual time).
+	AdmissionClock resilience.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -107,26 +126,39 @@ func (o Options) withDefaults() Options {
 // Server holds the service's shared state. Create with New, expose with
 // Handler, and Close when draining.
 type Server struct {
-	opts    Options
-	sweep   SweepFunc
-	pool    *Pool
-	cache   *Cache
-	flights *flightGroup
-	metrics *Metrics
-	log     *slog.Logger
-	start   time.Time
+	opts      Options
+	sweep     SweepFunc
+	pool      *Pool
+	admission *overload.Controller
+	cache     *Cache
+	flights   *flightGroup
+	metrics   *Metrics
+	log       *slog.Logger
+	start     time.Time
 
 	breakerMu sync.Mutex
 	breakers  map[string]*resilience.Breaker // system name -> breaker
 }
 
-// New assembles a Server (and starts its worker pool).
+// New assembles a Server (and starts its worker pool). Sweep concurrency
+// is governed by the overload controller — an AIMD limiter whose ceiling
+// is Workers, with Queue as the LIFO admission-queue depth — so the pool
+// itself is sized to the ceiling and its channel buffer only absorbs the
+// instant between a permit grant and a worker pickup.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		sweep:    opts.Sweep,
-		pool:     NewPool(opts.Workers, opts.Queue),
+		opts:  opts,
+		sweep: opts.Sweep,
+		pool:  NewPool(opts.Workers, opts.Workers),
+		admission: overload.New(overload.Config{
+			MaxConcurrent:  opts.Workers,
+			TargetLatency:  opts.TargetLatency,
+			QueueCap:       opts.Queue,
+			FairShareRate:  opts.FairShareRate,
+			FairShareBurst: opts.FairShareBurst,
+			Clock:          opts.AdmissionClock,
+		}),
 		cache:    NewCacheTTL(opts.CacheSize, opts.CacheTTL),
 		flights:  newFlightGroup(),
 		metrics:  NewMetrics(),
@@ -135,6 +167,8 @@ func New(opts Options) *Server {
 		breakers: map[string]*resilience.Breaker{},
 	}
 	s.metrics.QueueDepth = s.pool.QueueDepth
+	s.metrics.AdmissionLimit = s.admission.Limit
+	s.metrics.AdmissionQueued = s.admission.QueueDepth
 	return s
 }
 
@@ -161,8 +195,13 @@ func (s *Server) breaker(system string) *resilience.Breaker {
 // Metrics exposes the registry (used by tests and the metrics endpoint).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close stops the worker pool, waiting for running sweeps to finish.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the server: admission closes first (queued waiters shed
+// with reason shutting_down, new acquires refused), then the pool waits
+// for the sweeps that were already admitted.
+func (s *Server) Close() {
+	s.admission.Close()
+	s.pool.Close()
+}
 
 // Handler returns the service's routed, instrumented HTTP handler. The
 // middleware order matters: instrument wraps the ResponseWriter first, so
@@ -276,12 +315,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // errorBody is the uniform error envelope of every non-2xx response.
+// Reason is the machine-readable rejection class (set on every shed /
+// refusal path: queue_full, over_quota, deadline_budget, breaker_open,
+// shutting_down, deadline_exceeded, abandoned) so clients can branch on
+// it without parsing the human-oriented Error text.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// reject writes the uniform rejection contract for load-shedding and
+// refusal responses: a Retry-After header (whole seconds, rounded up,
+// floored at 1) plus the JSON envelope with a machine-readable reason.
+func reject(w http.ResponseWriter, status int, reason string, retryAfter time.Duration, err error) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, errorBody{Error: err.Error(), Reason: reason})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
@@ -136,6 +139,40 @@ func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
 	return p, nil
 }
 
+// clientKey is the fair-share identity of one request: the X-API-Key
+// header when present, else the remote host (without the ephemeral
+// port, so one client's connections pool into one bucket).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// requestBudget resolves a request's deadline budget: the server-side
+// RequestTimeout tightened by the client's X-Deadline-Ms header when
+// present (a client will stop waiting sooner than the server would —
+// never later). 0 means unbounded. A malformed header is the client's
+// error, not grounds for a silent default.
+func requestBudget(r *http.Request, serverTimeout time.Duration) (time.Duration, error) {
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return serverTimeout, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("invalid X-Deadline-Ms %q: want a positive integer of milliseconds", h)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if serverTimeout > 0 && serverTimeout < d {
+		return serverTimeout, nil
+	}
+	return d, nil
+}
+
 func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	var req ThresholdRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -147,10 +184,21 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	budget, err := requestBudget(r, s.opts.RequestTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	// The deadline budget covers everything after request validation:
-	// queueing, the sweep itself, and result shaping.
-	ctx, cancel := resilience.Deadline(r.Context(), s.opts.RequestTimeout)
+	// admission queueing, the sweep itself, and result shaping. The
+	// absolute deadline handed to admission reads the controller's clock
+	// so budget arithmetic stays in virtual time under test.
+	ctx, cancel := resilience.Deadline(r.Context(), budget)
 	defer cancel()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = s.opts.AdmissionClock.Now().Add(budget)
+	}
 
 	if v, ok := s.cache.Get(plan.key); ok {
 		s.metrics.CacheHits.Inc()
@@ -162,7 +210,48 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CacheMisses.Inc()
 
 	br := s.breaker(plan.sys.Name)
-	val, shared, err := s.flights.Do(ctx, plan.key, s.pool.Submit, func(fctx context.Context) (any, error) {
+	// Degraded tier: while this system's breaker is refusing outright
+	// (open, before its half-open probe window), answer from the stale
+	// cache inline — no admission slot, no queueing behind cold sweeps.
+	// Past the probe window Refusing reports false and the request flows
+	// through admission so the breaker can try its half-open probe.
+	if br.Refusing() {
+		s.metrics.BreakerOpenTotal.Inc()
+		if v, _, ok := s.cache.GetStale(plan.key); ok {
+			s.metrics.StaleServes.Inc()
+			resp := v.(ThresholdResponse)
+			resp.Cached = true
+			resp.Stale = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		reject(w, http.StatusServiceUnavailable, "breaker_open", time.Second, resilience.ErrOpen)
+		return
+	}
+
+	// Admission charges only flight leaders: the flight registers before
+	// submit runs, so concurrent identical requests join it and share the
+	// leader's slot instead of consuming their own.
+	client := clientKey(r)
+	admit := func(job func()) error {
+		began := time.Now()
+		permit, aerr := s.admission.Acquire(ctx, overload.Ticket{Client: client, Deadline: deadline})
+		s.metrics.AdmissionSeconds.Observe(time.Since(began).Seconds())
+		if aerr != nil {
+			return aerr
+		}
+		s.metrics.AdmittedTotal.Inc()
+		if err := s.pool.Submit(func() {
+			start := time.Now()
+			job()
+			permit.Release(time.Since(start))
+		}); err != nil {
+			permit.Cancel()
+			return err
+		}
+		return nil
+	}
+	val, shared, err := s.flights.Do(ctx, plan.key, admit, func(fctx context.Context) (any, error) {
 		s.metrics.SweepsStarted.Inc()
 		var resp ThresholdResponse
 		// The breaker observes exactly one outcome per executed flight:
@@ -194,6 +283,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp, err
 	})
+	var shed *overload.ShedError
 	switch {
 	case err == nil:
 		resp := val.(ThresholdResponse)
@@ -212,21 +302,39 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		reject(w, http.StatusServiceUnavailable, "breaker_open", time.Second, err)
+	case errors.As(err, &shed):
+		// Admission shed the leader before any sweep work ran. Quota
+		// refusals are the client's own doing (429); the rest are server
+		// capacity (503). Retry-After carries the controller's hint.
+		s.metrics.ShedCounter(string(shed.Reason)).Inc()
+		s.metrics.ClientShedCounter(client).Inc()
+		status := http.StatusServiceUnavailable
+		if shed.Reason == overload.ReasonQuota {
+			status = http.StatusTooManyRequests
+		}
+		reject(w, status, string(shed.Reason), shed.RetryAfter, err)
+	case errors.Is(err, ErrQueueFull):
+		reject(w, http.StatusServiceUnavailable, "queue_full", time.Second, err)
+	case errors.Is(err, ErrPoolClosed):
+		reject(w, http.StatusServiceUnavailable, "shutting_down", time.Second, err)
 	case resilience.Expired(ctx):
 		s.metrics.TimeoutsTotal.Inc()
-		writeError(w, http.StatusGatewayTimeout,
-			fmt.Errorf("request timed out after %s", s.opts.RequestTimeout))
+		reject(w, http.StatusGatewayTimeout, "deadline_exceeded", s.admission.P50Cost(),
+			fmt.Errorf("request timed out after %s", budget))
 	case r.Context().Err() != nil:
 		// The client hung up; nobody is reading this response, but record
 		// the outcome for metrics/logs with nginx's 499 convention. The
 		// sweep was cancelled (or adopted by surviving waiters) already.
 		w.WriteHeader(499)
 		s.log.Info("threshold request abandoned", "key", plan.key)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Our own context is fine (the cases above ruled it out), so this
+		// cancellation is inherited from a flight leader that gave up while
+		// queued in admission. The follower's request was never charged; a
+		// retry starts a fresh flight.
+		reject(w, http.StatusServiceUnavailable, "abandoned", time.Second,
+			fmt.Errorf("shared sweep abandoned by its initiator"))
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}

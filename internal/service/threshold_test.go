@@ -259,8 +259,9 @@ func TestThresholdCancellation(t *testing.T) {
 	}
 }
 
-// TestThresholdQueueFull: with one worker and a one-deep queue, a third
-// distinct sweep is refused with 503 instead of blocking the handler.
+// TestThresholdQueueFull: with one worker and a one-deep admission
+// queue, a third distinct sweep is refused with 503 instead of blocking
+// the handler.
 func TestThresholdQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	blocking := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
@@ -287,8 +288,8 @@ func TestThresholdQueueFull(t *testing.T) {
 		}(dim)
 	}
 	// Wait until the first sweep occupies the worker and the second fills
-	// the queue.
-	waitFor(t, func() bool { return s.flights.waiterCount() == 2 && s.pool.QueueDepth() == 1 })
+	// the admission queue.
+	waitFor(t, func() bool { return s.flights.waiterCount() == 2 && s.admission.QueueDepth() == 1 })
 
 	resp, respBody := postJSON(t, ts.URL+"/v1/threshold", body(50))
 	if resp.StatusCode != http.StatusServiceUnavailable {

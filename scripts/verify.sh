@@ -10,21 +10,32 @@
 #   3. blob-vet      — this repo's own analyzers (see internal/analysis):
 #                      kernelargcheck, floatcompare, goroutinehygiene,
 #                      determinism, pkgdoc
-#   4. go test       — full test suite (includes the blob-vet self-check
-#                      in internal/analysis/suite_test.go and the doc
-#                      gates: README/DESIGN/EXPERIMENTS go fences must
-#                      parse, benchmark index must match the registry)
-#   5. blob-bench    — smoke run of the standardized benchmark suite
+#   4. go test       — full test suite, shuffled (-shuffle=on with a
+#                      fixed seed, so inter-test ordering dependencies
+#                      surface deterministically; includes the blob-vet
+#                      self-check in internal/analysis/suite_test.go and
+#                      the doc gates: README/DESIGN/EXPERIMENTS go fences
+#                      must parse, benchmark index must match the
+#                      registry)
+#   5. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
+#                      the advisor trace CSV, the fault-plan JSON, and
+#                      the config hash that keys the service cache
+#   6. blob-bench    — smoke run of the standardized benchmark suite
 #                      (tiny sizes, one interleaved repetition): proves
 #                      every case still prepares, runs and serializes
 #                      to a valid BENCH_*.json
-#   6. go test -race — concurrency-sensitive packages under the race
+#   7. blob-soak     — short overload soak of the admission-control
+#                      layer (DESIGN.md §12): sustained 4x-capacity load
+#                      plus the chaos profile, asserting the shed SLOs,
+#                      goroutine hygiene after drain, and that verdicts
+#                      under faults match the fault-free reference
+#   8. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, the advisor
 #                      service (cache / singleflight / worker pool),
-#                      and the resilience layer (retry / breaker /
-#                      fault injection)
-#   7. chaos         — the seeded fault-injection gate: the chaos tests
+#                      the overload controller, and the resilience
+#                      layer (retry / breaker / fault injection)
+#   9. chaos         — the seeded fault-injection gate: the chaos tests
 #                      re-run under the race detector with a fixed seed,
 #                      proving a sweep under a 30%-transient fault plan
 #                      still converges to fault-free verdicts and that
@@ -41,20 +52,27 @@ go vet ./...
 echo "==> blob-vet ./..."
 go run ./cmd/blob-vet ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test ./... (-shuffle=on)"
+go test -shuffle=on ./...
+
+echo "==> fuzz smoke (10s per target)"
+go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/advisor/
+go test -run='^$' -fuzz='^FuzzPlanJSON$' -fuzztime=10s ./internal/faultinject/
+go test -run='^$' -fuzz='^FuzzConfigHash$' -fuzztime=10s ./internal/core/
 
 echo "==> blob-bench -smoke"
 bench_tmp="$(mktemp -d)"
 trap 'rm -rf "$bench_tmp"' EXIT
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 
-echo "==> go test -race (parallel, core, blas, service, resilience, faultinject)"
+echo "==> blob-soak -short (sustain + chaos)"
+go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos -o "$bench_tmp/SOAK_verify.json"
+
+echo "==> go test -race (parallel, core, blas, service, overload, resilience, faultinject)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
-	./internal/resilience/... ./internal/faultinject/...
+	./internal/overload/... ./internal/resilience/... ./internal/faultinject/...
 
 echo "==> chaos gate (seeded fault plans under -race)"
 go test -race -count=1 -run 'TestChaos|TestCheckpoint|TestThresholdUnderChaosPlan' \
 	./internal/core/ ./internal/service/
-
 echo "verify: all gates passed"
