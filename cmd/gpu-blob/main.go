@@ -77,20 +77,25 @@ func run() error {
 		}
 		return nil
 	}
+	// Ctrl-C cancels sweeps (and experiment regenerations) between problem
+	// sizes instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *experiment != "" {
 		// Experiments sweep many configurations; checksum validation is
 		// covered by the main benchmark mode and by the test suite, so it
 		// stays off here to keep table regeneration fast.
 		opt := experiments.Options{Step: *step, MaxDim: *maxDim, OutDir: *outDir}
 		if *experiment == "all" {
-			return experiments.RunAll(os.Stdout, opt)
+			return experiments.RunAll(ctx, os.Stdout, opt)
 		}
 		e, err := experiments.ByID(*experiment)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("=== %s ===\n", e.Title)
-		return e.Run(os.Stdout, opt)
+		return e.Run(ctx, os.Stdout, opt)
 	}
 
 	sys, err := systems.ByName(*systemName)
@@ -134,10 +139,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Ctrl-C cancels the sweep between problem sizes instead of killing the
-	// process mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	series, err := core.Run(ctx, sys, problems, []core.Precision{core.F32, core.F64}, cfg)
 	if inj != nil {
 		st := inj.Stats()

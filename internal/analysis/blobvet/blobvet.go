@@ -9,6 +9,14 @@
 // driver (cmd/blob-vet, or the analysistest harness in tests) loads
 // packages and runs analyzers over them.
 //
+// Severity. Every diagnostic carries a severity: SevError findings are
+// contract violations that must be fixed (or explicitly allowed in
+// source), while SevWarn findings are hygiene advisories that may instead
+// be suppressed wholesale by a committed baseline file (see Baseline), so
+// pre-existing debt is frozen while new code is held to the stricter bar.
+// Reportf records an error-level diagnostic; Warnf records a warn-level
+// one.
+//
 // Suppression directives. A diagnostic can be silenced in source, so that
 // deliberate, documented exceptions (for example an exact float comparison
 // that is correct by construction) stay visible at the use site:
@@ -21,9 +29,18 @@
 //
 //	//blobvet:file-allow floatcompare -- golden values are exact by design
 //
-// Both forms name the analyzers they apply to (comma separated), or "all".
-// Everything after " -- " is a free-form justification and is ignored by
-// the matcher but required by convention.
+// Both forms name the analyzers they apply to (comma separated), or "all",
+// followed by a mandatory free-form justification introduced by " -- " (or
+// the equivalent "name: justification" colon form). A bare directive with
+// no justification is rejected: it suppresses nothing, and CheckDirectives
+// reports it as an error-level finding of the "blobvet" pseudo-analyzer,
+// so an undocumented exception cannot silently disable a check.
+//
+// Generated files. Diagnostics positioned in files carrying the standard
+// "Code generated ... DO NOT EDIT." marker (per ast.IsGenerated) are
+// dropped for every analyzer: generated code is the generator's problem,
+// and each checker stays free of its own skipping logic. testdata/ trees
+// are excluded one layer down, by the internal/analysis/load loader.
 package blobvet
 
 import (
@@ -33,6 +50,17 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+)
+
+// Severity classifies a diagnostic: SevError findings fail the build
+// outright, SevWarn findings fail unless covered by the committed
+// baseline.
+type Severity string
+
+// The two severity levels.
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warn"
 )
 
 // An Analyzer describes one invariant checker. Run inspects the Pass's
@@ -53,6 +81,7 @@ type Analyzer struct {
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -69,6 +98,7 @@ type Pass struct {
 	diags      []Diagnostic
 	suppressed int
 	directives *directiveIndex
+	generated  map[string]bool
 }
 
 // NewPass assembles a Pass over a loaded package for the given analyzer.
@@ -80,19 +110,50 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		Pkg:        pkg,
 		Info:       info,
 		directives: indexDirectives(a.Name, fset, files),
+		generated:  generatedFiles(fset, files),
 	}
 }
 
-// Reportf records a diagnostic at pos unless a //blobvet:allow or
-// //blobvet:file-allow directive covers it.
+// generatedFiles maps the filenames of files carrying the standard
+// generated-code marker, so every analyzer skips them uniformly.
+func generatedFiles(fset *token.FileSet, files []*ast.File) map[string]bool {
+	gen := map[string]bool{}
+	for _, f := range files {
+		if ast.IsGenerated(f) {
+			gen[fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	return gen
+}
+
+// Reportf records an error-level diagnostic at pos unless a
+// //blobvet:allow or //blobvet:file-allow directive covers it or the file
+// is generated.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.directives.covers(p.Fset.Position(pos)) {
+	p.report(SevError, pos, format, args...)
+}
+
+// Warnf records a warn-level diagnostic at pos: same suppression rules as
+// Reportf, but additionally eligible for baseline suppression by the
+// driver.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.report(SevWarn, pos, format, args...)
+}
+
+func (p *Pass) report(sev Severity, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.generated[position.Filename] {
+		p.suppressed++
+		return
+	}
+	if p.directives.covers(position) {
 		p.suppressed++
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -122,6 +183,43 @@ func (p *Pass) TestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// CheckDirectives validates every //blobvet: directive in files and
+// returns error-level diagnostics (Analyzer "blobvet") for malformed
+// ones: a directive with no analyzer names, or — the tightened PR6
+// contract — an allow with no justification. Drivers run it once per
+// package, independent of which analyzers are selected, so a bare allow
+// naming a disabled analyzer is still rejected.
+func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	gen := generatedFiles(fset, files)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if gen[fset.Position(c.Slash).Filename] {
+					continue
+				}
+				switch {
+				case len(d.names) == 0:
+					diags = append(diags, Diagnostic{
+						Pos: c.Slash, Analyzer: "blobvet", Severity: SevError,
+						Message: fmt.Sprintf("//blobvet:%s names no analyzers; write //blobvet:%s <analyzer>: <justification>", d.kind, d.kind),
+					})
+				case d.justification == "":
+					diags = append(diags, Diagnostic{
+						Pos: c.Slash, Analyzer: "blobvet", Severity: SevError,
+						Message: fmt.Sprintf("bare //blobvet:%s without justification; write //blobvet:%s %s: <justification>", d.kind, d.kind, strings.Join(d.names, ",")),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
 // directiveIndex records, per file, the lines whitelisted for one analyzer.
 type directiveIndex struct {
 	fileAllow map[string]bool         // filename -> whole file allowed
@@ -136,12 +234,17 @@ func indexDirectives(name string, fset *token.FileSet, files []*ast.File) *direc
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				kind, names, ok := parseDirective(c.Text)
-				if !ok || !nameListMatches(names, name) {
+				d, ok := parseDirective(c.Text)
+				if !ok || !nameListMatches(d.names, name) {
+					continue
+				}
+				// A directive without a justification is malformed
+				// (CheckDirectives reports it) and suppresses nothing.
+				if d.justification == "" {
 					continue
 				}
 				pos := fset.Position(c.Slash)
-				switch kind {
+				switch d.kind {
 				case "file-allow":
 					idx.fileAllow[pos.Filename] = true
 				case "allow":
@@ -169,30 +272,48 @@ func (d *directiveIndex) covers(pos token.Position) bool {
 	return d.lineAllow[pos.Filename][pos.Line]
 }
 
-// parseDirective splits "//blobvet:allow name1,name2 -- reason" into its
-// kind ("allow" or "file-allow") and analyzer names.
-func parseDirective(text string) (kind string, names []string, ok bool) {
+// directive is one parsed //blobvet: comment.
+type directive struct {
+	kind          string // "allow" or "file-allow"
+	names         []string
+	justification string
+}
+
+// parseDirective splits "//blobvet:allow name1,name2 -- reason" (or the
+// equivalent "//blobvet:allow name1,name2: reason" colon form) into its
+// kind, analyzer names and justification.
+func parseDirective(text string) (directive, bool) {
 	const prefix = "//blobvet:"
 	if !strings.HasPrefix(text, prefix) {
-		return "", nil, false
+		return directive{}, false
 	}
 	rest := strings.TrimPrefix(text, prefix)
+	var d directive
 	var body string
 	switch {
 	case strings.HasPrefix(rest, "file-allow"):
-		kind, body = "file-allow", strings.TrimPrefix(rest, "file-allow")
+		d.kind, body = "file-allow", strings.TrimPrefix(rest, "file-allow")
 	case strings.HasPrefix(rest, "allow"):
-		kind, body = "allow", strings.TrimPrefix(rest, "allow")
+		d.kind, body = "allow", strings.TrimPrefix(rest, "allow")
 	default:
-		return "", nil, false
+		return directive{}, false
 	}
-	if reason := strings.Index(body, " -- "); reason >= 0 {
-		body = body[:reason]
+	// " -- reason" and "names: reason" both introduce the justification;
+	// whichever separator appears first wins.
+	dash := strings.Index(body, " -- ")
+	colon := strings.Index(body, ":")
+	switch {
+	case dash >= 0 && (colon < 0 || dash < colon):
+		d.justification = strings.TrimSpace(body[dash+len(" -- "):])
+		body = body[:dash]
+	case colon >= 0:
+		d.justification = strings.TrimSpace(body[colon+1:])
+		body = body[:colon]
 	}
 	for _, fld := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-		names = append(names, fld)
+		d.names = append(d.names, fld)
 	}
-	return kind, names, true
+	return d, true
 }
 
 func nameListMatches(names []string, analyzer string) bool {

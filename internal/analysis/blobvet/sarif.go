@@ -1,0 +1,176 @@
+package blobvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 document structs — the minimal subset of the OASIS schema
+// that CI renderers (GitHub code scanning et al.) consume. Field names
+// follow the spec exactly; the emitter fills every required property so
+// the document validates against sarif-schema-2.1.0.json.
+
+// SarifVersion and SarifSchemaURI identify the emitted document format.
+const (
+	SarifVersion   = "2.1.0"
+	SarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+// SarifLog is the top-level SARIF document.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one analysis run: the tool description plus its results.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool wraps the driver descriptor.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver names the tool and enumerates its rules (one per analyzer).
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule describes one analyzer as a SARIF reportingDescriptor.
+type SarifRule struct {
+	ID               string           `json:"id"`
+	ShortDescription SarifMessage     `json:"shortDescription"`
+	FullDescription  *SarifMessage    `json:"fullDescription,omitempty"`
+	DefaultConfig    *SarifRuleConfig `json:"defaultConfiguration,omitempty"`
+}
+
+// SarifRuleConfig holds a rule's default severity level.
+type SarifRuleConfig struct {
+	Level string `json:"level"`
+}
+
+// SarifMessage is SARIF's string-wrapper object.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifLocation anchors a result to a file position.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+// SarifPhysicalLocation is the artifact + region pair.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation is a repo-relative file URI.
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is a 1-based start position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps blobvet severities onto the SARIF level enum.
+func sarifLevel(s Severity) string {
+	if s == SevWarn {
+		return "warning"
+	}
+	return "error"
+}
+
+// MarshalSarif renders findings as a SARIF 2.1.0 document. analyzers
+// supplies rule metadata (name → doc); analyzers that appear only in
+// findings (the "blobvet" directive pseudo-rule, say) still get a rule
+// entry so every result's ruleId resolves.
+func MarshalSarif(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
+	docs := map[string]string{}
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	ruleSet := map[string]bool{}
+	for name := range docs {
+		ruleSet[name] = true
+	}
+	for _, f := range findings {
+		ruleSet[f.Analyzer] = true
+	}
+	names := make([]string, 0, len(ruleSet))
+	for name := range ruleSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rules := make([]SarifRule, 0, len(names))
+	for _, name := range names {
+		doc := docs[name]
+		if doc == "" {
+			doc = "blobvet driver diagnostic"
+		}
+		short := doc
+		if i := strings.IndexByte(short, '\n'); i >= 0 {
+			short = short[:i]
+		}
+		rules = append(rules, SarifRule{
+			ID:               name,
+			ShortDescription: SarifMessage{Text: short},
+			FullDescription:  &SarifMessage{Text: doc},
+			DefaultConfig:    &SarifRuleConfig{Level: "error"},
+		})
+	}
+
+	findings = append([]Finding{}, findings...) // sort a copy; callers keep their order
+	sortFindings(findings)
+	results := make([]SarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SarifResult{
+			RuleID:  f.Analyzer,
+			Level:   sarifLevel(f.Severity),
+			Message: SarifMessage{Text: f.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: f.File},
+					Region:           SarifRegion{StartLine: max(f.Line, 1), StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+
+	log := SarifLog{
+		Schema:  SarifSchemaURI,
+		Version: SarifVersion,
+		Runs: []SarifRun{{
+			Tool: SarifTool{Driver: SarifDriver{
+				Name:           "blob-vet",
+				InformationURI: "https://go.dev/", // stdlib-only tool; no hosted docs
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sarif: encoding log: %w", err)
+	}
+	return append(data, '\n'), nil
+}

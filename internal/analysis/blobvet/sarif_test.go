@@ -1,0 +1,98 @@
+package blobvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestMarshalSarifValid schema-checks the emitted document: it must
+// strictly decode into the SARIF 2.1.0 struct subset (no unknown fields
+// on our side, no missing required properties) and carry the version and
+// $schema markers renderers key on. The real OASIS JSON schema cannot be
+// fetched offline, so the structural check doubles as the schema check.
+func TestMarshalSarifValid(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "locksafety", Severity: SevError, File: "internal/resilience/breaker.go", Line: 227, Column: 2, Message: "callback invoked while mutex held"},
+		{Analyzer: "ctxflow", Severity: SevWarn, File: "internal/core/runner.go", Line: 257, Message: "loop never consults ctx"},
+		{Analyzer: "blobvet", Severity: SevError, File: "internal/sparse/csr.go", Line: 3, Message: "bare allow"},
+	}
+	analyzers := []*Analyzer{
+		{Name: "locksafety", Doc: "locksafety checks mutex discipline.\n\nLonger text."},
+		{Name: "ctxflow", Doc: "ctxflow checks context plumbing."},
+	}
+	data, err := MarshalSarif(findings, analyzers)
+	if err != nil {
+		t.Fatalf("MarshalSarif: %v", err)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var log SarifLog
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("emitted SARIF does not round-trip strictly: %v\n%s", err, data)
+	}
+	if log.Version != SarifVersion {
+		t.Errorf("version=%q, want %q", log.Version, SarifVersion)
+	}
+	if log.Schema != SarifSchemaURI {
+		t.Errorf("$schema=%q, want %q", log.Schema, SarifSchemaURI)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs=%d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "blob-vet" {
+		t.Errorf("driver name=%q, want blob-vet", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results=%d, want %d", len(run.Results), len(findings))
+	}
+
+	// Every result's ruleId must resolve to a declared rule — including
+	// the "blobvet" pseudo-rule that has no registered Analyzer.
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing required id/shortDescription", r)
+		}
+		ruleIDs[r.ID] = true
+	}
+	levels := map[string]bool{}
+	for _, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result ruleId %q has no rule entry", r.RuleID)
+		}
+		if r.Level != "error" && r.Level != "warning" {
+			t.Errorf("result level %q not in SARIF enum subset", r.Level)
+		}
+		levels[r.Level] = true
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" {
+			t.Errorf("result %q missing artifact URI", r.Message.Text)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("result %q startLine=%d, want >=1 (SARIF regions are 1-based)", r.Message.Text, loc.Region.StartLine)
+		}
+	}
+	if !levels["error"] || !levels["warning"] {
+		t.Errorf("severity mapping lost a level: got %v", levels)
+	}
+}
+
+func TestMarshalSarifEmpty(t *testing.T) {
+	data, err := MarshalSarif(nil, nil)
+	if err != nil {
+		t.Fatalf("MarshalSarif(nil, nil): %v", err)
+	}
+	var log SarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
+		t.Errorf("empty log must still carry one run with a non-nil results array")
+	}
+}

@@ -1,0 +1,40 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/errcontract"
+)
+
+// TestStrictInSim: under internal/sim the backend consult wrappers are
+// where injected faults enter the system, so a chain-severing
+// constructor there is error severity.
+func TestStrictInSim(t *testing.T) {
+	diags := analysistest.Run(t, errcontract.Analyzer,
+		"../testdata/src/errcontract", "fixture/internal/sim/backend")
+	for _, d := range diags {
+		if d.Severity != blobvet.SevError {
+			t.Errorf("%q: severity = %s, want %s", d.Message, d.Severity, blobvet.SevError)
+		}
+	}
+}
+
+// TestWarnElsewhere: the same violations elsewhere under internal/ are
+// warn severity — frozen by the baseline rather than fixed wholesale.
+func TestWarnElsewhere(t *testing.T) {
+	diags := analysistest.Run(t, errcontract.Analyzer,
+		"../testdata/src/errcontract", "fixture/internal/service")
+	for _, d := range diags {
+		if d.Severity != blobvet.SevWarn {
+			t.Errorf("%q: severity = %s, want %s", d.Message, d.Severity, blobvet.SevWarn)
+		}
+	}
+}
+
+// TestOutOfScope: outside internal/ the analyzer does not apply.
+func TestOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, errcontract.Analyzer,
+		"../testdata/src/errcontract", "fixture/pkg/outside")
+}

@@ -1,0 +1,31 @@
+package hotalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/hotalloc"
+)
+
+// TestFixture covers the marker-scoped allocation rules: certain
+// allocations (&composite, slice/map literals, make/new, capturing
+// closures) are error severity; cost advisories (growing append,
+// interface boxing in a loop) are warn severity and baseline-eligible.
+// Scope is the //blobvet:hotpath marker, not the import path, so the
+// fixture also seeds an unmarked function that must stay silent.
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, hotalloc.Analyzer,
+		"../testdata/src/hotalloc", "fixture/internal/blas")
+	for _, d := range diags {
+		want := blobvet.SevError
+		if strings.Contains(d.Message, "may grow its backing array") ||
+			strings.Contains(d.Message, "boxes per iteration") {
+			want = blobvet.SevWarn
+		}
+		if d.Severity != want {
+			t.Errorf("%q: severity = %s, want %s", d.Message, d.Severity, want)
+		}
+	}
+}

@@ -20,7 +20,12 @@
 // "p [p.test]" (package files + in-package _test.go files) replaces the
 // plain package, while external test packages "p_test" load as packages
 // of their own. Generated test mains (ImportPath ending in ".test") are
-// skipped.
+// skipped, as is any package under a testdata/ tree — fixtures are
+// deliberately violation-riddled and must never reach the analyzers
+// through Module (the analysistest harness loads them explicitly via
+// Dir). Generated *files* inside ordinary packages are handled one layer
+// up: blobvet.NewPass drops diagnostics positioned in files carrying the
+// standard "Code generated" marker.
 package load
 
 import (
@@ -87,16 +92,16 @@ func Module(root string, tests bool, patterns ...string) ([]*Package, error) {
 	}
 
 	// Pick the packages to analyze: module-local, not a generated test
-	// main. When a test-augmented variant exists it supersedes the plain
-	// build of the same package.
-	augmented := map[string]bool{}
-	for _, m := range metas {
-		if m.ForTest != "" && strings.HasPrefix(m.ImportPath, m.ForTest+" ") {
-			augmented[m.ForTest] = true
-		}
-	}
-	fset := token.NewFileSet()
-	var pkgs []*Package
+	// main. go list -test can surface the same package several times —
+	// plain "p", its own test-augmented variant "p [p.test]", and
+	// recompiled-for-another-test variants "p [q.test]" — so packages are
+	// deduplicated by canonical import path, preferring the own-test
+	// variant (it carries the in-package _test.go files) over the plain
+	// build over any foreign variant. Without this, a package imported by
+	// another package's tests is analyzed (and its findings reported)
+	// more than once.
+	best := map[string]meta{}
+	var order []string
 	for _, m := range metas {
 		if m.Standard || strings.HasSuffix(m.ImportPath, ".test") {
 			continue
@@ -104,9 +109,29 @@ func Module(root string, tests bool, patterns ...string) ([]*Package, error) {
 		if !inDir(m.Dir, root) {
 			continue
 		}
-		if augmented[m.ImportPath] {
-			continue // the "p [p.test]" variant carries these files plus tests
+		if underTestdata(m.Dir) {
+			// testdata/ trees are analyzer fixtures (deliberately
+			// violation-riddled), never production code: skip them here,
+			// once, instead of in every analyzer. go list only surfaces
+			// them when a pattern names one explicitly, but the guard
+			// keeps that case from polluting a run too.
+			continue
 		}
+		key := canonical(m.ImportPath)
+		prev, seen := best[key]
+		if !seen {
+			best[key] = m
+			order = append(order, key)
+			continue
+		}
+		if variantRank(m) > variantRank(prev) {
+			best[key] = m
+		}
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, key := range order {
+		m := best[key]
 		pkg, err := check(fset, m, exports)
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", m.ImportPath, err)
@@ -188,7 +213,7 @@ func goList(dir string, tests bool, patterns []string) ([]meta, error) {
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &stdout, &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
 	}
 	var metas []meta
 	dec := json.NewDecoder(&stdout)
@@ -197,7 +222,7 @@ func goList(dir string, tests bool, patterns []string) ([]meta, error) {
 		if err := dec.Decode(&m); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
+			return nil, fmt.Errorf("decoding go list output: %w", err)
 		}
 		metas = append(metas, m)
 	}
@@ -207,6 +232,17 @@ func goList(dir string, tests bool, patterns []string) ([]meta, error) {
 func inDir(path, dir string) bool {
 	rel, err := filepath.Rel(dir, path)
 	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+// underTestdata reports whether any element of path is "testdata", the go
+// tool's conventional name for trees excluded from builds.
+func underTestdata(path string) bool {
+	for _, elem := range strings.Split(filepath.ToSlash(path), "/") {
+		if elem == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // check parses m's files and type-checks them against the export data in
@@ -256,6 +292,20 @@ func checkFiles(fset *token.FileSet, importPath, dir string, files []*ast.File, 
 	}
 	pkg.Types, pkg.Info = tpkg, info
 	return pkg, nil
+}
+
+// variantRank orders the builds of one package: the own-test-augmented
+// variant "p [p.test]" (2) supersedes the plain build (1), which
+// supersedes a foreign recompilation "p [q.test]" (0).
+func variantRank(m meta) int {
+	switch {
+	case m.ForTest != "" && m.ImportPath == m.ForTest+" ["+m.ForTest+".test]":
+		return 2
+	case m.ForTest == "":
+		return 1
+	default:
+		return 0
+	}
 }
 
 // canonical strips go list's test-variant suffix: "p [p.test]" -> "p".

@@ -1,0 +1,33 @@
+package locksafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/locksafety"
+)
+
+// TestFixture covers the three rules in a lock-scope package: the leak,
+// the double-lock (write and read side), every blocking-under-lock
+// shape (chan ops, bare select, Wait, Sleep, caller-supplied func
+// values), the one-level inlining, and the sanctioned shapes (select
+// with default, notify-after-unlock, go statements, closure scoping).
+// Every locksafety finding is a contract violation, so all diagnostics
+// must be error severity.
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, locksafety.Analyzer,
+		"../testdata/src/locksafety", "fixture/internal/overload")
+	for _, d := range diags {
+		if d.Severity != blobvet.SevError {
+			t.Errorf("%q: severity = %s, want %s", d.Message, d.Severity, blobvet.SevError)
+		}
+	}
+}
+
+// TestOutOfScope: the same seeded fixture outside the concurrency-heavy
+// packages produces nothing.
+func TestOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, locksafety.Analyzer,
+		"../testdata/src/locksafety", "fixture/internal/csvio")
+}

@@ -7,20 +7,28 @@ package analysis
 
 import (
 	"repro/internal/analysis/blobvet"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errcontract"
 	"repro/internal/analysis/floatcompare"
 	"repro/internal/analysis/goroutinehygiene"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/kernelargcheck"
+	"repro/internal/analysis/locksafety"
 	"repro/internal/analysis/pkgdoc"
 )
 
 // All returns the full analyzer suite in stable order.
 func All() []*blobvet.Analyzer {
 	return []*blobvet.Analyzer{
+		ctxflow.Analyzer,
 		determinism.Analyzer,
+		errcontract.Analyzer,
 		floatcompare.Analyzer,
 		goroutinehygiene.Analyzer,
+		hotalloc.Analyzer,
 		kernelargcheck.Analyzer,
+		locksafety.Analyzer,
 		pkgdoc.Analyzer,
 	}
 }

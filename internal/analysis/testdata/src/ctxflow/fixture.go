@@ -1,0 +1,77 @@
+// Fixture for the ctxflow analyzer, loaded with import path
+// "fixture/internal/core" (a loop-scope package, so rule 3 applies) and
+// re-loaded as "fixture/internal/csvio" by the scope test (where only
+// rules 1 and 2 fire).
+package core
+
+import "context"
+
+// Sweep violates rule 1: the context hides behind the dimension.
+func Sweep(dim int, ctx context.Context) error { // want `exported Sweep takes context.Context as parameter 2; the context must be the first parameter`
+	_ = ctx
+	_ = dim
+	return nil
+}
+
+// SweepOK has the context first; rule 1 stays silent.
+func SweepOK(ctx context.Context, dim int) error {
+	_ = ctx
+	_ = dim
+	return nil
+}
+
+// unexportedOrder is not the exported surface; rule 1 ignores it.
+func unexportedOrder(dim int, ctx context.Context) {
+	_ = ctx
+	_ = dim
+}
+
+// detach violates rule 2 twice: Background and TODO both sever the chain.
+func detach() context.Context {
+	c := context.Background() // want `context.Background\(\) severs the cancellation chain`
+	_ = context.TODO()        // want `context.TODO\(\) severs the cancellation chain`
+	return c
+}
+
+// sanctionedDetach carries the justified allow; nothing is reported.
+func sanctionedDetach() context.Context {
+	//blobvet:allow ctxflow: fixture's deliberate detachment case
+	return context.Background()
+}
+
+func step() {}
+
+// DeafLoop violates rule 3: it takes a context, loops and calls, but the
+// loop never consults any context value.
+func DeafLoop(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `loop in DeafLoop never consults its context`
+		step()
+	}
+}
+
+// ListeningLoop checks ctx.Err each iteration; rule 3 stays silent.
+func ListeningLoop(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step()
+	}
+	return nil
+}
+
+// CallFreeLoop makes no calls; a pure compute loop need not poll.
+func CallFreeLoop(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// NoCtxLoop takes no context, so rule 3 has nothing to enforce.
+func NoCtxLoop(n int) {
+	for i := 0; i < n; i++ {
+		step()
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture for ctxflow's package-main exemption: the program entry point
+// is the one production place allowed to mint a root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

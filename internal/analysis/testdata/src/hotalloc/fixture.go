@@ -1,0 +1,105 @@
+// Fixture for the hotalloc analyzer. Scope is marker-based rather than
+// path-based, so the import path does not matter; only functions carrying
+// //blobvet:hotpath are checked.
+package blas
+
+type tile struct {
+	data []float64
+	n    int
+}
+
+// AddrComposite escapes a composite literal to the heap.
+//
+//blobvet:hotpath
+func AddrComposite(n int) *tile {
+	return &tile{n: n} // want `&composite literal in hotpath AddrComposite escapes to the heap`
+}
+
+// Literals allocates a slice and a map literal per call.
+//
+//blobvet:hotpath
+func Literals() int {
+	s := []int{1, 2, 3}         // want `slice literal in hotpath Literals allocates its backing array`
+	m := map[string]int{"a": 1} // want `map literal in hotpath Literals allocates`
+	return len(s) + len(m)
+}
+
+// Builtins allocates with make and new.
+//
+//blobvet:hotpath
+func Builtins(n int) []float64 {
+	p := new(tile)              // want `new in hotpath Builtins allocates per call`
+	p.data = make([]float64, n) // want `make in hotpath Builtins allocates per call`
+	return p.data
+}
+
+// GrowingAppend may reallocate: the destination is a plain slice value,
+// not a reslice of a preallocated buffer.
+//
+//blobvet:hotpath
+func GrowingAppend(dst, src []float64) []float64 {
+	return append(dst, src...) // want `append in hotpath GrowingAppend may grow its backing array`
+}
+
+// ScratchAppend is the sanctioned shape: append into buf[:0] reuses the
+// backing array.
+//
+//blobvet:hotpath
+func ScratchAppend(buf, src []float64) []float64 {
+	return append(buf[:0], src...)
+}
+
+// Boxing converts to an interface type inside the loop: one allocation
+// per iteration.
+//
+//blobvet:hotpath
+func Boxing(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		v := any(x) // want `interface conversion in a loop of hotpath Boxing boxes per iteration`
+		if n, ok := v.(int); ok {
+			total += n
+		}
+	}
+	return total
+}
+
+// CapturingClosure allocates its environment to carry total.
+//
+//blobvet:hotpath
+func CapturingClosure(xs []int) int {
+	total := 0
+	add := func(x int) { // want `closure in hotpath CapturingClosure captures enclosing variables`
+		total += x
+	}
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// StaticClosure captures nothing; it compiles to a static function.
+//
+//blobvet:hotpath
+func StaticClosure(xs []int, f func(int) int) int {
+	g := func(x int) int { return x * 2 }
+	total := 0
+	for _, x := range xs {
+		total += f(g(x))
+	}
+	return total
+}
+
+//blobvet:hotpath
+func markerAboveLine(n int) []int {
+	return make([]int, n) // want `make in hotpath markerAboveLine allocates per call`
+}
+
+// unmarked is ordinary code: it may allocate freely.
+func unmarked(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+// Fixture for the locksafety analyzer, loaded with import path
+// "fixture/internal/overload" (a lock-scope package) and re-loaded as
+// "fixture/internal/csvio" by the scope test (clean there).
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	cb func(int) // caller-supplied callback
+	ch chan int
+	n  int
+}
+
+// Leak violates rule 1: the lock is taken and never released.
+func (g *guarded) Leak() {
+	g.mu.Lock() // want `Leak locks g\.mu but never unlocks it in this body`
+	g.n++
+}
+
+// DoubleLock violates rule 2: relocking a held sync.Mutex deadlocks.
+func (g *guarded) DoubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want `DoubleLock locks g\.mu while already holding it; deadlock`
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// DoubleRLock violates rule 2 on the read side.
+func (g *guarded) DoubleRLock() int {
+	g.rw.RLock()
+	g.rw.RLock() // want `DoubleRLock locks g\.rw \(read\) while already holding it`
+	v := g.n
+	g.rw.RUnlock()
+	g.rw.RUnlock()
+	return v
+}
+
+// SendUnderLock violates rule 3: a channel send can block forever while
+// every other goroutine queues behind the mutex.
+func (g *guarded) SendUnderLock(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want `channel send while g\.mu is held in SendUnderLock`
+}
+
+// ReceiveUnderLock: same hazard, receive side.
+func (g *guarded) ReceiveUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while g\.mu is held in ReceiveUnderLock`
+}
+
+// SelectUnderLock: a select without a default blocks by design.
+func (g *guarded) SelectUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select without default while g\.mu is held in SelectUnderLock`
+	case v := <-g.ch:
+		g.n = v
+	}
+}
+
+// PollUnderLock is fine: select with a default never blocks.
+func (g *guarded) PollUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+}
+
+// WaitUnderLock: sync.WaitGroup.Wait while holding the lock.
+func (g *guarded) WaitUnderLock(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `wg\.Wait\(\) while g\.mu is held in WaitUnderLock`
+}
+
+// SleepUnderLock: time.Sleep while holding the lock.
+func (g *guarded) SleepUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.mu is held in SleepUnderLock`
+}
+
+// CallbackUnderLock: invoking a caller-supplied func field under the lock
+// hands control to code that may block or re-enter the mutex.
+func (g *guarded) CallbackUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cb(g.n) // want `call through caller-supplied func value g\.cb while g\.mu is held in CallbackUnderLock`
+}
+
+// ParamUnderLock: same for a func-typed parameter.
+func (g *guarded) ParamUnderLock(f func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f() // want `call through func value f while g\.mu is held in ParamUnderLock`
+}
+
+// NotifyAfterUnlock is the sanctioned shape: collect under the lock, act
+// after releasing it.
+func (g *guarded) NotifyAfterUnlock() {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	g.cb(n)
+}
+
+func blockingHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+// InlinedBlocking is caught through the one-level inlining of rule 3: the
+// blocking operation hides one call away.
+func (g *guarded) InlinedBlocking() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	blockingHelper() // want `time\.Sleep inside blockingHelper \(called here\) while g\.mu is held in InlinedBlocking`
+}
+
+// SpawnUnderLock is fine: the goroutine's send happens on another
+// goroutine and does not block the lock holder.
+func (g *guarded) SpawnUnderLock(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- v
+	}()
+	g.n = v
+}
+
+// ClosureScopes: a closure is its own lexical scope — its lock/unlock
+// pair does not leak into the enclosing body, and vice versa.
+func (g *guarded) ClosureScopes() func() {
+	inc := func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.n++
+	}
+	return inc
+}

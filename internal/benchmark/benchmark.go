@@ -51,8 +51,10 @@ type Case struct {
 	// FlopsPerOp is the exact §III-A FLOP count of one op, or 0 when a
 	// FLOP rate is meaningless (service round-trips, advisor lookups).
 	FlopsPerOp int64
-	// Prepare builds the op. cleanup may be nil.
-	Prepare func() (op func() error, cleanup func(), err error)
+	// Prepare builds the op; its context is the run's context, so a
+	// cancelled run aborts expensive preparation (and ops that capture it
+	// observe the same cancellation). cleanup may be nil.
+	Prepare func(ctx context.Context) (op func() error, cleanup func(), err error)
 }
 
 // Options configures a suite run.
@@ -132,7 +134,7 @@ func Run(ctx context.Context, cases []Case, opt Options, w io.Writer) ([]CaseRes
 	}
 	defer cleanupAll()
 	for _, c := range cases {
-		op, cleanup, err := c.Prepare()
+		op, cleanup, err := c.Prepare(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("benchmark: preparing %s: %w", c.Name, err)
 		}

@@ -15,7 +15,7 @@ func countingCase(name string, log *[]string) Case {
 	return Case{
 		Name:  name,
 		Group: "test",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(context.Context) (func() error, func(), error) {
 			return func() error {
 				*log = append(*log, name)
 				return nil
@@ -79,7 +79,7 @@ func TestRunOpError(t *testing.T) {
 		{
 			Name:  "broken",
 			Group: "test",
-			Prepare: func() (func() error, func(), error) {
+			Prepare: func(context.Context) (func() error, func(), error) {
 				return func() error { return boom },
 					func() { cleaned++ },
 					nil
@@ -105,7 +105,7 @@ func TestRunPrepareError(t *testing.T) {
 		{
 			Name:  "unpreparable",
 			Group: "test",
-			Prepare: func() (func() error, func(), error) {
+			Prepare: func(context.Context) (func() error, func(), error) {
 				return nil, nil, errors.New("no operands")
 			},
 		},

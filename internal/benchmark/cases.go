@@ -59,6 +59,7 @@ func DefaultSuite(opt Options) []Case {
 		serviceHealthzCase(),
 		overloadAcquireCase(),
 		serviceThresholdShedCase(),
+		blobvetCase(),
 	)
 	return cases
 }
@@ -70,7 +71,7 @@ func gemmCase(prec core.Precision, m, n, k int, shape string) Case {
 		Name:       name,
 		Group:      "blas",
 		FlopsPerOp: flops.Gemm(m, n, k, flops.Beta{IsZero: true}),
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			rng := matrix.NewRNG(matrix.DefaultSeed)
 			if prec == core.F32 {
 				a, b, c := matrix.NewDense32(m, k), matrix.NewDense32(k, n), matrix.NewDense32(m, n)
@@ -99,7 +100,7 @@ func gemvCase(prec core.Precision, n int) Case {
 		Name:       name,
 		Group:      "blas",
 		FlopsPerOp: flops.Gemv(n, n, flops.Beta{IsZero: true}),
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			rng := matrix.NewRNG(matrix.DefaultSeed)
 			if prec == core.F32 {
 				a, x, y := matrix.NewDense32(n, n), matrix.NewVector32(n), matrix.NewVector32(n)
@@ -129,7 +130,7 @@ func sweepCase(system string, kernel core.KernelKind, prec core.Precision, maxDi
 	return Case{
 		Name:  name,
 		Group: "sweep",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			sys, err := systems.ByName(system)
 			if err != nil {
 				return nil, nil, err
@@ -140,7 +141,7 @@ func sweepCase(system string, kernel core.KernelKind, prec core.Precision, maxDi
 			}
 			cfg := core.Config{MinDim: 1, MaxDim: maxDim, Step: 1, Iterations: 8, Alpha: 1}
 			return func() error {
-				_, err := core.RunProblem(context.Background(), sys, pt, prec, cfg)
+				_, err := core.RunProblem(ctx, sys, pt, prec, cfg)
 				return err
 			}, nil, nil
 		},
@@ -158,7 +159,7 @@ func retryOverheadCase(maxDim int) Case {
 	return Case{
 		Name:  name,
 		Group: "resilience",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			sys, err := systems.ByName("dawn")
 			if err != nil {
 				return nil, nil, err
@@ -179,7 +180,7 @@ func retryOverheadCase(maxDim int) Case {
 			cfg := core.Config{MinDim: 1, MaxDim: maxDim, Step: 1, Iterations: 8, Alpha: 1,
 				Resilience: core.Resilience{MaxAttempts: 3}}
 			return func() error {
-				_, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
+				_, err := core.RunProblem(ctx, sys, pt, core.F64, cfg)
 				return err
 			}, nil, nil
 		},
@@ -192,7 +193,7 @@ func adviseCase() Case {
 	return Case{
 		Name:  "advise/trace64/all-systems",
 		Group: "advise",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			syss := systems.All()
 			calls := syntheticTrace(64)
 			return func() error {
@@ -289,7 +290,7 @@ func serviceAdviseCase() Case {
 	return Case{
 		Name:  "service/advise/batch2",
 		Group: "service",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			env := newServiceEnv()
 			return func() error {
 				return env.do(http.MethodPost, "/v1/advise", body)
@@ -309,7 +310,7 @@ func serviceThresholdCachedCase(maxDim int) Case {
 	return Case{
 		Name:  fmt.Sprintf("service/threshold/cached/d%d", maxDim),
 		Group: "service",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			env := newServiceEnv()
 			if err := env.do(http.MethodPost, "/v1/threshold", body); err != nil {
 				env.close()
@@ -329,7 +330,7 @@ func serviceHealthzCase() Case {
 	return Case{
 		Name:  "service/healthz",
 		Group: "service",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			env := newServiceEnv()
 			return func() error {
 				return env.do(http.MethodGet, "/healthz", nil)
@@ -345,10 +346,10 @@ func overloadAcquireCase() Case {
 	return Case{
 		Name:  "overload/acquire-release",
 		Group: "overload",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			c := overload.New(overload.Config{MaxConcurrent: 4, TargetLatency: time.Second})
 			return func() error {
-				p, err := c.Acquire(context.Background(), overload.Ticket{Client: "bench"})
+				p, err := c.Acquire(ctx, overload.Ticket{Client: "bench"})
 				if err != nil {
 					return err
 				}
@@ -371,7 +372,7 @@ func serviceThresholdShedCase() Case {
 	return Case{
 		Name:  "service/threshold/shed",
 		Group: "service",
-		Prepare: func() (func() error, func(), error) {
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			release := make(chan struct{})
 			blocked := func(ctx context.Context, sys systems.System, pts []core.ProblemType, precs []core.Precision, cfg core.Config) ([]*core.Series, error) {
 				select {

@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -19,8 +20,8 @@ func ExperimentCase(id string, opt experiments.Options) (Case, error) {
 	return Case{
 		Name:  "experiment/" + e.ID,
 		Group: "experiment",
-		Prepare: func() (func() error, func(), error) {
-			return func() error { return e.Run(io.Discard, opt) }, nil, nil
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
+			return func() error { return e.Run(ctx, io.Discard, opt) }, nil, nil
 		},
 	}, nil
 }
@@ -30,7 +31,7 @@ func ExperimentCase(id string, opt experiments.Options) (Case, error) {
 // carries a FLOP count.
 func RunB(b *testing.B, c Case) {
 	b.Helper()
-	op, cleanup, err := c.Prepare()
+	op, cleanup, err := c.Prepare(b.Context())
 	if err != nil {
 		b.Fatalf("preparing %s: %v", c.Name, err)
 	}

@@ -103,6 +103,8 @@ func gemmSerial32(transA, transB Transpose, m, n, k int, alpha float32, a []floa
 }
 
 // microKernel32 computes acc = ap * bp for one 8x4 tile.
+//
+//blobvet:hotpath
 func microKernel32(kc int, ap, bp []float32, acc *[mr32 * nr32]float32) {
 	for i := range acc {
 		acc[i] = 0
@@ -122,6 +124,8 @@ func microKernel32(kc int, ap, bp []float32, acc *[mr32 * nr32]float32) {
 
 // packA32 packs the mc x kc block of op(A) into MR-row panels (see
 // packA64 for the layout).
+//
+//blobvet:hotpath
 func packA32(transA Transpose, a []float32, lda, ic, pc, mc, kc int, ap []float32) {
 	mPanels := (mc + mr32 - 1) / mr32
 	for ipn := 0; ipn < mPanels; ipn++ {
@@ -155,6 +159,8 @@ func packA32(transA Transpose, a []float32, lda, ic, pc, mc, kc int, ap []float3
 
 // packB32 packs the kc x nc block of op(B) into NR-column panels (see
 // packB64 for the layout).
+//
+//blobvet:hotpath
 func packB32(transB Transpose, b []float32, ldb, pc, jc, kc, nc int, bp []float32) {
 	nPanels := (nc + nr32 - 1) / nr32
 	for jpn := 0; jpn < nPanels; jpn++ {

@@ -116,6 +116,8 @@ func gemmSerial64(transA, transB Transpose, m, n, k int, alpha float64, a []floa
 
 // microKernel64 computes acc = ap * bp for one mr x nr tile, where ap holds
 // kc rows of an MR-wide packed panel and bp kc rows of an NR-wide panel.
+//
+//blobvet:hotpath
 func microKernel64(kc int, ap, bp []float64, acc *[mr64 * nr64]float64) {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64
@@ -151,6 +153,8 @@ func microKernel64(kc int, ap, bp []float64, acc *[mr64 * nr64]float64) {
 // MR-row panels: panel ip holds rows [ip*MR, ip*MR+MR) stored row-major
 // within the panel ((l, ii) -> ap[ip*kc*MR + l*MR + ii]). Rows beyond mc pad
 // with zeros.
+//
+//blobvet:hotpath
 func packA64(transA Transpose, a []float64, lda, ic, pc, mc, kc int, ap []float64) {
 	mPanels := (mc + mr64 - 1) / mr64
 	for ipn := 0; ipn < mPanels; ipn++ {
@@ -186,6 +190,8 @@ func packA64(transA Transpose, a []float64, lda, ic, pc, mc, kc int, ap []float6
 // packB64 packs the kc x nc block of op(B) starting at logical (pc, jc) into
 // NR-column panels: panel jp holds columns [jp*NR, jp*NR+NR) stored
 // ((l, jj) -> bp[jp*kc*NR + l*NR + jj]). Columns beyond nc pad with zeros.
+//
+//blobvet:hotpath
 func packB64(transB Transpose, b []float64, ldb, pc, jc, kc, nc int, bp []float64) {
 	nPanels := (nc + nr64 - 1) / nr64
 	for jpn := 0; jpn < nPanels; jpn++ {

@@ -222,6 +222,7 @@ func (s *Series) KernelName() string { return KernelName(s.Precision, s.Problem.
 // from an uninterrupted one.
 func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Precision, cfg Config) (*Series, error) {
 	if ctx == nil {
+		//blobvet:allow ctxflow: nil-ctx compatibility guard, not detachment — a caller that passed a real ctx keeps it
 		ctx = context.Background()
 	}
 	if err := cfg.normalize(); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -15,7 +16,7 @@ import (
 // relative error of the common 2MNK / 2MN approximations across the
 // paper's problem shapes. Thin-K GEMMs and all GEMVs make the
 // approximation materially wrong.
-func FlopsModel(w io.Writer, _ Options) error {
+func FlopsModel(_ context.Context, w io.Writer, _ Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Kernel\tShape\tExact (b!=0)\tApprox\tUndercount\n")
 	gemmShapes := []core.Dims{
@@ -49,13 +50,13 @@ func FlopsModel(w io.Writer, _ Options) error {
 // disabled no pages migrate and every USM access crosses the interconnect,
 // degrading USM transfers by up to 40x and destroying any USM offload
 // threshold.
-func Xnack(w io.Writer, opt Options) error {
+func Xnack(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Config\tIterations\tUSM threshold (SGEMM)\tUSM time @ M=N=K=2048\n")
 	for _, sys := range []systems.System{systems.LUMI(), systems.LUMINoXnack()} {
 		for _, it := range []int{8, 128} {
-			ser, err := runSquare(sys, core.GEMM, core.F32, opt, it)
+			ser, err := runSquare(ctx, sys, core.GEMM, core.F32, opt, it)
 			if err != nil {
 				return err
 			}
@@ -79,7 +80,7 @@ func Xnack(w io.Writer, opt Options) error {
 // batched square GEMMs. Batching amortises launch overhead and fills the
 // GPU with batch*m*n output tiles, so the per-matrix threshold collapses as
 // the batch grows.
-func Batched(w io.Writer, opt Options) error {
+func Batched(_ context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "System\tBatch\tOffload threshold (SGEMM, Transfer-Once, 8 iters)\n")
@@ -100,7 +101,7 @@ func Batched(w io.Writer, opt Options) error {
 
 // PerfStat reproduces the §IV-B perf-stat evidence: AOCL keeps a single CPU
 // busy for GEMV but >50 CPUs for GEMM, explaining LUMI's weak CPU GEMV.
-func PerfStat(w io.Writer, _ Options) error {
+func PerfStat(_ context.Context, w io.Writer, _ Options) error {
 	lumi := systems.LUMI()
 	gemv := lumi.CPU.EffectiveCPUs("gemv", 4, 2048, 2048, 0)
 	gemm := lumi.CPU.EffectiveCPUs("gemm", 4, 2048, 2048, 2048)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -44,8 +45,10 @@ type Experiment struct {
 	ID string
 	// Title is the paper element it regenerates.
 	Title string
-	// Run writes the regenerated rows/series to w.
-	Run func(w io.Writer, opt Options) error
+	// Run writes the regenerated rows/series to w. The context flows into
+	// every sweep the experiment performs, so cancelling it (Ctrl-C in
+	// cmd/gpu-blob) aborts a long regeneration between problem sizes.
+	Run func(ctx context.Context, w io.Writer, opt Options) error
 }
 
 // Registry lists all experiments in paper order.
@@ -87,10 +90,10 @@ func ByID(id string) (Experiment, error) {
 }
 
 // RunAll executes every registered experiment in order.
-func RunAll(w io.Writer, opt Options) error {
+func RunAll(ctx context.Context, w io.Writer, opt Options) error {
 	for _, e := range Registry {
 		fmt.Fprintf(w, "=== %s (%s) ===\n", e.ID, e.Title)
-		if err := e.Run(w, opt); err != nil {
+		if err := e.Run(ctx, w, opt); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w)

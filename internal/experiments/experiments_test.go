@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -47,7 +48,7 @@ func TestRegistryIDsUnique(t *testing.T) {
 
 func TestTableIShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := TableI(&buf, Options{}); err != nil {
+	if err := TableI(context.Background(), &buf, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -77,7 +78,7 @@ func TestTableIIIQualitativeShape(t *testing.T) {
 	opt := fastOpt()
 	opt.Step = 1 // threshold values matter here
 	opt.MaxDim = 1024
-	if err := TableIII(&buf, opt); err != nil {
+	if err := TableIII(context.Background(), &buf, opt); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -94,7 +95,7 @@ func TestTableIIIQualitativeShape(t *testing.T) {
 func TestTableIVQualitativeShape(t *testing.T) {
 	var buf bytes.Buffer
 	opt := Options{Step: 1, MaxDim: 4096}
-	if err := TableIV(&buf, opt); err != nil {
+	if err := TableIV(context.Background(), &buf, opt); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -131,7 +132,7 @@ func TestTableIVQualitativeShape(t *testing.T) {
 func TestTableVAndVIRun(t *testing.T) {
 	var buf bytes.Buffer
 	opt := Options{Step: 4, MaxDim: 4096}
-	if err := TableV(&buf, opt); err != nil {
+	if err := TableV(context.Background(), &buf, opt); err != nil {
 		t.Fatal(err)
 	}
 	outV := buf.String()
@@ -148,7 +149,7 @@ func TestTableVAndVIRun(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	if err := TableVI(&buf, opt); err != nil {
+	if err := TableVI(context.Background(), &buf, opt); err != nil {
 		t.Fatal(err)
 	}
 	outVI := buf.String()
@@ -162,10 +163,10 @@ func TestFiguresRenderAndWriteSVG(t *testing.T) {
 	opt := fastOpt()
 	opt.OutDir = dir
 	figs := map[string]func(w *bytes.Buffer) error{
-		"fig2": func(w *bytes.Buffer) error { return Fig2(w, opt) },
-		"fig4": func(w *bytes.Buffer) error { return Fig4(w, opt) },
-		"fig6": func(w *bytes.Buffer) error { return Fig6(w, opt) },
-		"fig7": func(w *bytes.Buffer) error { return Fig7(w, opt) },
+		"fig2": func(w *bytes.Buffer) error { return Fig2(context.Background(), w, opt) },
+		"fig4": func(w *bytes.Buffer) error { return Fig4(context.Background(), w, opt) },
+		"fig6": func(w *bytes.Buffer) error { return Fig6(context.Background(), w, opt) },
+		"fig7": func(w *bytes.Buffer) error { return Fig7(context.Background(), w, opt) },
 	}
 	for name, run := range figs {
 		var buf bytes.Buffer
@@ -188,7 +189,7 @@ func TestFiguresRenderAndWriteSVG(t *testing.T) {
 
 func TestFig3SmallSizes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig3(&buf, Options{Step: 2}); err != nil {
+	if err := Fig3(context.Background(), &buf, Options{Step: 2}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -199,7 +200,7 @@ func TestFig3SmallSizes(t *testing.T) {
 
 func TestFig5BothSystems(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig5(&buf, fastOpt()); err != nil {
+	if err := Fig5(context.Background(), &buf, fastOpt()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -210,28 +211,28 @@ func TestFig5BothSystems(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	var buf bytes.Buffer
-	if err := FlopsModel(&buf, Options{}); err != nil {
+	if err := FlopsModel(context.Background(), &buf, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "GEMM") || !strings.Contains(buf.String(), "%") {
 		t.Fatalf("flops ablation:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := Xnack(&buf, fastOpt()); err != nil {
+	if err := Xnack(context.Background(), &buf, fastOpt()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "XNACK") {
 		t.Fatalf("xnack ablation:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := Batched(&buf, fastOpt()); err != nil {
+	if err := Batched(context.Background(), &buf, fastOpt()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Batch") {
 		t.Fatalf("batched ablation:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := PerfStat(&buf, Options{}); err != nil {
+	if err := PerfStat(context.Background(), &buf, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "0.89 CPUs") {
@@ -243,7 +244,7 @@ func TestAblations(t *testing.T) {
 // size 1") as the batch size grows, on every system.
 func TestBatchedThresholdShrinks(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Batched(&buf, Options{Step: 1, MaxDim: 512}); err != nil {
+	if err := Batched(context.Background(), &buf, Options{Step: 1, MaxDim: 512}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -281,7 +282,7 @@ func TestOptionsNormalize(t *testing.T) {
 
 func TestHalfPrecisionExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := HalfPrecision(&buf, Options{Step: 4, MaxDim: 2048}); err != nil {
+	if err := HalfPrecision(context.Background(), &buf, Options{Step: 4, MaxDim: 2048}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -299,7 +300,7 @@ func TestHalfPrecisionExperiment(t *testing.T) {
 
 func TestSparseExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Sparse(&buf, Options{Step: 8}); err != nil {
+	if err := Sparse(context.Background(), &buf, Options{Step: 8}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -46,21 +46,23 @@ func renderChart(w io.Writer, opt Options, fileBase string, ch plot.Chart) error
 	return writeArtifact(opt, fileBase+".svg", ch.SVG(800, 480))
 }
 
-// runSquare sweeps the square problem of a kernel on one system.
-func runSquare(sys systems.System, kernel core.KernelKind, prec core.Precision, opt Options, iters int) (*core.Series, error) {
+// runSquare sweeps the square problem of a kernel on one system. The
+// caller's context reaches core.RunProblem so cancellation aborts the
+// sweep between sizes.
+func runSquare(ctx context.Context, sys systems.System, kernel core.KernelKind, prec core.Precision, opt Options, iters int) (*core.Series, error) {
 	pt, err := core.FindProblem(kernel, "square")
 	if err != nil {
 		return nil, err
 	}
-	return core.RunProblem(context.Background(), sys, pt, prec, sweepConfig(opt, iters))
+	return core.RunProblem(ctx, sys, pt, prec, sweepConfig(opt, iters))
 }
 
 // Fig2 regenerates Fig 2: square SGEMM performance at one iteration on
 // DAWN, showing the oneMKL performance drop at {629,629,629} and the GPU
 // curves for all three transfer strategies.
-func Fig2(w io.Writer, opt Options) error {
+func Fig2(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
-	ser, err := runSquare(systems.DAWN(), core.GEMM, core.F32, opt, 1)
+	ser, err := runSquare(ctx, systems.DAWN(), core.GEMM, core.F32, opt, 1)
 	if err != nil {
 		return err
 	}
@@ -76,7 +78,7 @@ func Fig2(w io.Writer, opt Options) error {
 // NVPL (72 threads), NVPL (1 thread) and ArmPL over the first 192 problem
 // sizes, at 1 and 8 iterations. It shows NVPL's all-threads-always
 // heuristic losing to both alternatives at small sizes.
-func Fig3(w io.Writer, opt Options) error {
+func Fig3(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	opt.MaxDim = 192
 	configs := []systems.System{
@@ -87,7 +89,7 @@ func Fig3(w io.Writer, opt Options) error {
 	for _, iters := range []int{1, 8} {
 		var curves []plot.Curve
 		for _, sys := range configs {
-			ser, err := runSquare(sys, core.GEMM, core.F32, opt, iters)
+			ser, err := runSquare(ctx, sys, core.GEMM, core.F32, opt, iters)
 			if err != nil {
 				return err
 			}
@@ -110,10 +112,10 @@ func Fig3(w io.Writer, opt Options) error {
 // three systems — the CPU wins outright on LUMI, while DAWN and Isambard-AI
 // show a mid-range band where the GPU outperforms a dropped CPU curve even
 // though no offload threshold exists.
-func Fig4(w io.Writer, opt Options) error {
+func Fig4(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	for _, sys := range systems.All() {
-		ser, err := runSquare(sys, core.GEMV, core.F64, opt, 1)
+		ser, err := runSquare(ctx, sys, core.GEMV, core.F64, opt, 1)
 		if err != nil {
 			return err
 		}
@@ -132,10 +134,10 @@ func Fig4(w io.Writer, opt Options) error {
 // Fig5 regenerates Fig 5: square SGEMV performance at 128 iterations on
 // Isambard-AI and DAWN — steep GH200 curves from small sizes versus DAWN's
 // shallow PCIe-fed curves, plus the NVPL CPU step at {256,256}.
-func Fig5(w io.Writer, opt Options) error {
+func Fig5(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	for _, sys := range []systems.System{systems.IsambardAI(), systems.DAWN()} {
-		ser, err := runSquare(sys, core.GEMV, core.F32, opt, 128)
+		ser, err := runSquare(ctx, sys, core.GEMV, core.F32, opt, 128)
 		if err != nil {
 			return err
 		}
@@ -154,11 +156,11 @@ func Fig5(w io.Writer, opt Options) error {
 // Fig6 regenerates Fig 6: AOCL vs OpenBLAS square DGEMV CPU performance on
 // LUMI at 128 iterations — AOCL's serial GEMV against OpenBLAS's
 // multi-threaded one.
-func Fig6(w io.Writer, opt Options) error {
+func Fig6(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	var curves []plot.Curve
 	for _, sys := range []systems.System{systems.LUMI(), systems.LUMIOpenBLAS()} {
-		ser, err := runSquare(sys, core.GEMV, core.F64, opt, 128)
+		ser, err := runSquare(ctx, sys, core.GEMV, core.F64, opt, 128)
 		if err != nil {
 			return err
 		}
@@ -176,11 +178,11 @@ func Fig6(w io.Writer, opt Options) error {
 // performance at 32 iterations under implicit scaling (both PVC tiles as
 // one device) versus explicit scaling (one tile) — implicit is lower and
 // less consistent despite twice the compute.
-func Fig7(w io.Writer, opt Options) error {
+func Fig7(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	var curves []plot.Curve
 	for _, sys := range []systems.System{systems.DAWN(), systems.DAWNImplicitScaling()} {
-		ser, err := runSquare(sys, core.GEMM, core.F32, opt, 32)
+		ser, err := runSquare(ctx, sys, core.GEMM, core.F32, opt, 32)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -16,7 +17,7 @@ import (
 // 5x-15x the FP32 vector rate) while halving the bytes moved, so the HGEMM
 // threshold collapses relative to SGEMM everywhere — most dramatically on
 // the PCIe-attached systems where transfers used to dominate.
-func HalfPrecision(w io.Writer, opt Options) error {
+func HalfPrecision(_ context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "System\tIterations\tSGEMM Once\tHGEMM Once\tHGEMM/SGEMM GPU speedup @2048\n")

@@ -21,7 +21,7 @@ import (
 //     on DAWN would have likely been much higher");
 //   - Isambard-AI's constant {26,26,26} follows the cuBLAS kernel switch;
 //   - Isambard-AI's GEMV {256,256} follows the NVPL step.
-func QuirkAblation(w io.Writer, opt Options) error {
+func QuirkAblation(ctx context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	strip := func(sys systems.System) systems.System {
 		sys.Name += " (no quirks)"
@@ -43,11 +43,11 @@ func QuirkAblation(w io.Writer, opt Options) error {
 			}
 			for _, it := range []int{1, 32} {
 				cfg := sweepConfig(opt, it)
-				withQ, err := core.RunProblem(context.Background(), base, pt, core.F32, cfg)
+				withQ, err := core.RunProblem(ctx, base, pt, core.F32, cfg)
 				if err != nil {
 					return err
 				}
-				withoutQ, err := core.RunProblem(context.Background(), clean, pt, core.F32, cfg)
+				withoutQ, err := core.RunProblem(ctx, clean, pt, core.F32, cfg)
 				if err != nil {
 					return err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -17,7 +18,7 @@ import (
 // paper's caveat that "narrowing this down into a core subset that is
 // representative ... is non-trivial" shows up directly: the two families
 // produce different thresholds on the same machine.
-func Sparse(w io.Writer, opt Options) error {
+func Sparse(_ context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	type family struct {
 		name string

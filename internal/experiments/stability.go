@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,7 +18,7 @@ import (
 // "to account for any momentary drops in GPU performance that are due to
 // abnormal system behaviour or noise"; this ablation quantifies how much
 // noise it absorbs before the threshold moves.
-func Stability(w io.Writer, opt Options) error {
+func Stability(_ context.Context, w io.Writer, opt Options) error {
 	opt = opt.Normalize()
 	sys := systems.DAWN()
 	const iters = 8

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -17,7 +18,7 @@ import (
 // The paper's finding: beta=0 is 1.2x-1.7x faster than beta=2 (libraries
 // implement the beta shortcut), while alpha has no effect (they do not
 // shortcut alpha), which fixes GPU-BLOB's FLOP model at 2MNK + MN + qMN.
-func TableI(w io.Writer, opt Options) error {
+func TableI(_ context.Context, w io.Writer, opt Options) error {
 	const (
 		m, n, k = 8192, 8192, 4
 		iters   = 100

@@ -26,18 +26,18 @@ func sweepConfig(opt Options, iters int) core.Config {
 
 // squareThresholds runs the square problem of the kernel at both precisions
 // and returns "sgemm:dgemm"-style threshold cells per strategy.
-func squareThresholds(sys systems.System, kernel core.KernelKind, opt Options, iters int) ([core.NumStrategies]string, error) {
+func squareThresholds(ctx context.Context, sys systems.System, kernel core.KernelKind, opt Options, iters int) ([core.NumStrategies]string, error) {
 	var out [core.NumStrategies]string
 	pt, err := core.FindProblem(kernel, "square")
 	if err != nil {
 		return out, err
 	}
 	cfg := sweepConfig(opt, iters)
-	s32, err := core.RunProblem(context.Background(), sys, pt, core.F32, cfg)
+	s32, err := core.RunProblem(ctx, sys, pt, core.F32, cfg)
 	if err != nil {
 		return out, err
 	}
-	s64, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
+	s64, err := core.RunProblem(ctx, sys, pt, core.F64, cfg)
 	if err != nil {
 		return out, err
 	}
@@ -54,13 +54,13 @@ func squareThresholds(sys systems.System, kernel core.KernelKind, opt Options, i
 }
 
 // squareTable renders Table III (GEMM) or Table IV (GEMV).
-func squareTable(w io.Writer, opt Options, kernel core.KernelKind) error {
+func squareTable(ctx context.Context, w io.Writer, opt Options, kernel core.KernelKind) error {
 	opt = opt.Normalize()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "System\tIterations\tOnce\tAlways\tUSM\n")
 	for _, sys := range systems.All() {
 		for _, it := range IterationCounts {
-			cells, err := squareThresholds(sys, kernel, opt, it)
+			cells, err := squareThresholds(ctx, sys, kernel, opt, it)
 			if err != nil {
 				return err
 			}
@@ -73,24 +73,24 @@ func squareTable(w io.Writer, opt Options, kernel core.KernelKind) error {
 
 // TableIII regenerates Table III: square S/DGEMM offload thresholds per
 // system, iteration count and transfer strategy.
-func TableIII(w io.Writer, opt Options) error {
+func TableIII(ctx context.Context, w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Square SGEMM:DGEMM (M=N=K) GPU offload thresholds")
-	return squareTable(w, opt, core.GEMM)
+	return squareTable(ctx, w, opt, core.GEMM)
 }
 
 // TableIV regenerates Table IV: square S/DGEMV offload thresholds.
-func TableIV(w io.Writer, opt Options) error {
+func TableIV(ctx context.Context, w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Square SGEMV:DGEMV (M=N) GPU offload thresholds")
-	return squareTable(w, opt, core.GEMV)
+	return squareTable(ctx, w, opt, core.GEMV)
 }
 
 // firstThresholdIteration returns the smallest iteration count in
 // IterationCounts at which the problem type yields a Transfer-Once offload
 // threshold (the paper's Tables V/VI criterion), or 0 when none does.
-func firstThresholdIteration(sys systems.System, pt core.ProblemType, prec core.Precision, opt Options) (int, error) {
+func firstThresholdIteration(ctx context.Context, sys systems.System, pt core.ProblemType, prec core.Precision, opt Options) (int, error) {
 	for _, it := range IterationCounts {
 		cfg := sweepConfig(opt, it)
-		ser, err := core.RunProblem(context.Background(), sys, pt, prec, cfg)
+		ser, err := core.RunProblem(ctx, sys, pt, prec, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -103,7 +103,7 @@ func firstThresholdIteration(sys systems.System, pt core.ProblemType, prec core.
 
 // nonSquareTable renders Table V (GEMM) or Table VI (GEMV): the iteration
 // count at which each non-square problem type first yields a threshold.
-func nonSquareTable(w io.Writer, opt Options, problems []core.ProblemType) error {
+func nonSquareTable(ctx context.Context, w io.Writer, opt Options, problems []core.ProblemType) error {
 	opt = opt.Normalize()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Problem Type\tDAWN\tLUMI\tIsambard-AI\n")
@@ -122,11 +122,11 @@ func nonSquareTable(w io.Writer, opt Options, problems []core.ProblemType) error
 		}
 		fmt.Fprintf(tw, "%s", pt.Desc)
 		for _, sys := range systems.All() {
-			f32, err := firstThresholdIteration(sys, pt, core.F32, opt)
+			f32, err := firstThresholdIteration(ctx, sys, pt, core.F32, opt)
 			if err != nil {
 				return err
 			}
-			f64, err := firstThresholdIteration(sys, pt, core.F64, opt)
+			f64, err := firstThresholdIteration(ctx, sys, pt, core.F64, opt)
 			if err != nil {
 				return err
 			}
@@ -139,13 +139,13 @@ func nonSquareTable(w io.Writer, opt Options, problems []core.ProblemType) error
 
 // TableV regenerates Table V: the iteration count at which each non-square
 // S/DGEMM problem type first yields an offload threshold.
-func TableV(w io.Writer, opt Options) error {
+func TableV(ctx context.Context, w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "First iteration count yielding a non-square SGEMM:DGEMM offload threshold")
-	return nonSquareTable(w, opt, core.GemmProblems)
+	return nonSquareTable(ctx, w, opt, core.GemmProblems)
 }
 
 // TableVI regenerates Table VI for the non-square GEMV problem types.
-func TableVI(w io.Writer, opt Options) error {
+func TableVI(ctx context.Context, w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "First iteration count yielding a non-square SGEMV:DGEMV offload threshold")
-	return nonSquareTable(w, opt, core.GemvProblems)
+	return nonSquareTable(ctx, w, opt, core.GemvProblems)
 }

@@ -1,7 +1,7 @@
 package overload
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -15,6 +15,7 @@ import (
 type costEstimator struct {
 	mu      sync.Mutex
 	samples []time.Duration // ring buffer
+	scratch []time.Duration // p50's reusable sort buffer, guarded by mu
 	next    int
 	full    bool
 }
@@ -23,10 +24,15 @@ func newCostEstimator(window int) *costEstimator {
 	if window < 1 {
 		window = 32
 	}
-	return &costEstimator{samples: make([]time.Duration, window)}
+	return &costEstimator{
+		samples: make([]time.Duration, window),
+		scratch: make([]time.Duration, 0, window),
+	}
 }
 
 // add records one completed sweep's duration.
+//
+//blobvet:hotpath
 func (e *costEstimator) add(d time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -39,20 +45,22 @@ func (e *costEstimator) add(d time.Duration) {
 }
 
 // p50 returns the median of the recorded window, or 0 before any sample
-// exists (no estimate — never shed on a guess).
+// exists (no estimate — never shed on a guess). The sort runs in a
+// preallocated scratch buffer: every queued request consults the
+// estimate, so the admission path must not allocate per call.
+//
+//blobvet:hotpath
 func (e *costEstimator) p50() time.Duration {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	n := e.next
 	if e.full {
 		n = len(e.samples)
 	}
 	if n == 0 {
-		e.mu.Unlock()
 		return 0
 	}
-	window := make([]time.Duration, n)
-	copy(window, e.samples[:n])
-	e.mu.Unlock()
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	return window[n/2]
+	e.scratch = append(e.scratch[:0], e.samples[:n]...)
+	slices.Sort(e.scratch)
+	return e.scratch[n/2]
 }

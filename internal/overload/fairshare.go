@@ -52,6 +52,8 @@ func newFairShare(rate float64, burst float64, maxClients int, clock resilience.
 // allow spends one token from client's bucket, reporting whether it had
 // one and, when it did not, how long until the next token refills — the
 // Retry-After hint of the 429.
+//
+//blobvet:hotpath
 func (f *fairShare) allow(client string) (ok bool, retryAfter time.Duration) {
 	if f.rate <= 0 {
 		return true, 0
@@ -61,6 +63,7 @@ func (f *fairShare) allow(client string) (ok bool, retryAfter time.Duration) {
 	now := f.clock.Now()
 	el, found := f.buckets[client]
 	if !found {
+		//blobvet:allow hotalloc: one bucket per new client, amortized over its whole session and bounded by the LRU table
 		el = f.order.PushFront(&bucket{client: client, tokens: f.burst, last: now})
 		f.buckets[client] = el
 		for f.order.Len() > f.max {

@@ -76,6 +76,8 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 // TryAcquire claims one concurrency slot if the current limit allows it.
 // Every successful TryAcquire must be paired with exactly one Release (or
 // Cancel, when the slot never ran any work).
+//
+//blobvet:hotpath
 func (l *Limiter) TryAcquire() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -88,6 +90,8 @@ func (l *Limiter) TryAcquire() bool {
 
 // Release returns a slot and feeds the completed work's latency into the
 // AIMD loop.
+//
+//blobvet:hotpath
 func (l *Limiter) Release(latency time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -13,6 +13,8 @@ import (
 	"sync"
 )
 
+//blobvet:file-allow locksafety: p.mu serializes whole For/For2D invocations (the OpenMP parallel-region model); the body calls and wg.Wait under it ARE the critical section, and the bodies are compute kernels that never re-enter the pool
+
 // Range is a half-open interval [Lo, Hi) of loop iterations.
 type Range struct {
 	Lo, Hi int

@@ -65,8 +65,10 @@ type BreakerConfig struct {
 	// Clock replaces time.Now (tests); nil uses the real clock.
 	Clock Clock
 	// OnStateChange, when non-nil, observes transitions (metrics, logs).
-	// It is called with the breaker's lock held: keep it cheap and do not
-	// call back into the breaker.
+	// It is called after the breaker's lock is released, so it may block
+	// or call back into the breaker without deadlocking; under concurrent
+	// transitions, notifications are delivered in the order the
+	// transitions happened but may interleave with later breaker calls.
 	OnStateChange func(from, to State)
 }
 
@@ -86,9 +88,8 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	if c.HalfOpenMax < 1 {
 		c.HalfOpenMax = 1
 	}
-	if c.Clock == nil {
-		c.Clock = time.Now
-	}
+	// Clock needs no defaulting: the nil Clock's Now method falls back to
+	// time.Now.
 	return c
 }
 
@@ -111,35 +112,58 @@ type Breaker struct {
 // NewBreaker builds a breaker in the Closed state.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	cfg = cfg.withDefaults()
-	return &Breaker{cfg: cfg, windowStart: cfg.Clock()}
+	return &Breaker{cfg: cfg, windowStart: cfg.Clock.Now()}
+}
+
+// A stateChange is one pending OnStateChange notification, collected
+// under the lock and delivered after it is released (locksafety: a
+// caller-supplied callback must not run while b.mu is held — it may
+// block, or legitimately call back into the breaker).
+type stateChange struct{ from, to State }
+
+// notify delivers pending transitions to the observer. Must be called
+// WITHOUT b.mu held.
+func (b *Breaker) notify(changes []stateChange) {
+	if b.cfg.OnStateChange == nil {
+		return
+	}
+	for _, c := range changes {
+		b.cfg.OnStateChange(c.from, c.to)
+	}
 }
 
 // Allow reports whether a call may proceed. In the Open state it returns
 // ErrOpen until OpenTimeout has elapsed, then admits HalfOpenMax probes.
 // Every admitted call should be followed by exactly one Record.
 func (b *Breaker) Allow() error {
+	err, changes := b.allow()
+	b.notify(changes)
+	return err
+}
+
+func (b *Breaker) allow() (error, []stateChange) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := b.cfg.Clock()
+	now := b.cfg.Clock.Now()
 	switch b.state {
 	case Closed:
 		if b.cfg.Window > 0 && now.Sub(b.windowStart) >= b.cfg.Window {
 			b.total, b.failures, b.windowStart = 0, 0, now
 		}
-		return nil
+		return nil, nil
 	case Open:
 		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
-			return ErrOpen
+			return ErrOpen, nil
 		}
-		b.transition(HalfOpen)
+		changes := b.transition(nil, HalfOpen)
 		b.probes, b.successes = 1, 0
-		return nil
+		return nil, changes
 	default: // HalfOpen
 		if b.probes >= b.cfg.HalfOpenMax {
-			return ErrOpen
+			return ErrOpen, nil
 		}
 		b.probes++
-		return nil
+		return nil, nil
 	}
 }
 
@@ -147,10 +171,14 @@ func (b *Breaker) Allow() error {
 // ratio; any failure in HalfOpen re-opens; HalfOpenMax successes in
 // HalfOpen close the breaker and reset its counts.
 func (b *Breaker) Record(err error) {
+	b.notify(b.record(err))
+}
+
+func (b *Breaker) record(err error) []stateChange {
 	failed := err != nil
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := b.cfg.Clock()
+	now := b.cfg.Clock.Now()
 	switch b.state {
 	case Closed:
 		if b.cfg.Window > 0 && now.Sub(b.windowStart) >= b.cfg.Window {
@@ -162,22 +190,25 @@ func (b *Breaker) Record(err error) {
 		}
 		if b.total >= b.cfg.MinRequests &&
 			float64(b.failures)/float64(b.total) >= b.cfg.FailureRatio {
-			b.transition(Open)
+			changes := b.transition(nil, Open)
 			b.openedAt = now
+			return changes
 		}
 	case HalfOpen:
 		if failed {
-			b.transition(Open)
+			changes := b.transition(nil, Open)
 			b.openedAt = now
-			return
+			return changes
 		}
 		b.successes++
 		if b.successes >= b.cfg.HalfOpenMax {
-			b.transition(Closed)
+			changes := b.transition(nil, Closed)
 			b.total, b.failures, b.windowStart = 0, 0, now
+			return changes
 		}
 	default: // Open: a late Record from a call admitted earlier; ignore.
 	}
+	return nil
 }
 
 // Do wraps fn with Allow/Record. Context-cancellation errors pass through
@@ -213,18 +244,17 @@ func (b *Breaker) State() State {
 func (b *Breaker) Refusing() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.state == Open && b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenTimeout
+	return b.state == Open && b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.OpenTimeout
 }
 
-// transition moves the state machine and notifies the observer. Caller
-// holds b.mu.
-func (b *Breaker) transition(to State) {
+// transition moves the state machine and appends the pending notification
+// to changes, which the caller delivers via notify after releasing b.mu.
+// Caller holds b.mu.
+func (b *Breaker) transition(changes []stateChange, to State) []stateChange {
 	if b.state == to {
-		return
+		return changes
 	}
 	from := b.state
 	b.state = to
-	if b.cfg.OnStateChange != nil {
-		b.cfg.OnStateChange(from, to)
-	}
+	return append(changes, stateChange{from, to})
 }

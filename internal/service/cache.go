@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Cache is a bounded LRU result cache. Threshold sweeps are pure
@@ -15,10 +17,14 @@ import (
 // (if dated) answer when its sweep backend is unhealthy, rather than
 // failing the request.
 type Cache struct {
-	mu    sync.Mutex
-	max   int
-	ttl   time.Duration            // 0 = entries never expire
-	clock func() time.Time         // tests swap in a fake
+	mu  sync.Mutex
+	max int
+	ttl time.Duration // 0 = entries never expire
+	// clock is resilience.Clock, not a bare func field: the named type's
+	// non-blocking contract is what lets the lookup read the time under
+	// c.mu (locksafety exempts Clock, not arbitrary func values). Tests
+	// swap in a fake.
+	clock resilience.Clock
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key -> element whose Value is *cacheEntry
 }
@@ -53,6 +59,8 @@ func NewCacheTTL(max int, ttl time.Duration) *Cache {
 
 // Get returns the cached value for key if it is still fresh, marking it
 // most recently used.
+//
+//blobvet:hotpath
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -61,7 +69,7 @@ func (c *Cache) Get(key string) (any, bool) {
 		return nil, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if c.ttl > 0 && c.clock().Sub(ent.storedAt) > c.ttl {
+	if c.ttl > 0 && c.clock.Now().Sub(ent.storedAt) > c.ttl {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
@@ -73,6 +81,8 @@ func (c *Cache) Get(key string) (any, bool) {
 // open. It reports whether the entry had already expired (always false
 // when the cache has no TTL). The entry is intentionally not promoted:
 // stale serves should not keep dead entries pinned over fresh ones.
+//
+//blobvet:hotpath
 func (c *Cache) GetStale(key string) (val any, expired, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -81,7 +91,7 @@ func (c *Cache) GetStale(key string) (val any, expired, ok bool) {
 		return nil, false, false
 	}
 	ent := el.Value.(*cacheEntry)
-	expired = c.ttl > 0 && c.clock().Sub(ent.storedAt) > c.ttl
+	expired = c.ttl > 0 && c.clock.Now().Sub(ent.storedAt) > c.ttl
 	return ent.val, expired, true
 }
 
@@ -93,11 +103,11 @@ func (c *Cache) Put(key string, val any) {
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.val = val
-		ent.storedAt = c.clock()
+		ent.storedAt = c.clock.Now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, storedAt: c.clock()})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val, storedAt: c.clock.Now()})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -51,6 +51,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, submit func(func()) er
 		g.mu.Unlock()
 		return g.wait(ctx, key, fl, true)
 	}
+	//blobvet:allow ctxflow: deliberate detachment — the flight outlives its first caller and is cancelled by the last one to detach
 	fctx, cancel := context.WithCancel(context.Background())
 	fl = &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
 	g.flights[key] = fl

@@ -4,6 +4,7 @@
 package systems
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim/cpumodel"
@@ -11,6 +12,12 @@ import (
 	"repro/internal/sim/hw"
 	"repro/internal/sim/usm"
 )
+
+// ErrUnknownSystem is the sentinel wrapped by ByName for unrecognized
+// system tokens, so callers can errors.Is the condition instead of
+// string-matching (errcontract: errors crossing the package boundary stay
+// classifiable).
+var ErrUnknownSystem = errors.New("systems: unknown system")
 
 // System is one benchmark target: a CPU socket with its BLAS library and a
 // GPU with its BLAS library, joined by an interconnect.
@@ -141,7 +148,7 @@ func ByName(name string) (System, error) {
 	case "isambard-nvpl1t":
 		return IsambardAINVPL1T(), nil
 	}
-	return System{}, fmt.Errorf("systems: unknown system %q (try dawn, lumi, isambard-ai)", name)
+	return System{}, fmt.Errorf("%w: %q (try dawn, lumi, isambard-ai)", ErrUnknownSystem, name)
 }
 
 // Names lists the CLI tokens accepted by ByName.

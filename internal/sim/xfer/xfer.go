@@ -15,10 +15,17 @@
 package xfer
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/faultinject"
 )
+
+// ErrUnknownStrategy is the sentinel wrapped by ParseStrategy for
+// unrecognized tokens, so callers can errors.Is the condition instead of
+// string-matching (errcontract: errors crossing the package boundary stay
+// classifiable).
+var ErrUnknownStrategy = errors.New("xfer: unknown strategy")
 
 // Strategy identifies a data transfer paradigm.
 type Strategy int
@@ -58,7 +65,7 @@ func ParseStrategy(s string) (Strategy, error) {
 	case "USM", "usm", "unified":
 		return Unified, nil
 	}
-	return 0, fmt.Errorf("xfer: unknown strategy %q", s)
+	return 0, fmt.Errorf("%w %q", ErrUnknownStrategy, s)
 }
 
 // GemmBytes returns the bytes moved host-to-device and device-to-host for

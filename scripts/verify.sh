@@ -3,13 +3,19 @@
 #
 # Order matters: cheap static gates run before the test suites so a
 # violation fails fast, and the race pass runs last because it is by far
-# the most expensive step.
+# the most expensive step. Every stage is wall-clock timed, and a failure
+# names the stage that broke (so "verify is red" in CI is immediately
+# attributable without scrolling).
 #
 #   1. go build      — everything compiles
 #   2. go vet        — stock Go static analysis
 #   3. blob-vet      — this repo's own analyzers (see internal/analysis):
 #                      kernelargcheck, floatcompare, goroutinehygiene,
-#                      determinism, pkgdoc
+#                      determinism, pkgdoc, ctxflow, locksafety,
+#                      hotalloc, errcontract. Error findings and
+#                      unbaselined warns fail the gate; the run also
+#                      writes blobvet.sarif (SARIF 2.1.0) as a CI
+#                      artifact for code-scanning renderers
 #   4. go test       — full test suite, shuffled (-shuffle=on with a
 #                      fixed seed, so inter-test ordering dependencies
 #                      surface deterministically; includes the blob-vet
@@ -18,8 +24,9 @@
 #                      must parse, benchmark index must match the
 #                      registry)
 #   5. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
-#                      the advisor trace CSV, the fault-plan JSON, and
-#                      the config hash that keys the service cache
+#                      the advisor trace CSV, the fault-plan JSON, the
+#                      config hash that keys the service cache, and the
+#                      strict blob-vet baseline/report JSON parser
 #   6. blob-bench    — smoke run of the standardized benchmark suite
 #                      (tiny sizes, one interleaved repetition): proves
 #                      every case still prepares, runs and serializes
@@ -43,36 +50,62 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
+bench_tmp="$(mktemp -d)"
+stage=""
+stage_t0=0
+
+cleanup() { rm -rf "$bench_tmp"; }
+trap cleanup EXIT
+trap 'code=$?; echo "verify: FAILED at stage \"$stage\" after $((SECONDS - stage_t0))s (exit $code)" >&2' ERR
+
+begin() {
+	stage="$1"
+	stage_t0=$SECONDS
+	echo "==> $stage"
+}
+end() {
+	echo "    ok: $stage ($((SECONDS - stage_t0))s)"
+}
+
+begin "go build"
 go build ./...
+end
 
-echo "==> go vet ./..."
+begin "go vet"
 go vet ./...
+end
 
-echo "==> blob-vet ./..."
-go run ./cmd/blob-vet ./...
+begin "blob-vet"
+go run ./cmd/blob-vet -sarif-out blobvet.sarif ./...
+end
 
-echo "==> go test ./... (-shuffle=on)"
+begin "go test (-shuffle=on)"
 go test -shuffle=on ./...
+end
 
-echo "==> fuzz smoke (10s per target)"
+begin "fuzz smoke (10s per target)"
 go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/advisor/
 go test -run='^$' -fuzz='^FuzzPlanJSON$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzConfigHash$' -fuzztime=10s ./internal/core/
+go test -run='^$' -fuzz='^FuzzBaselineJSON$' -fuzztime=10s ./internal/analysis/blobvet/
+end
 
-echo "==> blob-bench -smoke"
-bench_tmp="$(mktemp -d)"
-trap 'rm -rf "$bench_tmp"' EXIT
+begin "blob-bench -smoke"
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
+end
 
-echo "==> blob-soak -short (sustain + chaos)"
+begin "blob-soak -short (sustain + chaos)"
 go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos -o "$bench_tmp/SOAK_verify.json"
+end
 
-echo "==> go test -race (parallel, core, blas, service, overload, resilience, faultinject)"
+begin "go test -race (parallel, core, blas, service, overload, resilience, faultinject)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
 	./internal/overload/... ./internal/resilience/... ./internal/faultinject/...
+end
 
-echo "==> chaos gate (seeded fault plans under -race)"
+begin "chaos gate (seeded fault plans under -race)"
 go test -race -count=1 -run 'TestChaos|TestCheckpoint|TestThresholdUnderChaosPlan' \
 	./internal/core/ ./internal/service/
-echo "verify: all gates passed"
+end
+
+echo "verify: all gates passed in ${SECONDS}s (sarif artifact: blobvet.sarif)"
