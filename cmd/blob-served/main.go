@@ -3,10 +3,17 @@
 // automatic-offload runtimes that consult GPU-BLOB's models at dispatch
 // time.
 //
-// Endpoints:
+// Endpoints (every v1 response is the unified envelope — a "schema"
+// token plus "data" on success or "error" {code, message, retry_after_s}
+// on failure; DESIGN.md §14.2):
 //
 //	POST /v1/advise     advisor verdicts for a batch of BLAS call groups
 //	POST /v1/threshold  offload-threshold sweep (cached, deduplicated)
+//	POST /v1/dispatch   batched CPU/GPU routing through the per-system
+//	                    offload dispatcher (memoized, hysteresis-damped)
+//	POST /v0/advise     deprecated pre-envelope advise alias; answers
+//	                    with Deprecation + Link headers, removed next
+//	                    release
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text metrics
 //
@@ -32,8 +39,9 @@
 // the setpoint), -fair-share / -fair-share-burst enable per-client
 // token-bucket quotas, and clients may tighten their own deadline with
 // an X-Deadline-Ms request header. Requests the service cannot serve in
-// time are shed early with a Retry-After header and a machine-readable
-// JSON "reason" (queue_full, over_quota, deadline_budget, breaker_open,
+// time are shed early with a Retry-After header (whole seconds, mirrored
+// by the error body's retry_after_s) and a machine-readable error code
+// (queue_full, over_quota, deadline_budget, breaker_open,
 // shutting_down):
 //
 //	blob-served -workers 4 -queue 16 -target-latency 2s -fair-share 0.5
@@ -93,9 +101,9 @@ func run() error {
 		cacheTTL   = flag.Duration("cache-ttl", 0, "freshness window for cached threshold results; expired entries serve only while the backend's breaker is open, marked stale (0 = fresh forever)")
 		faultPlan  = flag.String("fault-plan", "", "seeded fault-injection plan (JSON file) to arm on the simulated backends — chaos mode")
 
-		targetLat  = flag.Duration("target-latency", 0, "AIMD setpoint for sweep latency: completions above it shrink admitted sweep concurrency toward 1, below it grow it back toward -workers (0 = fixed at -workers)")
-		fairShare  = flag.Float64("fair-share", 0, "per-client sweep admissions per second (X-API-Key header, else remote host); 0 disables fair-share shedding")
-		fairBurst  = flag.Int("fair-share-burst", 4, "per-client token-bucket burst for -fair-share")
+		targetLat = flag.Duration("target-latency", 0, "AIMD setpoint for sweep latency: completions above it shrink admitted sweep concurrency toward 1, below it grow it back toward -workers (0 = fixed at -workers)")
+		fairShare = flag.Float64("fair-share", 0, "per-client sweep admissions per second (X-API-Key header, else remote host); 0 disables fair-share shedding")
+		fairBurst = flag.Int("fair-share-burst", 4, "per-client token-bucket burst for -fair-share")
 	)
 	flag.Parse()
 

@@ -21,6 +21,12 @@
 //	spike    idle baseline, then a sudden 4x burst
 //	sustain  4x capacity for the whole window, AIMD limiter engaged
 //	chaos    sustain plus a seeded fault-injection plan on the backends
+//	dispatch 4x capacity of /v1/dispatch batches: the decision hot path
+//	         must stay fast and the shape cache must absorb the repeats
+//
+// All traffic flows through pkg/blobclient — the same typed client the
+// README documents — so the soak doubles as an end-to-end exercise of the
+// v1 envelope contract.
 //
 // The run writes a schema-versioned SOAK_<tag>.json artifact (see
 // EXPERIMENTS.md) and exits non-zero when any profile violates its SLOs:
@@ -38,9 +44,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -54,8 +60,10 @@ import (
 	"repro/internal/benchmark"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/sim/systems"
+	"repro/pkg/blobclient"
 )
 
 // SchemaVersion tags the artifact format; readers refuse to interpret a
@@ -94,11 +102,12 @@ type phase struct {
 
 // profile is one scripted overload scenario.
 type profile struct {
-	name   string
-	phases []phase
-	faults bool // arm the chaos fault plan
-	fair   bool // enable per-client fair share
-	aimd   bool // enable the AIMD target latency
+	name     string
+	phases   []phase
+	faults   bool // arm the chaos fault plan
+	fair     bool // enable per-client fair share
+	aimd     bool // enable the AIMD target latency
+	dispatch bool // drive /v1/dispatch batches instead of threshold sweeps
 }
 
 // profiles returns the scripted scenarios for a given worker count; 4x
@@ -111,6 +120,7 @@ func allProfiles(workers int) []profile {
 		{name: "spike", fair: true, phases: []phase{{1, 0.5}, {burst, 0.5}}},
 		{name: "sustain", aimd: true, phases: []phase{{burst, 1}}},
 		{name: "chaos", faults: true, phases: []phase{{burst, 1}}},
+		{name: "dispatch", dispatch: true, phases: []phase{{burst, 1}}},
 	}
 }
 
@@ -124,6 +134,9 @@ type shot struct {
 	// thresholds is the canonical verdict rendering for 200 responses —
 	// the chaos profile compares these against the fault-free reference.
 	thresholds string
+	// decisions/hits are the dispatch profile's per-batch routing counts.
+	decisions int
+	hits      int
 }
 
 // ProfileResult is the artifact's per-profile record.
@@ -138,14 +151,20 @@ type ProfileResult struct {
 	Statuses   map[string]int `json:"statuses"`
 	// FastP99Ms is the p99 latency over the immediate tiers: admission
 	// sheds and cache hits. The SLO applies to this number.
-	FastP99Ms          float64  `json:"fast_p99_ms"`
-	ShedRate           float64  `json:"shed_rate"`
-	GoroutineBaseline  int      `json:"goroutine_baseline"`
-	GoroutineAfter     int      `json:"goroutine_after"`
-	VerdictDigest      string   `json:"verdict_digest,omitempty"`
-	ReferenceDigest    string   `json:"reference_digest,omitempty"`
-	Violations         []string `json:"violations,omitempty"`
-	Pass               bool     `json:"pass"`
+	FastP99Ms         float64 `json:"fast_p99_ms"`
+	ShedRate          float64 `json:"shed_rate"`
+	GoroutineBaseline int     `json:"goroutine_baseline"`
+	GoroutineAfter    int     `json:"goroutine_after"`
+	// Decisions/DispatchHits/DispatchHitRate are set by the dispatch
+	// profile: total routing decisions, how many the shape cache
+	// answered, and their ratio (the profile's warm-cache SLO).
+	Decisions       int      `json:"decisions,omitempty"`
+	DispatchHits    int      `json:"dispatch_hits,omitempty"`
+	DispatchHitRate float64  `json:"dispatch_hit_rate,omitempty"`
+	VerdictDigest   string   `json:"verdict_digest,omitempty"`
+	ReferenceDigest string   `json:"reference_digest,omitempty"`
+	Violations      []string `json:"violations,omitempty"`
+	Pass            bool     `json:"pass"`
 }
 
 // Artifact is one SOAK_<tag>.json.
@@ -166,7 +185,7 @@ type Artifact struct {
 func run() error {
 	var (
 		seed      = flag.Int64("seed", 1, "seed for the request schedule (deterministic per seed)")
-		sel       = flag.String("profiles", "ramp,spike,sustain,chaos", "comma-separated profiles to run")
+		sel       = flag.String("profiles", "ramp,spike,sustain,chaos,dispatch", "comma-separated profiles to run")
 		short     = flag.Bool("short", false, "short windows (~2s per profile): the verify-gate mode")
 		tag       = flag.String("tag", "dev", "artifact tag; default output is SOAK_<tag>.json")
 		out       = flag.String("o", "", "output path (overrides the tag-derived name)")
@@ -230,7 +249,7 @@ func run() error {
 	}
 	for name := range selected {
 		if name != "" && !ran[name] {
-			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos)", name)
+			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos, dispatch)", name)
 		}
 	}
 	if len(art.Profiles) == 0 {
@@ -289,8 +308,37 @@ func randomDim(rng *rand.Rand) int { return 24 + 2*rng.Intn(500) }
 
 const hotDim = 2048
 
-func thresholdBody(dim int) string {
-	return fmt.Sprintf(`{"system":"dawn","kernel":"gemv","precision":"f64","config":{"max_dim":%d}}`, dim)
+// The dispatch profile's working set: batches of dispatchBatchSize calls
+// drawn from dispatchShapes distinct GEMM shapes. The set is small
+// enough that the dispatcher's shape cache must absorb nearly everything
+// after the first few batches — that warm-cache hit rate is the SLO.
+const (
+	dispatchBatchSize = 64
+	dispatchShapes    = 200
+	dispatchHitFloor  = 0.5
+)
+
+func thresholdReq(dim int) service.ThresholdRequest {
+	req := service.ThresholdRequest{System: "dawn", Kernel: "gemv", Precision: "f64"}
+	req.Config.MaxDim = dim
+	return req
+}
+
+// soakBreakerOff keeps pkg/blobclient's client-side breaker out of the
+// experiment: the soak exists to observe the server shedding, and a
+// breaker that opens under that shed storm would replace server verdicts
+// with client-side ErrOpen refusals.
+var soakBreakerOff = resilience.BreakerConfig{MinRequests: 1 << 30}
+
+// soakClients builds the per-identity typed clients: one plain, one that
+// stamps the tight X-Deadline-Ms used by the deadline-shedding slice.
+func soakClients(url string, hc *http.Client, id int) (plain, tight *blobclient.Client) {
+	key := fmt.Sprintf("client-%d", id)
+	plain = blobclient.New(blobclient.Options{
+		BaseURL: url, HTTPClient: hc, APIKey: key, Breaker: soakBreakerOff})
+	tight = blobclient.New(blobclient.Options{
+		BaseURL: url, HTTPClient: hc, APIKey: key, DeadlineMs: 10, Breaker: soakBreakerOff})
+	return plain, tight
 }
 
 // runProfile stands up a fresh server, drives the profile's phases, and
@@ -329,14 +377,24 @@ func runProfile(p profile, workers int, seed int64, window time.Duration, sweepC
 	transport := &http.Transport{MaxIdleConnsPerHost: 64}
 	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
 
-	// Warm the hot cache entry while the service is idle.
-	warm, _ := post(client, ts.URL, thresholdBody(hotDim), nil)
-	hotWarmed := warm != nil && warm.status == http.StatusOK
+	// Warm the hot entry while the service is idle: the threshold
+	// profiles warm the result cache's hot dim, the dispatch profile
+	// warms the dispatcher's shape cache with one full-working-set batch.
+	warmer := blobclient.New(blobclient.Options{
+		BaseURL: ts.URL, HTTPClient: client, Breaker: soakBreakerOff})
+	var hotWarmed bool
+	if p.dispatch {
+		warm, err := warmer.DispatchBatch(context.Background(), dispatchReq(rand.New(rand.NewSource(seed))))
+		hotWarmed = err == nil && len(warm.Decisions) == dispatchBatchSize
+	} else {
+		warm, err := warmer.Threshold(context.Background(), thresholdReq(hotDim))
+		hotWarmed = err == nil && len(warm.Thresholds) > 0
+	}
 
 	began := time.Now()
 	var shots []shot
 	for _, ph := range p.phases {
-		shots = append(shots, runPhase(client, ts.URL, ph, seed, time.Duration(float64(window)*ph.fraction))...)
+		shots = append(shots, runPhase(p, client, ts.URL, ph, seed, time.Duration(float64(window)*ph.fraction))...)
 	}
 	res.DurationMs = float64(time.Since(began)) / float64(time.Millisecond)
 
@@ -354,6 +412,9 @@ func runProfile(p profile, workers int, seed int64, window time.Duration, sweepC
 	}
 
 	score(&res, shots, hotWarmed)
+	if p.dispatch {
+		scoreDispatch(&res, shots)
+	}
 	if p.faults {
 		verifyVerdicts(&res, shots, workers)
 	}
@@ -381,7 +442,7 @@ func costedSweep(cost time.Duration, inj faultinject.Point) service.SweepFunc {
 // runPhase runs one phase's closed-loop clients and merges their shots.
 // Each client derives its own PRNG from the run seed, so the request
 // schedule is reproducible per (seed, profile, phase).
-func runPhase(client *http.Client, url string, ph phase, seed int64, d time.Duration) []shot {
+func runPhase(p profile, client *http.Client, url string, ph phase, seed int64, d time.Duration) []shot {
 	stop := time.Now().Add(d)
 	var mu sync.Mutex
 	var all []shot
@@ -391,23 +452,29 @@ func runPhase(client *http.Client, url string, ph phase, seed int64, d time.Dura
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed*1000 + int64(id)))
-			hdr := map[string]string{"X-API-Key": fmt.Sprintf("client-%d", id)}
+			plain, tight := soakClients(url, client, id)
 			var mine []shot
 			for n := 0; time.Now().Before(stop); n++ {
-				dim := randomDim(rng)
-				if n%7 == 3 {
-					dim = hotDim // every client revisits the hot cached entry
+				var s *shot
+				var err error
+				switch {
+				case p.dispatch:
+					s, err = dispatchShot(plain, rng)
+				default:
+					dim := randomDim(rng)
+					if n%7 == 3 {
+						dim = hotDim // every client revisits the hot cached entry
+					}
+					cl := plain
+					if n%5 == 4 {
+						// A slice of traffic carries a client deadline tighter
+						// than the sweep cost: once the p50 estimator warms,
+						// these shed deterministically on budget.
+						cl = tight
+					}
+					s, err = thresholdShot(cl, dim)
 				}
-				h := hdr
-				if n%5 == 4 {
-					// A slice of traffic carries a client deadline tighter
-					// than the sweep cost: once the p50 estimator warms,
-					// these shed deterministically on budget.
-					h = map[string]string{"X-API-Key": hdr["X-API-Key"], "X-Deadline-Ms": "10"}
-				}
-				s, err := post(client, url, thresholdBody(dim), h)
 				if err == nil {
-					s.dim = dim
 					mine = append(mine, *s)
 				}
 				time.Sleep(2 * time.Millisecond) // think time bounds the spin
@@ -421,56 +488,72 @@ func runPhase(client *http.Client, url string, ph phase, seed int64, d time.Dura
 	return all
 }
 
-// post issues one threshold request and decodes the outcome.
-func post(client *http.Client, url, body string, hdr map[string]string) (*shot, error) {
-	req, err := http.NewRequest(http.MethodPost, url+"/v1/threshold", strings.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	for k, v := range hdr {
-		req.Header.Set(k, v)
-	}
+// thresholdShot issues one typed threshold request and records the
+// outcome. Server rejections surface as *blobclient.APIError — status
+// plus the machine-readable code the SLOs audit; transport errors (the
+// client gave up, not the server) drop the shot as before.
+func thresholdShot(cl *blobclient.Client, dim int) (*shot, error) {
 	began := time.Now()
-	resp, err := client.Do(req)
+	resp, err := cl.Threshold(context.Background(), thresholdReq(dim))
+	s := &shot{latency: time.Since(began), dim: dim}
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	s := &shot{status: resp.StatusCode, latency: time.Since(began)}
-	if resp.StatusCode == http.StatusOK {
-		var tr struct {
-			Cached     bool            `json:"cached"`
-			Thresholds json.RawMessage `json:"thresholds"`
+		var ae *blobclient.APIError
+		if !errors.As(err, &ae) {
+			return nil, err
 		}
-		if err := json.Unmarshal(raw, &tr); err == nil {
-			s.cached = tr.Cached
-			s.thresholds = canonicalJSON(tr.Thresholds)
-		}
-	} else {
-		var eb struct {
-			Reason string `json:"reason"`
-		}
-		_ = json.Unmarshal(raw, &eb)
-		s.reason = eb.Reason
+		s.status = ae.Status
+		s.reason = ae.Code
+		return s, nil
 	}
+	s.status = http.StatusOK
+	s.cached = resp.Cached
+	s.thresholds = canonicalThresholds(resp.Thresholds)
 	return s, nil
 }
 
-// canonicalJSON re-marshals a JSON fragment with sorted object keys so
-// byte comparison means semantic comparison.
-func canonicalJSON(raw json.RawMessage) string {
-	var v any
-	if err := json.Unmarshal(raw, &v); err != nil {
-		return string(raw)
+// dispatchReq builds one batch over the bounded shape working set.
+func dispatchReq(rng *rand.Rand) service.DispatchRequest {
+	req := service.DispatchRequest{System: "isambard-ai"}
+	for i := 0; i < dispatchBatchSize; i++ {
+		var cr service.DispatchCallRequest
+		cr.Kernel = "gemm"
+		cr.M = 16 + 4*rng.Intn(dispatchShapes)
+		cr.N, cr.K = 64, 64
+		cr.Precision = "f64"
+		cr.Count = 1
+		cr.Movement = "once"
+		req.Calls = append(req.Calls, cr)
 	}
-	out, err := json.Marshal(v) // maps marshal with sorted keys
+	return req
+}
+
+// dispatchShot issues one routing batch and records the outcome.
+func dispatchShot(cl *blobclient.Client, rng *rand.Rand) (*shot, error) {
+	began := time.Now()
+	resp, err := cl.DispatchBatch(context.Background(), dispatchReq(rng))
+	s := &shot{latency: time.Since(began)}
 	if err != nil {
-		return string(raw)
+		var ae *blobclient.APIError
+		if !errors.As(err, &ae) {
+			return nil, err
+		}
+		s.status = ae.Status
+		s.reason = ae.Code
+		return s, nil
+	}
+	s.status = http.StatusOK
+	s.decisions = len(resp.Decisions)
+	s.hits = resp.CacheHits
+	return s, nil
+}
+
+// canonicalThresholds renders a verdict map deterministically (maps
+// marshal with sorted keys) so byte comparison means semantic
+// comparison.
+func canonicalThresholds(m map[string]service.ThresholdBody) string {
+	out, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Sprintf("%v", m)
 	}
 	return string(out)
 }
@@ -487,6 +570,11 @@ func score(res *ProfileResult, shots []shot, hotWarmed bool) {
 			res.OK++
 			if s.cached {
 				res.Cached++
+			}
+			// Fast tiers: result-cache hits and dispatch batches (the
+			// decision path is microseconds per call; a whole batch must
+			// still clear the fast SLO).
+			if s.cached || s.decisions > 0 {
 				fast = append(fast, s.latency)
 			}
 		case s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable:
@@ -525,6 +613,26 @@ func score(res *ProfileResult, shots []shot, hotWarmed bool) {
 	if res.GoroutineAfter > res.GoroutineBaseline+goroutineTolerance {
 		res.fail(fmt.Sprintf("goroutine leak: %d after drain, baseline %d",
 			res.GoroutineAfter, res.GoroutineBaseline))
+	}
+}
+
+// scoreDispatch applies the dispatch profile's extra SLO: with a bounded
+// shape working set, the dispatcher's memoization must answer at least
+// dispatchHitFloor of all decisions once warm — a cold cache per request
+// (or a broken shape key) shows up here as a hit rate near zero.
+func scoreDispatch(res *ProfileResult, shots []shot) {
+	for _, s := range shots {
+		res.Decisions += s.decisions
+		res.DispatchHits += s.hits
+	}
+	if res.Decisions == 0 {
+		res.fail("dispatch profile completed no routing decisions")
+		return
+	}
+	res.DispatchHitRate = float64(res.DispatchHits) / float64(res.Decisions)
+	if res.DispatchHitRate < dispatchHitFloor {
+		res.fail(fmt.Sprintf("dispatch cache hit rate %.3f below floor %.2f",
+			res.DispatchHitRate, dispatchHitFloor))
 	}
 }
 
@@ -572,6 +680,8 @@ func verifyVerdicts(res *ProfileResult, shots []shot, workers int) {
 	ts := httptest.NewServer(svc.Handler())
 	transport := &http.Transport{}
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	cl := blobclient.New(blobclient.Options{
+		BaseURL: ts.URL, HTTPClient: client, Breaker: soakBreakerOff})
 	reference := map[int]string{}
 	dims := make([]int, 0, len(verdicts))
 	for dim := range verdicts {
@@ -579,7 +689,7 @@ func verifyVerdicts(res *ProfileResult, shots []shot, workers int) {
 	}
 	sort.Ints(dims)
 	for _, dim := range dims {
-		s, err := post(client, ts.URL, thresholdBody(dim), nil)
+		s, err := thresholdShot(cl, dim)
 		if err != nil || s.status != http.StatusOK {
 			res.fail(fmt.Sprintf("reference sweep for dim %d failed", dim))
 			continue

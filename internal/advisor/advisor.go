@@ -90,20 +90,32 @@ type Verdict struct {
 	Speedup float64
 }
 
+// Times evaluates the two timing models for one validated call: the total
+// modeled CPU seconds and GPU seconds (data movement included) for the
+// call group's Count iterations. It is the allocation-free core of Advise,
+// exposed for per-call consumers — internal/offload's dispatcher sits on
+// this path for every BLAS invocation it routes, where a Verdict value
+// per call would be pure overhead.
+//
+//blobvet:hotpath
+func Times(sys systems.System, c Call) (cpuSeconds, gpuSeconds float64) {
+	es := c.Precision.ElemSize()
+	if c.Kernel == core.GEMV {
+		cpuSeconds = sys.CPU.GemvSeconds(es, c.M, c.N, true, c.Count)
+		gpuSeconds = sys.GPU.GemvSeconds(c.Strategy, es, c.M, c.N, true, c.Count)
+		return cpuSeconds, gpuSeconds
+	}
+	cpuSeconds = sys.CPU.GemmSeconds(es, c.M, c.N, c.K, true, c.Count)
+	gpuSeconds = sys.GPU.GemmSeconds(c.Strategy, es, c.M, c.N, c.K, true, c.Count)
+	return cpuSeconds, gpuSeconds
+}
+
 // Advise evaluates one call group on one system.
 func Advise(sys systems.System, c Call) (Verdict, error) {
 	if err := c.Validate(); err != nil {
 		return Verdict{}, err
 	}
-	es := c.Precision.ElemSize()
-	var cpu, gpu float64
-	if c.Kernel == core.GEMV {
-		cpu = sys.CPU.GemvSeconds(es, c.M, c.N, true, c.Count)
-		gpu = sys.GPU.GemvSeconds(c.Strategy, es, c.M, c.N, true, c.Count)
-	} else {
-		cpu = sys.CPU.GemmSeconds(es, c.M, c.N, c.K, true, c.Count)
-		gpu = sys.GPU.GemmSeconds(c.Strategy, es, c.M, c.N, c.K, true, c.Count)
-	}
+	cpu, gpu := Times(sys, c)
 	return Verdict{
 		Call: c, System: sys.Name,
 		CPUSeconds: cpu, GPUSeconds: gpu,

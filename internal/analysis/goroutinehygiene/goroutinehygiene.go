@@ -47,8 +47,8 @@ var Analyzer = &blobvet.Analyzer{
 // call, so they carry the same hygiene bar as the kernels they guard.
 var hotPaths = []string{
 	"internal/blas", "internal/core", "internal/faultinject",
-	"internal/overload", "internal/parallel", "internal/resilience",
-	"internal/service",
+	"internal/offload", "internal/overload", "internal/parallel",
+	"internal/resilience", "internal/service",
 }
 
 // poolPackages are the hot-path packages that define a sanctioned worker

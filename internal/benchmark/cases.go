@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/flops"
 	"repro/internal/matrix"
+	"repro/internal/offload"
 	"repro/internal/overload"
 	"repro/internal/service"
 	"repro/internal/sim/systems"
@@ -49,6 +50,11 @@ func DefaultSuite(opt Options) []Case {
 		cases = append(cases, gemvCase(core.F32, n))
 		cases = append(cases, gemvCase(core.F64, n))
 	}
+	dispatchBatch := 1000
+	if opt.Smoke {
+		dispatchBatch = 200
+	}
+
 	cases = append(cases,
 		sweepCase("dawn", core.GEMM, core.F64, sweepDim),
 		sweepCase("isambard-ai", core.GEMV, core.F32, sweepDim),
@@ -59,6 +65,8 @@ func DefaultSuite(opt Options) []Case {
 		serviceHealthzCase(),
 		overloadAcquireCase(),
 		serviceThresholdShedCase(),
+		offloadDecisionLatencyCase(),
+		offloadDispatchBatchCase(dispatchBatch),
 		blobvetCase(),
 	)
 	return cases
@@ -427,6 +435,78 @@ func serviceThresholdShedCase() Case {
 				}
 				return nil
 			}, cleanup, nil
+		},
+	}
+}
+
+// offloadDecisionLatencyCase measures offload.Dispatcher's cached
+// decision path in isolation: a warmed dispatcher answering one
+// already-memoized shape per op. This is the per-call routing tax an
+// application pays once the shape cache is hot, and the companion of the
+// internal/offload test asserting its p99 stays under 50µs.
+func offloadDecisionLatencyCase() Case {
+	const shapes = 256
+	return Case{
+		Name:  "offload/decision-latency",
+		Group: "offload",
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
+			sys, err := systems.ByName("isambard-ai")
+			if err != nil {
+				return nil, nil, err
+			}
+			d := offload.New(offload.Options{System: sys})
+			calls := make([]offload.Call, shapes)
+			for i := range calls {
+				calls[i].Kernel = core.GEMM
+				calls[i].M = 16 + 4*i
+				calls[i].N, calls[i].K = 64, 64
+				calls[i].Precision = core.F64
+				calls[i].Count = 1
+				calls[i].Strategy = xfer.TransferOnce
+			}
+			for _, c := range calls {
+				if _, err := d.Decide(ctx, c); err != nil {
+					return nil, nil, err
+				}
+			}
+			i := 0
+			return func() error {
+				_, err := d.Decide(ctx, calls[i%shapes])
+				i++
+				return err
+			}, nil, nil
+		},
+	}
+}
+
+// offloadDispatchBatchCase measures POST /v1/dispatch end to end for an
+// n-shape batch on the warm path: one priming request evaluates every
+// shape, then each repetition is pure decode + cache lookups + encode —
+// the steady state of a runtime routing its call stream through the
+// service.
+func offloadDispatchBatchCase(n int) Case {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"system":"isambard-ai","calls":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"kernel":"gemm","m":%d,"n":64,"k":64,"precision":"f64","count":1,"movement":"once"}`, 16+4*i)
+	}
+	buf.WriteString(`]}`)
+	body := buf.Bytes()
+	return Case{
+		Name:  fmt.Sprintf("offload/dispatch-batch/n%d", n),
+		Group: "offload",
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
+			env := newServiceEnv()
+			if err := env.do(http.MethodPost, "/v1/dispatch", body); err != nil {
+				env.close()
+				return nil, nil, fmt.Errorf("priming dispatch cache: %w", err)
+			}
+			return func() error {
+				return env.do(http.MethodPost, "/v1/dispatch", body)
+			}, env.close, nil
 		},
 	}
 }

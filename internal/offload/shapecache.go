@@ -1,0 +1,193 @@
+package offload
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the compact seen-shape structure behind the dispatcher's
+// memoization: a Bloom filter in front of a sharded, set-associative
+// exact cache.
+//
+// The Bloom filter is the cheap first word on whether a shape has ever
+// been dispatched: two atomic loads, no locks, no false negatives. A
+// negative answer lets a cold shape skip the exact-cache probe entirely
+// and go straight to evaluation — the Stream-K++ trick of using a
+// probabilistic seen-set to avoid touching heavier state for work that
+// is provably new. A positive answer (possibly false, and possibly
+// referring to an entry that has since been evicted) falls through to
+// the exact cache, which is authoritative.
+//
+// The exact cache is a fixed array of 4-way sets, sharded 64 ways by
+// key so concurrent dispatchers contend on 64 independent mutexes
+// instead of one. Everything is preallocated at construction: the hot
+// lookup and insert paths allocate nothing and the blob-vet hotalloc
+// analyzer holds them to that.
+
+// cacheWays is the set associativity: a shape evicts only the least
+// recently used of the 3 other shapes that hash to its set.
+const cacheWays = 4
+
+// cacheShards is the lock-striping factor (must be a power of two).
+const cacheShards = 64
+
+type cacheEntry struct {
+	key uint64
+	dec Decision
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	// entries holds setsPerShard consecutive groups of cacheWays slots.
+	// Within a set, slot 0 is most recently used; inserts shift the set
+	// right and evict the last slot.
+	entries []cacheEntry
+	_       [40]byte // pad to keep neighbouring shard locks off one cache line
+}
+
+type shapeCache struct {
+	shards       [cacheShards]cacheShard
+	setsPerShard uint64
+
+	bloom     []atomic.Uint64
+	bloomMask uint64 // bit-index mask; len(bloom)*64 bits total
+}
+
+// newShapeCache builds a cache of about `entries` exact slots (rounded
+// up to a power of two, minimum 256) with a Bloom filter sized at 16
+// bits per slot — under 1% false positives even at full occupancy.
+func newShapeCache(entries int) *shapeCache {
+	if entries < 256 {
+		entries = 8192
+	}
+	n := uint64(1) << bits.Len64(uint64(entries-1)) // next power of two
+	sets := n / cacheWays / cacheShards
+	if sets < 1 {
+		sets = 1
+	}
+	bloomBits := n * 16
+	c := &shapeCache{
+		setsPerShard: sets,
+		bloom:        make([]atomic.Uint64, bloomBits/64),
+		bloomMask:    bloomBits - 1,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make([]cacheEntry, sets*cacheWays)
+	}
+	return c
+}
+
+// remix is the splitmix64 finalizer: the second, independent Bloom probe
+// is derived from the first by one more mixing round.
+func remix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mightContain reports whether the shape may have been seen before.
+// False means definitely never seen; true means probe the exact cache.
+//
+//blobvet:hotpath
+func (c *shapeCache) mightContain(key uint64) bool {
+	i1 := key & c.bloomMask
+	if c.bloom[i1>>6].Load()&(1<<(i1&63)) == 0 {
+		return false
+	}
+	i2 := remix(key) & c.bloomMask
+	return c.bloom[i2>>6].Load()&(1<<(i2&63)) != 0
+}
+
+// bloomAdd marks the shape as seen. Lock-free: a CAS loop ORs the bit in
+// (atomic.Uint64.Or needs Go 1.23; the module floor is 1.22).
+//
+//blobvet:hotpath
+func (c *shapeCache) bloomAdd(key uint64) {
+	c.bloomSetBit(key & c.bloomMask)
+	c.bloomSetBit(remix(key) & c.bloomMask)
+}
+
+//blobvet:hotpath
+func (c *shapeCache) bloomSetBit(idx uint64) {
+	w := &c.bloom[idx>>6]
+	bit := uint64(1) << (idx & 63)
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// get returns the memoized decision for key. On a hit the entry is
+// promoted to the front of its set.
+//
+//blobvet:hotpath
+func (c *shapeCache) get(key uint64) (Decision, bool) {
+	sh := &c.shards[key&(cacheShards-1)]
+	base := ((key >> 6) % c.setsPerShard) * cacheWays
+	sh.mu.Lock()
+	for i := base; i < base+cacheWays; i++ {
+		if sh.entries[i].key == key {
+			ent := sh.entries[i]
+			for j := i; j > base; j-- {
+				sh.entries[j] = sh.entries[j-1]
+			}
+			sh.entries[base] = ent
+			sh.mu.Unlock()
+			return ent.dec, true
+		}
+	}
+	sh.mu.Unlock()
+	return Decision{}, false
+}
+
+// put memoizes a decision, evicting the least recently used entry of the
+// shape's set when full, and marks the shape in the Bloom filter.
+//
+//blobvet:hotpath
+func (c *shapeCache) put(key uint64, dec Decision) {
+	sh := &c.shards[key&(cacheShards-1)]
+	base := ((key >> 6) % c.setsPerShard) * cacheWays
+	sh.mu.Lock()
+	insert := base + cacheWays - 1
+	for i := base; i < base+cacheWays; i++ {
+		if sh.entries[i].key == key {
+			insert = i
+			break
+		}
+	}
+	for j := insert; j > base; j-- {
+		sh.entries[j] = sh.entries[j-1]
+	}
+	sh.entries[base].key = key
+	sh.entries[base].dec = dec
+	sh.mu.Unlock()
+	c.bloomAdd(key)
+}
+
+// shapeKey fingerprints a call's full identity — kernel, precision,
+// strategy, residency, shape and iteration count — as one 64-bit key.
+// Keys are splitmix64-mixed so set and shard indices are uniform; 0 is
+// remapped because it is the empty-slot sentinel.
+//
+//blobvet:hotpath
+func shapeKey(c Call) uint64 {
+	flags := uint64(c.Kernel)<<1 | uint64(c.Precision)<<3 | uint64(c.Strategy)<<5
+	if c.Resident {
+		flags |= 1
+	}
+	h := remix(flags + 0x9e3779b97f4a7c15)
+	h = remix(h ^ uint64(c.M))
+	h = remix(h ^ uint64(c.N))
+	h = remix(h ^ uint64(c.K))
+	h = remix(h ^ uint64(c.Count))
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

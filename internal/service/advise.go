@@ -72,28 +72,51 @@ type AdviseResponse struct {
 	Summaries []SummaryBody `json:"summaries"`
 }
 
+// handleAdvise serves POST /v1/advise with the unified envelope.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	var req AdviseRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	resp, status, err := s.advise(r)
+	if err != nil {
+		writeError(w, status, err)
 		return
 	}
-	if len(req.Calls) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("calls must not be empty"))
+	writeEnvelope(w, status, SchemaAdvise, resp)
+}
+
+// handleAdviseV0 serves the deprecated /v0/advise alias: the same
+// computation with the pre-envelope bare bodies, kept readable for one
+// release. The Deprecation header points migrating clients at the
+// replacement.
+func (s *Server) handleAdviseV0(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/advise>; rel="successor-version"`)
+	resp, status, err := s.advise(r)
+	if err != nil {
+		writeJSON(w, status, legacyErrorBody{Error: err.Error()})
 		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// advise decodes, validates and evaluates one advise request; the two
+// handlers above only differ in how they serialise the outcome.
+func (s *Server) advise(r *http.Request) (AdviseResponse, int, error) {
+	var req AdviseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return AdviseResponse{}, http.StatusBadRequest, err
+	}
+	if len(req.Calls) == 0 {
+		return AdviseResponse{}, http.StatusBadRequest, fmt.Errorf("calls must not be empty")
 	}
 	syss, err := resolveSystems(req.Systems)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return AdviseResponse{}, http.StatusBadRequest, err
 	}
 	calls := make([]advisor.Call, 0, len(req.Calls))
 	wires := make([]CallRequest, 0, len(req.Calls))
 	for i, cr := range req.Calls {
 		c, err := cr.toCall()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("calls[%d]: %w", i, err))
-			return
+			return AdviseResponse{}, http.StatusBadRequest, fmt.Errorf("calls[%d]: %w", i, err)
 		}
 		calls = append(calls, c)
 		wires = append(wires, cr)
@@ -101,8 +124,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	verdicts, err := advisor.AdviseAll(syss, calls)
 	if err != nil {
 		// Calls were validated above, so this is a server-side failure.
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return AdviseResponse{}, http.StatusInternalServerError, err
 	}
 	resp := AdviseResponse{Verdicts: make([]VerdictBody, 0, len(verdicts))}
 	// AdviseAll preserves call-major order: len(syss) verdicts per call.
@@ -125,7 +147,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			OffloadedCalls: sum.OffloadedCalls,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, http.StatusOK, nil
 }
 
 // resolveSystems maps system tokens to presets; empty means all three.

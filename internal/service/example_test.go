@@ -30,11 +30,16 @@ func Example_advise() {
 	}
 	defer resp.Body.Close()
 
-	var body service.AdviseResponse
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	// Every v1 endpoint answers with the unified envelope: a schema token
+	// naming the payload shape, then the data itself.
+	var env struct {
+		Schema string                 `json:"schema"`
+		Data   service.AdviseResponse `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		panic(err)
 	}
-	v := body.Verdicts[0]
-	fmt.Printf("%s: offload=%v speedup=%.1fx\n", v.System, v.Offload, v.Speedup)
-	// Output: Isambard-AI: offload=true speedup=8.3x
+	v := env.Data.Verdicts[0]
+	fmt.Printf("%s %s: offload=%v speedup=%.1fx\n", env.Schema, v.System, v.Offload, v.Speedup)
+	// Output: blob.v1.advise Isambard-AI: offload=true speedup=8.3x
 }

@@ -132,6 +132,13 @@ type Metrics struct {
 	// AdmissionLimit and AdmissionQueued read the overload controller's
 	// current AIMD limit and queue depth at scrape time.
 	AdmissionLimit, AdmissionQueued func() int
+
+	// DispatchBatches / DispatchDecisions count /v1/dispatch batches
+	// served and the individual routing decisions inside them;
+	// DispatchCacheHits counts the decisions answered from the
+	// dispatchers' seen-shape caches, and DispatchAbandoned the batches
+	// whose client hung up mid-batch (answered 499).
+	DispatchBatches, DispatchDecisions, DispatchCacheHits, DispatchAbandoned Counter
 }
 
 // NewMetrics returns an empty registry.
@@ -276,6 +283,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(&b, "blob_breaker_open_total %d\n", m.BreakerOpenTotal.Value())
 	fmt.Fprintf(&b, "# HELP blob_breaker_transitions_total Circuit breaker state changes across all backends.\n# TYPE blob_breaker_transitions_total counter\n")
 	fmt.Fprintf(&b, "blob_breaker_transitions_total %d\n", m.BreakerTransitions.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_dispatch_batches_total Dispatch batches served.\n# TYPE blob_dispatch_batches_total counter\n")
+	fmt.Fprintf(&b, "blob_dispatch_batches_total %d\n", m.DispatchBatches.Value())
+	fmt.Fprintf(&b, "# HELP blob_dispatch_decisions_total Per-call routing decisions served, by source.\n# TYPE blob_dispatch_decisions_total counter\n")
+	fmt.Fprintf(&b, "blob_dispatch_decisions_total{source=\"all\"} %d\n", m.DispatchDecisions.Value())
+	fmt.Fprintf(&b, "blob_dispatch_decisions_total{source=\"cache\"} %d\n", m.DispatchCacheHits.Value())
+	fmt.Fprintf(&b, "# HELP blob_dispatch_abandoned_total Dispatch batches abandoned mid-batch by the client.\n# TYPE blob_dispatch_abandoned_total counter\n")
+	fmt.Fprintf(&b, "blob_dispatch_abandoned_total %d\n", m.DispatchAbandoned.Value())
 
 	if m.QueueDepth != nil {
 		fmt.Fprintf(&b, "# HELP blob_sweep_queue_depth Sweep jobs waiting for a worker.\n# TYPE blob_sweep_queue_depth gauge\n")

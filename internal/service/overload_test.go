@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -94,9 +93,11 @@ func postJSONHeaders(t *testing.T, url, body string, headers map[string]string) 
 }
 
 // assertRejection posts body and requires the full rejection contract:
-// the expected status, a positive integer Retry-After header, and the
-// JSON envelope with a matching machine-readable reason.
-func assertRejection(t *testing.T, url, body string, headers map[string]string, status int, reason string) {
+// the expected status, a positive integer Retry-After header counted in
+// whole seconds, and the v1 error envelope whose machine-readable code
+// matches and whose retry_after_s repeats the header's value exactly —
+// seconds in both places, never milliseconds.
+func assertRejection(t *testing.T, url, body string, headers map[string]string, status int, reason string) *APIError {
 	t.Helper()
 	resp, respBody := postJSONHeaders(t, url+"/v1/threshold", body, headers)
 	if resp.StatusCode != status {
@@ -110,19 +111,18 @@ func assertRejection(t *testing.T, url, body string, headers map[string]string, 
 	if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil || secs < 1 {
 		t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
 	}
-	var envelope struct {
-		Error  string `json:"error"`
-		Reason string `json:"reason"`
+	e := decodeAPIError(t, respBody)
+	if e.Code != reason {
+		t.Fatalf("error.code = %q, want %q (body %s)", e.Code, reason, respBody)
 	}
-	if err := json.Unmarshal([]byte(respBody), &envelope); err != nil {
-		t.Fatalf("rejection body %q is not the JSON envelope: %v", respBody, err)
+	if e.Message == "" {
+		t.Fatalf("rejection without human-readable error message: %s", respBody)
 	}
-	if envelope.Reason != reason {
-		t.Fatalf("reason = %q, want %q (body %s)", envelope.Reason, reason, respBody)
+	if e.RetryAfterS != secs {
+		t.Fatalf("error.retry_after_s = %d but the Retry-After header says %d seconds; the two must agree",
+			e.RetryAfterS, secs)
 	}
-	if envelope.Error == "" {
-		t.Fatalf("rejection without human-readable error text: %s", respBody)
-	}
+	return e
 }
 
 // TestRejectionContract pins the uniform rejection envelope: every load-
@@ -135,8 +135,14 @@ func TestRejectionContract(t *testing.T) {
 		s, ts := newTestServer(t, Options{Workers: 1, Queue: 1, Sweep: blockingSweep(release)})
 		wg := saturate(t, s, ts.URL, 1, 1)
 		defer func() { close(release); wg.Wait() }()
-		assertRejection(t, ts.URL, thresholdBody(90), nil,
+		e := assertRejection(t, ts.URL, thresholdBody(90), nil,
 			http.StatusServiceUnavailable, "queue_full")
+		// The queue_full hint is exactly one second server-side; a
+		// milliseconds encoding would read 1000 here. This pins the unit,
+		// not just header/body agreement.
+		if e.RetryAfterS != 1 {
+			t.Fatalf("retry_after_s = %d for a 1s hint, want 1 (whole seconds, not ms)", e.RetryAfterS)
+		}
 	})
 
 	t.Run("over_quota", func(t *testing.T) {
@@ -234,7 +240,8 @@ func TestCachedTierBypassesAdmission(t *testing.T) {
 		t.Fatalf("cached request under saturation: status %d, body %s", resp.StatusCode, body)
 	}
 	var tr ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &tr); err != nil || !tr.Cached {
+	decodeEnvelope(t, body, SchemaThreshold, &tr)
+	if !tr.Cached {
 		t.Fatalf("response under saturation not served from cache: %s", body)
 	}
 }

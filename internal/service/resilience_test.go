@@ -29,9 +29,12 @@ func TestRecoveredMiddleware(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
-	var body errorBody
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+	var env wireEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
 		t.Fatalf("500 body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if env.Schema != SchemaError || env.Error == nil || env.Error.Message == "" {
+		t.Fatalf("500 body is not the v1 error envelope: %q", rec.Body.String())
 	}
 	if s.metrics.PanicsTotal.Value() != 1 {
 		t.Fatalf("panics_total = %d, want 1", s.metrics.PanicsTotal.Value())
@@ -51,9 +54,8 @@ func TestSweepPanicContained(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500 (body %s)", resp.StatusCode, body)
 	}
-	var eb errorBody
-	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
-		t.Fatalf("500 body is not the JSON error envelope: %s", body)
+	if e := decodeAPIError(t, body); e.Message == "" {
+		t.Fatalf("500 body is not the v1 error envelope: %s", body)
 	}
 	if got := s.metrics.PanicsTotal.Value(); got != 1 {
 		t.Fatalf("panics_total = %d, want 1", got)
@@ -79,9 +81,8 @@ func TestRequestTimeout504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
 	}
-	var eb errorBody
-	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
-		t.Fatalf("504 body is not the JSON error envelope: %s", body)
+	if e := decodeAPIError(t, body); e.Code != "deadline_exceeded" || e.Message == "" {
+		t.Fatalf("504 body is not the v1 error envelope: %s", body)
 	}
 	if got := s.metrics.TimeoutsTotal.Value(); got != 1 {
 		t.Fatalf("timeouts_total = %d, want 1", got)
@@ -117,9 +118,7 @@ func TestBreakerStaleDegradationAndRecovery(t *testing.T) {
 		t.Fatalf("healthy request: %d (%s)", resp.StatusCode, body)
 	}
 	var fresh ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &fresh); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &fresh)
 
 	// Age the entry past its TTL so Get misses but GetStale still has it.
 	s.cache.clock = func() time.Time { return time.Now().Add(2 * time.Minute) }
@@ -139,9 +138,7 @@ func TestBreakerStaleDegradationAndRecovery(t *testing.T) {
 		t.Fatalf("breaker-open request: %d (%s)", resp.StatusCode, body)
 	}
 	var stale ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &stale); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &stale)
 	if !stale.Stale || !stale.Cached {
 		t.Fatalf("degraded response not marked stale+cached: %s", body)
 	}
@@ -173,9 +170,7 @@ func TestBreakerStaleDegradationAndRecovery(t *testing.T) {
 		t.Fatalf("half-open probe: %d (%s)", resp.StatusCode, body)
 	}
 	var recovered ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &recovered); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &recovered)
 	if recovered.Stale || recovered.Cached {
 		t.Fatalf("recovered response still degraded: %s", body)
 	}
@@ -201,9 +196,7 @@ func TestThresholdUnderChaosPlan(t *testing.T) {
 			t.Fatalf("clean %s: %d (%s)", p, resp.StatusCode, b)
 		}
 		var out ThresholdResponse
-		if err := json.Unmarshal([]byte(b), &out); err != nil {
-			t.Fatal(err)
-		}
+		decodeEnvelope(t, b, SchemaThreshold, &out)
 		clean[p] = out
 	}
 
@@ -225,9 +218,7 @@ func TestThresholdUnderChaosPlan(t *testing.T) {
 				p, resp.StatusCode, b)
 		}
 		var out ThresholdResponse
-		if err := json.Unmarshal([]byte(b), &out); err != nil {
-			t.Fatal(err)
-		}
+		decodeEnvelope(t, b, SchemaThreshold, &out)
 		for st, want := range clean[p].Thresholds {
 			if out.Thresholds[st] != want {
 				t.Fatalf("chaos %s %s: verdict %+v != clean %+v", p, st, out.Thresholds[st], want)

@@ -1,8 +1,12 @@
 // Package service is the serving layer of the §III-D advisor workflow: a
 // long-running HTTP/JSON API that answers offload-advice queries
-// (POST /v1/advise) and offload-threshold sweeps (POST /v1/threshold)
-// from GPU-BLOB's calibrated models, the way an automatic-offload runtime
-// would consult them at dispatch time.
+// (POST /v1/advise), offload-threshold sweeps (POST /v1/threshold) and
+// batched per-call routing decisions (POST /v1/dispatch, backed by
+// internal/offload's hysteresis dispatcher) from GPU-BLOB's calibrated
+// models, the way an automatic-offload runtime would consult them at
+// dispatch time. All v1 endpoints answer with the unified envelope
+// defined in envelope.go; the pre-envelope advise body remains readable
+// at the deprecated /v0/advise alias for one release.
 //
 // Threshold sweeps are expensive (a full sweep evaluates thousands of
 // problem sizes), so the service layers three defences in front of
@@ -26,14 +30,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/offload"
 	"repro/internal/overload"
 	"repro/internal/resilience"
 	"repro/internal/sim/systems"
@@ -99,6 +102,20 @@ type Options struct {
 	// AdmissionClock replaces time.Now inside the overload controller
 	// (tests run admission in virtual time).
 	AdmissionClock resilience.Clock
+
+	// MaxDispatchBatch caps the calls in one /v1/dispatch request
+	// (default 8192). Dispatch decisions are cheap, but an unbounded
+	// batch would still monopolise a connection.
+	MaxDispatchBatch int
+	// DispatchCacheEntries sizes each per-system dispatcher's seen-shape
+	// cache (0 takes offload's default).
+	DispatchCacheEntries int
+	// DispatchMargin is the dispatchers' hysteresis margin (0 takes
+	// offload's default).
+	DispatchMargin float64
+	// DispatchEvaluate replaces the dispatchers' timing-model evaluation
+	// (tests count or script it).
+	DispatchEvaluate offload.EvaluateFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +137,9 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
+	if o.MaxDispatchBatch < 1 {
+		o.MaxDispatchBatch = 8192
+	}
 	return o
 }
 
@@ -138,6 +158,9 @@ type Server struct {
 
 	breakerMu sync.Mutex
 	breakers  map[string]*resilience.Breaker // system name -> breaker
+
+	dispatchMu  sync.Mutex
+	dispatchers map[string]*offload.Dispatcher // system name -> dispatcher
 }
 
 // New assembles a Server (and starts its worker pool). Sweep concurrency
@@ -159,12 +182,13 @@ func New(opts Options) *Server {
 			FairShareBurst: opts.FairShareBurst,
 			Clock:          opts.AdmissionClock,
 		}),
-		cache:    NewCacheTTL(opts.CacheSize, opts.CacheTTL),
-		flights:  newFlightGroup(),
-		metrics:  NewMetrics(),
-		log:      opts.Logger,
-		start:    time.Now(),
-		breakers: map[string]*resilience.Breaker{},
+		cache:       NewCacheTTL(opts.CacheSize, opts.CacheTTL),
+		flights:     newFlightGroup(),
+		metrics:     NewMetrics(),
+		log:         opts.Logger,
+		start:       time.Now(),
+		breakers:    map[string]*resilience.Breaker{},
+		dispatchers: map[string]*offload.Dispatcher{},
 	}
 	s.metrics.QueueDepth = s.pool.QueueDepth
 	s.metrics.AdmissionLimit = s.admission.Limit
@@ -211,6 +235,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/advise", s.instrument("/v1/advise", s.recovered(s.requirePost(s.handleAdvise))))
 	mux.Handle("/v1/threshold", s.instrument("/v1/threshold", s.recovered(s.requirePost(s.handleThreshold))))
+	mux.Handle("/v1/dispatch", s.instrument("/v1/dispatch", s.recovered(s.requirePost(s.handleDispatch))))
+	// Deprecated alias: the pre-envelope advise contract, kept readable
+	// for one release so clients can migrate to the v1 envelope.
+	mux.Handle("/v0/advise", s.instrument("/v0/advise", s.recovered(s.requirePost(s.handleAdviseV0))))
 	mux.Handle("/healthz", s.instrument("/healthz", s.recovered(http.HandlerFunc(s.handleHealthz))))
 	mux.Handle("/metrics", s.instrument("/metrics", s.recovered(http.HandlerFunc(s.handleMetrics))))
 	return mux
@@ -301,9 +329,9 @@ func (s *Server) requirePost(h http.HandlerFunc) http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+	writeEnvelope(w, http.StatusOK, SchemaHealth, HealthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 
@@ -314,30 +342,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// errorBody is the uniform error envelope of every non-2xx response.
-// Reason is the machine-readable rejection class (set on every shed /
-// refusal path: queue_full, over_quota, deadline_budget, breaker_open,
-// shutting_down, deadline_exceeded, abandoned) so clients can branch on
-// it without parsing the human-oriented Error text.
-type errorBody struct {
+// legacyErrorBody is the pre-envelope error shape, still served on the
+// deprecated /v0/advise alias for one release.
+type legacyErrorBody struct {
 	Error  string `json:"error"`
 	Reason string `json:"reason,omitempty"`
 }
 
+// writeError writes the unified v1 error envelope with a generic code
+// derived from the status; paths with a more specific classification use
+// writeAPIError or reject directly.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-// reject writes the uniform rejection contract for load-shedding and
-// refusal responses: a Retry-After header (whole seconds, rounded up,
-// floored at 1) plus the JSON envelope with a machine-readable reason.
-func reject(w http.ResponseWriter, status int, reason string, retryAfter time.Duration, err error) {
-	secs := int(math.Ceil(retryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, status, errorBody{Error: err.Error(), Reason: reason})
+	writeAPIError(w, status, "", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -351,7 +367,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // decodeJSON decodes one JSON object from r into v, rejecting unknown
 // fields and trailing garbage so malformed requests fail loudly.
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	return decodeJSONLimit(r, v, 1<<20)
+}
+
+// decodeJSONLimit is decodeJSON with a caller-chosen body cap — the
+// dispatch endpoint accepts multi-thousand-call batches that outgrow the
+// default 1 MiB limit.
+func decodeJSONLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)

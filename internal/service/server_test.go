@@ -34,6 +34,47 @@ func postJSON(t *testing.T, url, body string) (*http.Response, string) {
 	return resp, string(b)
 }
 
+// wireEnvelope mirrors Envelope with a raw Data payload, so tests can
+// check the schema token before unmarshalling the typed body.
+type wireEnvelope struct {
+	Schema string          `json:"schema"`
+	Data   json.RawMessage `json:"data"`
+	Error  *APIError       `json:"error"`
+}
+
+// decodeEnvelope unwraps a success envelope into data, failing the test
+// on a schema mismatch or an error payload.
+func decodeEnvelope(t *testing.T, body, wantSchema string, data any) {
+	t.Helper()
+	var env wireEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("non-envelope body %q: %v", body, err)
+	}
+	if env.Schema != wantSchema {
+		t.Fatalf("schema = %q, want %q (body %s)", env.Schema, wantSchema, body)
+	}
+	if env.Error != nil {
+		t.Fatalf("unexpected error payload: %+v", env.Error)
+	}
+	if err := json.Unmarshal(env.Data, data); err != nil {
+		t.Fatalf("bad data payload %s: %v", env.Data, err)
+	}
+}
+
+// decodeAPIError unwraps an error envelope, failing the test when the
+// body is not a well-formed v1 error.
+func decodeAPIError(t *testing.T, body string) *APIError {
+	t.Helper()
+	var env wireEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("non-envelope error body %q: %v", body, err)
+	}
+	if env.Schema != SchemaError || env.Error == nil {
+		t.Fatalf("not a v1 error envelope: %s", body)
+	}
+	return env.Error
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -44,13 +85,12 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var body struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
+	var body HealthBody
+	decodeEnvelope(t, string(raw), SchemaHealth, &body)
 	if body.Status != "ok" || body.UptimeSeconds < 0 {
 		t.Fatalf("body = %+v", body)
 	}
@@ -70,9 +110,7 @@ func TestAdviseHappyPath(t *testing.T) {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 	}
 	var out AdviseResponse
-	if err := json.Unmarshal([]byte(body), &out); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaAdvise, &out)
 	if len(out.Verdicts) != 2 || len(out.Summaries) != 1 {
 		t.Fatalf("verdicts=%d summaries=%d", len(out.Verdicts), len(out.Summaries))
 	}
@@ -97,9 +135,7 @@ func TestAdviseDefaultsToAllSystems(t *testing.T) {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 	}
 	var out AdviseResponse
-	if err := json.Unmarshal([]byte(body), &out); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaAdvise, &out)
 	if len(out.Verdicts) != 3 || len(out.Summaries) != 3 {
 		t.Fatalf("want one verdict and summary per system, got %d/%d", len(out.Verdicts), len(out.Summaries))
 	}
@@ -126,19 +162,19 @@ func TestAdviseBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status = %d, body %s", tc.name, resp.StatusCode, body)
 		}
-		var e errorBody
-		if err := json.Unmarshal([]byte(body), &e); err != nil {
-			t.Fatalf("%s: non-JSON error body %q", tc.name, body)
+		e := decodeAPIError(t, body)
+		if e.Code != "bad_request" {
+			t.Fatalf("%s: code = %q, want bad_request", tc.name, e.Code)
 		}
-		if !strings.Contains(e.Error, tc.wantErr) {
-			t.Fatalf("%s: error %q does not mention %q", tc.name, e.Error, tc.wantErr)
+		if !strings.Contains(e.Message, tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, e.Message, tc.wantErr)
 		}
 	}
 }
 
 func TestPostOnlyEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	for _, path := range []string{"/v1/advise", "/v1/threshold"} {
+	for _, path := range []string{"/v1/advise", "/v1/threshold", "/v1/dispatch", "/v0/advise"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

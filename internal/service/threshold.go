@@ -204,7 +204,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		s.metrics.CacheHits.Inc()
 		resp := v.(ThresholdResponse)
 		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
+		writeEnvelope(w, http.StatusOK, SchemaThreshold, resp)
 		return
 	}
 	s.metrics.CacheMisses.Inc()
@@ -222,7 +222,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 			resp := v.(ThresholdResponse)
 			resp.Cached = true
 			resp.Stale = true
-			writeJSON(w, http.StatusOK, resp)
+			writeEnvelope(w, http.StatusOK, SchemaThreshold, resp)
 			return
 		}
 		reject(w, http.StatusServiceUnavailable, "breaker_open", time.Second, resilience.ErrOpen)
@@ -288,7 +288,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		resp := val.(ThresholdResponse)
 		resp.Deduplicated = shared
-		writeJSON(w, http.StatusOK, resp)
+		writeEnvelope(w, http.StatusOK, SchemaThreshold, resp)
 	case errors.Is(err, resilience.ErrOpen):
 		// Graceful degradation: an open breaker means the backend is
 		// known-unhealthy, so prefer the last known answer — clearly
@@ -299,7 +299,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 			resp := v.(ThresholdResponse)
 			resp.Cached = true
 			resp.Stale = true
-			writeJSON(w, http.StatusOK, resp)
+			writeEnvelope(w, http.StatusOK, SchemaThreshold, resp)
 			return
 		}
 		reject(w, http.StatusServiceUnavailable, "breaker_open", time.Second, err)

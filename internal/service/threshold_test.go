@@ -31,9 +31,7 @@ func TestThresholdHappyPathAndCache(t *testing.T) {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 	}
 	var out ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &out); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &out)
 	if out.Cached || out.System != "Isambard-AI" || out.Kernel != "GEMM" || out.Samples != 96 {
 		t.Fatalf("first response: %+v", out)
 	}
@@ -53,9 +51,7 @@ func TestThresholdHappyPathAndCache(t *testing.T) {
 		t.Fatalf("second status = %d", resp.StatusCode)
 	}
 	var again ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &again); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &again)
 	if !again.Cached || again.Key != out.Key || again.Samples != out.Samples {
 		t.Fatalf("second response not served from cache: %+v", again)
 	}
@@ -82,14 +78,10 @@ func TestThresholdCacheKeyCanonicalization(t *testing.T) {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}
 	var a ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &a); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &a)
 	_, body = postJSON(t, ts.URL+"/v1/threshold", explicit)
 	var b ThresholdResponse
-	if err := json.Unmarshal([]byte(body), &b); err != nil {
-		t.Fatal(err)
-	}
+	decodeEnvelope(t, body, SchemaThreshold, &b)
 	if a.Key != b.Key || !b.Cached {
 		t.Fatalf("equivalent configs got different identities:\n%+v\n%+v", a, b)
 	}
@@ -153,8 +145,13 @@ func TestThresholdSingleflightDedup(t *testing.T) {
 				errs <- fmt.Errorf("status %d", resp.StatusCode)
 				return
 			}
+			var env wireEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				errs <- err
+				return
+			}
 			var out ThresholdResponse
-			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			if err := json.Unmarshal(env.Data, &out); err != nil {
 				errs <- err
 				return
 			}

@@ -124,6 +124,27 @@ func (p Profile) MoveSeconds(link hw.LinkSpec, inBytes, outBytes int64, iters in
 	return (first + residual + out) * 1e-6
 }
 
+// ResidentMoveSeconds is MoveSeconds for operands whose first touch has
+// already been paid: the working set is resident on the device, so only
+// the residual re-fault fraction moves each iteration, plus the output's
+// migration back to the host. An automatic-offload runtime that keeps
+// dispatching the same operands (internal/offload's residency-aware case)
+// pays this instead of the full first-touch cost.
+//
+// XNACK disabled is unchanged from MoveSeconds: nothing is ever resident,
+// every iteration streams across the link at the penalty factor.
+func (p Profile) ResidentMoveSeconds(link hw.LinkSpec, inBytes, outBytes int64, iters int) float64 {
+	if iters < 1 {
+		return 0
+	}
+	if !p.XnackEnabled {
+		return p.MoveSeconds(link, inBytes, outBytes, iters)
+	}
+	residual := p.migrateUS(link, int64(float64(inBytes)*p.ResidualFaultFraction)) * float64(iters)
+	out := p.migrateUS(link, outBytes)
+	return (residual + out) * 1e-6
+}
+
 // migrateUS returns the microseconds to migrate bytes: per-page fault
 // service plus the data itself at migration bandwidth.
 func (p Profile) migrateUS(link hw.LinkSpec, bytes int64) float64 {

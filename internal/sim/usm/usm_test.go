@@ -95,3 +95,39 @@ func TestMigrationCostGrowsWithBytes(t *testing.T) {
 		prev = cur
 	}
 }
+
+func TestResidentMoveCheaperThanFirstTouch(t *testing.T) {
+	link := hw.PCIe5x16
+	for _, p := range []Profile{IntelUSM, AMDUSM, NVIDIAUSM} {
+		full := p.MoveSeconds(link, 64<<20, 1<<20, 8)
+		resident := p.ResidentMoveSeconds(link, 64<<20, 1<<20, 8)
+		if resident >= full {
+			t.Errorf("%s: resident move %g should undercut first-touch move %g", p.Name, resident, full)
+		}
+	}
+}
+
+func TestResidentMoveKeepsResidualFaults(t *testing.T) {
+	link := hw.PCIe5x16
+	// AMD re-faults 5% of the working set every iteration, so resident cost
+	// still grows with the iteration count; Intel (no residual) does not.
+	amd1 := AMDUSM.ResidentMoveSeconds(link, 64<<20, 0, 1)
+	amd16 := AMDUSM.ResidentMoveSeconds(link, 64<<20, 0, 16)
+	if amd16 <= amd1 {
+		t.Fatalf("AMD resident cost should grow with iterations: %g vs %g", amd16, amd1)
+	}
+	intel1 := IntelUSM.ResidentMoveSeconds(link, 64<<20, 0, 1)
+	intel16 := IntelUSM.ResidentMoveSeconds(link, 64<<20, 0, 16)
+	if diff := intel16 - intel1; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("Intel has no residual faulting; resident cost should be flat: %g vs %g", intel1, intel16)
+	}
+}
+
+func TestResidentMoveNoXnackUnchanged(t *testing.T) {
+	link := hw.InfinityFabricCPU2GPU
+	full := AMDUSMNoXnack.MoveSeconds(link, 8<<20, 1<<20, 4)
+	resident := AMDUSMNoXnack.ResidentMoveSeconds(link, 8<<20, 1<<20, 4)
+	if diff := full - resident; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("without XNACK nothing is ever resident: %g vs %g", full, resident)
+	}
+}

@@ -1,0 +1,325 @@
+// Package blobclient is the typed Go client for blob-served's v1 API.
+// It speaks the unified envelope contract ({schema, data, error}) on
+// /v1/advise, /v1/threshold and /v1/dispatch, surfaces the server's
+// machine-readable error codes as *APIError values, honours Retry-After
+// hints (header and error.retry_after_s agree in whole seconds; the
+// client waits at least that long before a retry), and reuses
+// internal/resilience for its retry backoff and circuit breaker so a
+// misbehaving server is probed, not hammered.
+//
+// The zero-config path is one line:
+//
+//	c := blobclient.New(blobclient.Options{BaseURL: "http://localhost:8080"})
+//	resp, err := c.Advise(ctx, service.AdviseRequest{...})
+//
+// The request and response types are the service package's wire types,
+// so the client can never drift from the server's contract.
+package blobclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+)
+
+// APIError is a non-2xx answer from the service: the unified v1 error
+// object plus the HTTP status it rode in on.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable failure class (queue_full, over_quota,
+	// breaker_open, deadline_exceeded, bad_request, ...).
+	Code string
+	// Message is the human-oriented description.
+	Message string
+	// RetryAfter is the server's retry hint (whole seconds on the wire;
+	// zero when the server sent none).
+	RetryAfter time.Duration
+}
+
+// Error formats the failure with its machine-readable code first.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("blobclient: %s (%d): %s", e.Code, e.Status, e.Message)
+	}
+	return fmt.Sprintf("blobclient: http %d: %s", e.Status, e.Message)
+}
+
+// Transient reports whether the failure may clear on retry: shed and
+// capacity statuses are retryable, client errors are not. Implementing
+// resilience.Transienter is what plugs APIError into the shared retry
+// policy.
+func (e *APIError) Transient() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Options configures a Client. Only BaseURL is required.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient replaces http.DefaultClient (timeouts, transports).
+	HTTPClient *http.Client
+	// Retry is the transient-failure retry policy. The zero value makes
+	// one attempt; Retry-After hints stretch the backoff but never
+	// shrink it.
+	Retry resilience.RetryPolicy
+	// Breaker tunes the client-side circuit breaker; the zero value
+	// takes resilience.BreakerConfig's defaults. While open, calls fail
+	// fast with resilience.ErrOpen instead of touching the server.
+	Breaker resilience.BreakerConfig
+	// APIKey, when set, is sent as X-API-Key — the server's fair-share
+	// admission identity.
+	APIKey string
+	// DeadlineMs, when positive, is sent as X-Deadline-Ms so the server
+	// sheds the request once the client would no longer be waiting.
+	DeadlineMs int
+}
+
+// Client is a typed v1 API client. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retry   resilience.RetryPolicy
+	breaker *resilience.Breaker
+	apiKey  string
+	deadl   int
+}
+
+// New builds a Client.
+func New(opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		base:    strings.TrimRight(opts.BaseURL, "/"),
+		hc:      hc,
+		retry:   opts.Retry,
+		breaker: resilience.NewBreaker(opts.Breaker),
+		apiKey:  opts.APIKey,
+		deadl:   opts.DeadlineMs,
+	}
+}
+
+// Advise evaluates a batch of call groups (POST /v1/advise).
+func (c *Client) Advise(ctx context.Context, req service.AdviseRequest) (*service.AdviseResponse, error) {
+	var out service.AdviseResponse
+	if err := c.call(ctx, "/v1/advise", service.SchemaAdvise, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Threshold runs (or fetches from cache) one offload-threshold sweep
+// (POST /v1/threshold).
+func (c *Client) Threshold(ctx context.Context, req service.ThresholdRequest) (*service.ThresholdResponse, error) {
+	var out service.ThresholdResponse
+	if err := c.call(ctx, "/v1/threshold", service.SchemaThreshold, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DispatchBatch routes a batch of call shapes through the server's
+// offload dispatcher (POST /v1/dispatch).
+func (c *Client) DispatchBatch(ctx context.Context, req service.DispatchRequest) (*service.DispatchResponse, error) {
+	var out service.DispatchResponse
+	if err := c.call(ctx, "/v1/dispatch", service.SchemaDispatch, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health reads the liveness endpoint (GET /healthz).
+func (c *Client) Health(ctx context.Context) (*service.HealthBody, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out service.HealthBody
+	if err := c.roundTrip(httpReq, service.SchemaHealth, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics scrapes the Prometheus text exposition (GET /metrics).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}
+
+// call POSTs one request with the client's breaker and retry policy.
+// The breaker sits inside the retry loop so every attempt records an
+// outcome; resilience.IsTransient decides retryability (APIError
+// implements Transienter), and a server Retry-After hint raises the
+// backoff floor for the next attempt.
+func (c *Client) call(ctx context.Context, path, schema string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := c.attempt(ctx, path, body, schema, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || !resilience.IsTransient(err) {
+			return err
+		}
+		delay := c.retry.Delay(attempt)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > delay {
+			delay = ae.RetryAfter
+		}
+		if serr := sleep(ctx, delay); serr != nil {
+			return serr
+		}
+	}
+}
+
+// attempt makes one breaker-guarded try. Only failures that speak to the
+// server's health count against the breaker: network errors and
+// transient statuses (429/5xx). A 4xx is the request's fault — recording
+// it as a success keeps one buggy caller from opening the breaker for
+// everyone sharing the client. Context cancellation likewise proves
+// nothing about the server.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, schema string, out any) error {
+	if err := c.breaker.Allow(); err != nil {
+		return err
+	}
+	err := c.post(ctx, path, body, schema, out)
+	switch {
+	case err == nil:
+		c.breaker.Record(nil)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.breaker.Record(nil)
+	default:
+		var ae *APIError
+		if errors.As(err, &ae) && !ae.Transient() {
+			c.breaker.Record(nil)
+		} else {
+			c.breaker.Record(err)
+		}
+	}
+	return err
+}
+
+// sleep waits d (or returns early with the context's error).
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// post performs one POST attempt.
+func (c *Client) post(ctx context.Context, path string, body []byte, schema string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(req, schema, out)
+}
+
+// wireEnvelope is the client-side shape of the unified v1 envelope.
+type wireEnvelope struct {
+	Schema string            `json:"schema"`
+	Data   json.RawMessage   `json:"data"`
+	Error  *service.APIError `json:"error"`
+}
+
+// roundTrip executes one HTTP exchange and decodes the envelope.
+func (c *Client) roundTrip(req *http.Request, schema string, out any) error {
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	if c.deadl > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.Itoa(c.deadl))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	var env wireEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("blobclient: %s: non-envelope response (status %d): %w", req.URL.Path, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: resp.StatusCode}
+		if env.Error != nil {
+			ae.Code = env.Error.Code
+			ae.Message = env.Error.Message
+			ae.RetryAfter = retryAfterHint(resp, env.Error)
+		} else {
+			ae.Message = strings.TrimSpace(string(raw))
+		}
+		return ae
+	}
+	if env.Schema != schema {
+		return fmt.Errorf("blobclient: %s: schema %q, want %q", req.URL.Path, env.Schema, schema)
+	}
+	return json.Unmarshal(env.Data, out)
+}
+
+// retryAfterHint resolves the server's retry hint, preferring the
+// header (authoritative for intermediaries) and falling back to the
+// JSON mirror; both are whole seconds by contract.
+func retryAfterHint(resp *http.Response, e *service.APIError) time.Duration {
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return time.Duration(e.RetryAfterS) * time.Second
+}

@@ -1,0 +1,317 @@
+package blobclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+)
+
+// newService stands up a real blob-served handler and a client pointed at
+// it; every test runs against the actual service stack, not a mock.
+func newService(t *testing.T, opts service.Options, copts Options) (*service.Server, *Client) {
+	t.Helper()
+	svc := service.New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	copts.BaseURL = ts.URL
+	return svc, New(copts)
+}
+
+func adviseReq() service.AdviseRequest {
+	return service.AdviseRequest{
+		Systems: []string{"isambard-ai"},
+		Calls: []service.CallRequest{{
+			Kernel: "gemm", M: 2048, N: 2048, K: 2048,
+			Precision: "f32", Count: 32, Movement: "once",
+		}},
+	}
+}
+
+func TestAdviseRoundTrip(t *testing.T) {
+	_, c := newService(t, service.Options{}, Options{})
+	resp, err := c.Advise(context.Background(), adviseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Verdicts) != 1 {
+		t.Fatalf("verdicts = %+v", resp.Verdicts)
+	}
+	v := resp.Verdicts[0]
+	if v.System != "Isambard-AI" || !v.Offload || v.Speedup <= 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestThresholdRoundTrip(t *testing.T) {
+	_, c := newService(t, service.Options{}, Options{})
+	req := service.ThresholdRequest{System: "isambard-ai", Kernel: "gemm", Precision: "f32"}
+	req.Config.MaxDim = 64
+	req.Config.Iterations = 8
+	first, err := c.Threshold(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.System != "Isambard-AI" || first.Samples != 64 {
+		t.Fatalf("first sweep: %+v", first)
+	}
+	again, err := c.Threshold(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != first.Key {
+		t.Fatalf("repeat not served from cache: %+v", again)
+	}
+}
+
+func TestDispatchBatchRoundTrip(t *testing.T) {
+	_, c := newService(t, service.Options{}, Options{})
+	req := service.DispatchRequest{System: "isambard-ai"}
+	for i := 0; i < 50; i++ {
+		cr := service.DispatchCallRequest{}
+		cr.Kernel = "gemm"
+		cr.M, cr.N, cr.K = 16+4*(i%10), 64, 64
+		cr.Precision = "f64"
+		cr.Count = 1
+		cr.Movement = "once"
+		req.Calls = append(req.Calls, cr)
+	}
+	resp, err := c.DispatchBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Decisions) != 50 {
+		t.Fatalf("decisions = %d", len(resp.Decisions))
+	}
+	// 10 distinct shapes in a 50-call batch: the dispatcher's memoization
+	// must answer the 40 repeats from cache.
+	if resp.CacheHits < 40 {
+		t.Fatalf("cache hits = %d, want >= 40", resp.CacheHits)
+	}
+	for _, d := range resp.Decisions {
+		if d.Device != "cpu" && d.Device != "gpu" {
+			t.Fatalf("decision device %q", d.Device)
+		}
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, c := newService(t, service.Options{}, Options{})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	if _, err := c.Advise(context.Background(), adviseReq()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "blob_requests_total") {
+		t.Fatalf("metrics scrape missing counters:\n%s", m)
+	}
+}
+
+// TestBadRequestSurfacesAPIError: validation failures come back as a
+// typed *APIError carrying the machine-readable code, and are not
+// retried (one attempt even with a generous retry budget).
+func TestBadRequestSurfacesAPIError(t *testing.T) {
+	var hits atomic.Int64
+	svc := service.New(service.Options{})
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	c := New(Options{BaseURL: ts.URL, Retry: resilience.RetryPolicy{MaxAttempts: 5}})
+
+	req := adviseReq()
+	req.Systems = []string{"cray-1"}
+	_, err := c.Advise(context.Background(), req)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != "bad_request" || ae.Message == "" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if ae.Transient() {
+		t.Fatal("a 400 must not be transient")
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts for a non-retryable error, want 1", n)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a 503 with Retry-After raises the backoff
+// floor — the second attempt arrives no sooner than the hint — and the
+// retry succeeds once the server recovers.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	svc := service.New(service.Options{})
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"schema":"blob.v1.error","error":{"code":"queue_full","message":"queue full","retry_after_s":1}}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	c := New(Options{BaseURL: ts.URL, Retry: resilience.RetryPolicy{MaxAttempts: 3}})
+
+	began := time.Now()
+	resp, err := c.Advise(context.Background(), adviseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Verdicts) != 1 {
+		t.Fatalf("verdicts = %+v", resp.Verdicts)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+	// The hint was 1 second; the retry must not have fired early even
+	// though the policy's own backoff (BaseDelay 0) would be instant.
+	if waited := time.Since(began); waited < time.Second {
+		t.Fatalf("retried after %v, before the 1s Retry-After hint", waited)
+	}
+}
+
+// TestRetryAfterHintIsSeconds pins the client-side half of the units
+// bugfix: a rejection's hint decodes to whole seconds, with the header
+// and the JSON mirror agreeing.
+func TestRetryAfterHintIsSeconds(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"schema":"blob.v1.error","error":{"code":"queue_full","message":"queue full","retry_after_s":7}}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Options{BaseURL: ts.URL})
+
+	_, err := c.Advise(context.Background(), adviseReq())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s (a milliseconds reading would be 7ms or 7000s)", ae.RetryAfter)
+	}
+	if !ae.Transient() {
+		t.Fatal("a 503 must be transient")
+	}
+}
+
+// TestBreakerOpensOnSustainedFailure: enough transport-level failures
+// trip the client breaker; the next call fails fast with ErrOpen and
+// never reaches the wire.
+func TestBreakerOpensOnSustainedFailure(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"schema":"blob.v1.error","error":{"code":"queue_full","message":"queue full","retry_after_s":1}}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Options{
+		BaseURL: ts.URL,
+		Breaker: resilience.BreakerConfig{MinRequests: 3, FailureRatio: 1},
+	})
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Advise(context.Background(), adviseReq()); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	before := hits.Load()
+	_, err := c.Advise(context.Background(), adviseReq())
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("error = %v, want ErrOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker still sent a request")
+	}
+}
+
+// TestBadRequestsDoNotTripBreaker: a stream of 400s (the caller's bug)
+// leaves the breaker closed, so healthy callers sharing the client are
+// unaffected.
+func TestBadRequestsDoNotTripBreaker(t *testing.T) {
+	_, c := newService(t, service.Options{}, Options{
+		Breaker: resilience.BreakerConfig{MinRequests: 2, FailureRatio: 0.5},
+	})
+	bad := adviseReq()
+	bad.Systems = []string{"cray-1"}
+	for i := 0; i < 10; i++ {
+		var ae *APIError
+		if _, err := c.Advise(context.Background(), bad); !errors.As(err, &ae) {
+			t.Fatalf("error = %v, want *APIError", err)
+		}
+	}
+	if _, err := c.Advise(context.Background(), adviseReq()); err != nil {
+		t.Fatalf("breaker tripped on client errors: %v", err)
+	}
+}
+
+// TestContextCancellation: a cancelled context aborts the call (and any
+// pending retry sleep) promptly.
+func TestContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"schema":"blob.v1.error","error":{"code":"queue_full","message":"queue full","retry_after_s":30}}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Options{BaseURL: ts.URL, Retry: resilience.RetryPolicy{MaxAttempts: 3}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Advise(ctx, adviseReq())
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the retry sleep start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the Retry-After sleep")
+	}
+}
+
+// TestSchemaMismatchRejected: a 200 whose envelope names the wrong
+// schema is an error, not silently mis-decoded data.
+func TestSchemaMismatchRejected(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"schema":"blob.v1.threshold","data":{}}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Options{BaseURL: ts.URL})
+	_, err := c.Advise(context.Background(), adviseReq())
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("error = %v, want schema mismatch", err)
+	}
+}

@@ -35,13 +35,17 @@
 #                      layer (DESIGN.md §12): sustained 4x-capacity load
 #                      plus the chaos profile, asserting the shed SLOs,
 #                      goroutine hygiene after drain, and that verdicts
-#                      under faults match the fault-free reference
+#                      under faults match the fault-free reference; plus
+#                      the dispatch profile hammering /v1/dispatch
+#                      batches and asserting the shape-cache hit-rate
+#                      and fast-tier latency SLOs (DESIGN.md §14)
 #   8. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, the advisor
 #                      service (cache / singleflight / worker pool),
-#                      the overload controller, and the resilience
-#                      layer (retry / breaker / fault injection)
+#                      the offload dispatcher, the overload controller,
+#                      and the resilience layer (retry / breaker / fault
+#                      injection)
 #   9. chaos         — the seeded fault-injection gate: the chaos tests
 #                      re-run under the race detector with a fixed seed,
 #                      proving a sweep under a 30%-transient fault plan
@@ -94,13 +98,14 @@ begin "blob-bench -smoke"
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 end
 
-begin "blob-soak -short (sustain + chaos)"
-go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos -o "$bench_tmp/SOAK_verify.json"
+begin "blob-soak -short (sustain + chaos + dispatch)"
+go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos,dispatch -o "$bench_tmp/SOAK_verify.json"
 end
 
-begin "go test -race (parallel, core, blas, service, overload, resilience, faultinject)"
+begin "go test -race (parallel, core, blas, service, offload, overload, resilience, faultinject, blobclient)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
-	./internal/overload/... ./internal/resilience/... ./internal/faultinject/...
+	./internal/offload/... ./internal/overload/... ./internal/resilience/... ./internal/faultinject/... \
+	./pkg/blobclient/...
 end
 
 begin "chaos gate (seeded fault plans under -race)"
