@@ -1,0 +1,48 @@
+// Package benchdata embeds the committed calibration artifacts under
+// bench_data/ — the measured CPU efficiency table and the synthetic GPU
+// table blob-calibrate generates — so every binary built from this repo
+// carries a working default table set and blackbox mode needs no files
+// at runtime. Regenerate the artifacts with `blob-calibrate calibrate`;
+// the fidelity gate (`blob-calibrate fidelity`, run by scripts/verify.sh)
+// guards their quality.
+package benchdata
+
+import (
+	_ "embed"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim/efftab"
+)
+
+//go:embed efftab_cpu.json
+var cpuJSON []byte
+
+//go:embed efftab_gpu.json
+var gpuJSON []byte
+
+var (
+	once       sync.Once
+	defaultSet *efftab.Set
+	defaultErr error
+)
+
+// Default returns the embedded efficiency-table set, parsed and
+// validated once per process. An error here means the committed
+// artifacts are corrupt — a repo defect, not a runtime condition.
+func Default() (*efftab.Set, error) {
+	once.Do(func() {
+		cpu, err := efftab.Parse(cpuJSON)
+		if err != nil {
+			defaultErr = fmt.Errorf("benchdata: embedded CPU table: %w", err)
+			return
+		}
+		gpu, err := efftab.Parse(gpuJSON)
+		if err != nil {
+			defaultErr = fmt.Errorf("benchdata: embedded GPU table: %w", err)
+			return
+		}
+		defaultSet = &efftab.Set{CPU: cpu, GPU: gpu}
+	})
+	return defaultSet, defaultErr
+}

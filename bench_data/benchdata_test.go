@@ -1,0 +1,55 @@
+package benchdata
+
+import (
+	"testing"
+
+	"repro/internal/sim/efftab"
+)
+
+func TestDefaultParsesAndValidates(t *testing.T) {
+	set, err := Default()
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	if set.CPU == nil || set.GPU == nil {
+		t.Fatal("Default returned an incomplete set")
+	}
+	if set.CPU.Source != "live-blas" {
+		t.Errorf("CPU table source = %q, want live-blas", set.CPU.Source)
+	}
+	// The committed tables must cover every (kernel, precision, class) the
+	// models can ask for — a miss here would silently fall back to the
+	// roofline for part of the sweep.
+	for _, tab := range []*efftab.Table{set.CPU, set.GPU} {
+		for _, prec := range []string{"f32", "f64"} {
+			for _, class := range efftab.GemmClasses {
+				if _, ok := tab.Eff("gemm", prec, class, 128); !ok {
+					t.Errorf("%s table: no gemm/%s/%s coverage", tab.Source, prec, class)
+				}
+			}
+			for _, class := range efftab.GemvClasses {
+				if _, ok := tab.Eff("gemv", prec, class, 512); !ok {
+					t.Errorf("%s table: no gemv/%s/%s coverage", tab.Source, prec, class)
+				}
+			}
+		}
+	}
+}
+
+func TestCommittedTablesStayInsideFidelityBands(t *testing.T) {
+	// The same checks blob-calibrate's fidelity subcommand gates on,
+	// pinned here so `go test ./...` catches a drifted table even without
+	// running verify.sh. (The GPU reference-model comparison needs the
+	// gpumodel package and lives with the fidelity gate instead; this
+	// covers the self-consistency half.)
+	set, err := Default()
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	for _, e := range efftab.LeaveOneOut(set.CPU) {
+		if !e.Within(efftab.MaxMeasuredRel, efftab.MaxMeasuredGeoMean) {
+			t.Errorf("CPU series %s outside the measured band: max_rel=%.3f geomean=%.3f",
+				e.Key(), e.MaxRel, e.GeoMean)
+		}
+	}
+}

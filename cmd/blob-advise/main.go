@@ -12,6 +12,12 @@
 //
 //	blob-advise trace.csv
 //	blob-advise -system lumi trace.csv
+//	blob-advise -model blackbox trace.csv
+//
+// -model selects the timing model: "roofline" (default, the analytic
+// occupancy ramps) or "blackbox" (the committed measured-efficiency
+// tables under bench_data/, interpolated per kernel/precision/shape
+// class).
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	benchdata "repro/bench_data"
 	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/sim/systems"
@@ -34,6 +41,7 @@ func main() {
 
 func run() error {
 	systemName := flag.String("system", "", "advise for one system only (default: all three)")
+	modelName := flag.String("model", "roofline", "timing model: roofline or blackbox")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: blob-advise [flags] <trace.csv>")
 		flag.PrintDefaults()
@@ -56,6 +64,11 @@ func run() error {
 		return fmt.Errorf("trace is empty")
 	}
 
+	model, err := core.ParseModelKind(*modelName)
+	if err != nil {
+		return err
+	}
+
 	var syss []systems.System
 	if *systemName == "" {
 		syss = systems.All()
@@ -65,6 +78,15 @@ func run() error {
 			return err
 		}
 		syss = []systems.System{sys}
+	}
+	if model == core.ModelBlackbox {
+		set, err := benchdata.Default()
+		if err != nil {
+			return err
+		}
+		for i := range syss {
+			syss[i] = syss[i].WithEffTables(set)
+		}
 	}
 
 	verdicts, err := advisor.AdviseAll(syss, calls)

@@ -1,128 +1,58 @@
-// blob-calibrate prints the offload thresholds the performance models
-// currently produce for the paper's headline experiments side by side with
-// the published values (Tables III and IV), so model constants can be tuned
-// and drift can be spotted at a glance.
+// blob-calibrate is the calibration pipeline behind the sims' blackbox
+// mode, split into three subcommands:
 //
-// Usage:
+//	blob-calibrate calibrate [-out dir] [-threads N] [-repeats N] [-quick]
+//	blob-calibrate compare   [-step N] [-d maxdim]
+//	blob-calibrate fidelity  [-dir dir] [-report FIDELITY.md] [-v]
 //
-//	blob-calibrate [-step N] [-d maxdim]
+// calibrate runs the repository's own live BLAS kernels
+// (internal/blas) across a (kernel, precision, shape-class, size) grid
+// and writes the measured CPU efficiency table to
+// bench_data/efftab_cpu.json, plus a synthetic GPU table sampled from
+// the reference analytic occupancy ramp to bench_data/efftab_gpu.json —
+// schema-versioned JSON artifacts with a host block, the same
+// discipline as BENCH_<tag>.json.
+//
+// compare keeps the original tuning view: it prints the offload
+// thresholds the models currently produce for the paper's headline
+// experiments side by side with the published values (Tables III and
+// IV), so model constants can be tuned and drift spotted at a glance.
+// Running blob-calibrate with no subcommand still means compare.
+//
+// fidelity is the model-fidelity gate verify.sh runs: it loads the
+// committed tables (no kernel re-runs), computes modeled-vs-measured
+// relative error over their grids — leave-one-out for the measured CPU
+// table, reference-model midpoints for the synthetic GPU table — and
+// fails when any series leaves the documented error bands
+// (efftab.MaxMeasured*/MaxSynthetic*), writing the FIDELITY.md report.
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
 	"log"
 	"os"
-
-	"repro/internal/core"
-	"repro/internal/sim/systems"
-	"repro/internal/sim/xfer"
+	"strings"
 )
-
-// paper holds the published thresholds: [system][iters][strategy] as
-// "sgemm:dgemm" strings ("—" = none). Source: Tables III and IV.
-type paperRow map[xfer.Strategy]string
-
-var paperGemm = map[string]map[int]paperRow{
-	"DAWN": {
-		1:   {xfer.TransferOnce: "629:582", xfer.TransferAlways: "629:582", xfer.Unified: "657:626"},
-		8:   {xfer.TransferOnce: "572:485", xfer.TransferAlways: "629:603", xfer.Unified: "596:529"},
-		32:  {xfer.TransferOnce: "514:377", xfer.TransferAlways: "1018:833", xfer.Unified: "509:389"},
-		64:  {xfer.TransferOnce: "514:361", xfer.TransferAlways: "1153:1153", xfer.Unified: "465:436"},
-		128: {xfer.TransferOnce: "514:361", xfer.TransferAlways: "1265:1153", xfer.Unified: "412:377"},
-	},
-	"LUMI": {
-		1:   {xfer.TransferOnce: "502:237", xfer.TransferAlways: "441:234", xfer.Unified: "—:—"},
-		8:   {xfer.TransferOnce: "153:125", xfer.TransferAlways: "512:256", xfer.Unified: "606:539"},
-		32:  {xfer.TransferOnce: "2:2", xfer.TransferAlways: "512:461", xfer.Unified: "442:256"},
-		64:  {xfer.TransferOnce: "2:2", xfer.TransferAlways: "589:961", xfer.Unified: "381:239"},
-		128: {xfer.TransferOnce: "2:2", xfer.TransferAlways: "512:1009", xfer.Unified: "189:153"},
-	},
-	"Isambard-AI": {
-		1:   {xfer.TransferOnce: "26:26", xfer.TransferAlways: "26:26", xfer.Unified: "196:411"},
-		8:   {xfer.TransferOnce: "26:26", xfer.TransferAlways: "26:26", xfer.Unified: "26:26"},
-		32:  {xfer.TransferOnce: "26:26", xfer.TransferAlways: "26:26", xfer.Unified: "26:26"},
-		64:  {xfer.TransferOnce: "26:26", xfer.TransferAlways: "26:26", xfer.Unified: "26:26"},
-		128: {xfer.TransferOnce: "26:26", xfer.TransferAlways: "26:26", xfer.Unified: "26:26"},
-	},
-}
-
-var paperGemv = map[string]map[int]paperRow{
-	"DAWN": {
-		1:   {xfer.TransferOnce: "—:—", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		8:   {xfer.TransferOnce: "4089:3840", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		32:  {xfer.TransferOnce: "4081:3065", xfer.TransferAlways: "—:—", xfer.Unified: "4089:3521"},
-		64:  {xfer.TransferOnce: "3953:3065", xfer.TransferAlways: "—:—", xfer.Unified: "4081:3361"},
-		128: {xfer.TransferOnce: "4081:3321", xfer.TransferAlways: "—:—", xfer.Unified: "4089:3481"},
-	},
-	"LUMI": {
-		1:   {xfer.TransferOnce: "—:—", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		8:   {xfer.TransferOnce: "952:1197", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		32:  {xfer.TransferOnce: "569:617", xfer.TransferAlways: "—:—", xfer.Unified: "2129:1885"},
-		64:  {xfer.TransferOnce: "529:601", xfer.TransferAlways: "—:—", xfer.Unified: "1219:1205"},
-		128: {xfer.TransferOnce: "465:545", xfer.TransferAlways: "—:—", xfer.Unified: "754:909"},
-	},
-	"Isambard-AI": {
-		1:   {xfer.TransferOnce: "—:—", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		8:   {xfer.TransferOnce: "256:256", xfer.TransferAlways: "—:—", xfer.Unified: "—:—"},
-		32:  {xfer.TransferOnce: "256:249", xfer.TransferAlways: "—:—", xfer.Unified: "256:255"},
-		64:  {xfer.TransferOnce: "256:249", xfer.TransferAlways: "—:—", xfer.Unified: "256:251"},
-		128: {xfer.TransferOnce: "256:249", xfer.TransferAlways: "—:—", xfer.Unified: "256:249"},
-	},
-}
-
-func fmtThresh(s, d core.Threshold) string {
-	f := func(t core.Threshold) string {
-		if !t.Found {
-			return "—"
-		}
-		return fmt.Sprintf("%d", t.Dims.M)
-	}
-	return f(s) + ":" + f(d)
-}
 
 func main() {
 	log.SetFlags(0)
-	step := flag.Int("step", 1, "sweep stride (1 = every size, slower)")
-	maxDim := flag.Int("d", 4096, "sweep upper bound")
-	flag.Parse()
-
-	iters := []int{1, 8, 32, 64, 128}
-	for _, kernel := range []core.KernelKind{core.GEMM, core.GEMV} {
-		pt, err := core.FindProblem(kernel, "square")
-		if err != nil {
-			log.Fatal(err)
-		}
-		paper := paperGemm
-		if kernel == core.GEMV {
-			paper = paperGemv
-		}
-		fmt.Printf("== Square %v (model vs paper), d=%d step=%d ==\n", kernel, *maxDim, *step)
-		fmt.Printf("%-12s %5s | %-23s %-23s %-23s\n", "system", "iters", "Once (model|paper)", "Always (model|paper)", "USM (model|paper)")
-		for _, sys := range systems.All() {
-			for _, it := range iters {
-				cfg := core.DefaultConfig(it)
-				cfg.Step = *step
-				cfg.MaxDim = *maxDim
-				cfg.Validate.Enabled = false
-				s32, err := core.RunProblem(context.Background(), sys, pt, core.F32, cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				s64, err := core.RunProblem(context.Background(), sys, pt, core.F64, cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				fmt.Printf("%-12s %5d |", sys.Name, it)
-				for _, st := range xfer.Strategies {
-					model := fmtThresh(s32.Thresholds[st], s64.Thresholds[st])
-					fmt.Printf(" %-11s|%-11s", model, paper[sys.Name][it][st])
-				}
-				fmt.Println()
-			}
-		}
-		fmt.Println()
+	args := os.Args[1:]
+	cmd := "compare"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-	_ = os.Stdout
+	var err error
+	switch cmd {
+	case "calibrate":
+		err = runCalibrate(args)
+	case "compare":
+		err = runCompare(args)
+	case "fidelity":
+		err = runFidelity(args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (try calibrate, compare, fidelity)", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -16,16 +16,29 @@
 // samples only:
 //
 //	blob-threshold -checkpoint out/sweep-1a2b3c4d5e6f7a8b.json
+//
+// With -system it runs a model-driven sweep itself instead of reading
+// CSVs: the named system's timing models are swept across the problem
+// and the per-strategy thresholds printed directly. -model selects the
+// timing model — "roofline" (default, the analytic occupancy ramps) or
+// "blackbox" (the committed measured-efficiency tables under
+// bench_data/):
+//
+//	blob-threshold -system isambard-ai -kernel gemm -prec f32
+//	blob-threshold -system lumi -kernel gemv -model blackbox -d 8192
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/csvio"
+	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
 
@@ -38,14 +51,26 @@ func main() {
 
 func run() error {
 	checkpoint := flag.String("checkpoint", "", "sweep checkpoint file (from gpu-blob -checkpoint-dir): print its partial thresholds instead of reading CSVs")
+	system := flag.String("system", "", "run a model-driven sweep on this system instead of reading CSVs (dawn, lumi, isambard-ai, ...)")
+	kernel := flag.String("kernel", "gemm", "sweep mode: kernel to sweep (gemm or gemv)")
+	problem := flag.String("problem", "square", "sweep mode: problem shape")
+	prec := flag.String("prec", "f32", "sweep mode: precision (f32 or f64)")
+	model := flag.String("model", "roofline", "sweep mode: timing model (roofline or blackbox)")
+	maxDim := flag.Int("d", 4096, "sweep mode: maximum size parameter")
+	step := flag.Int("step", 1, "sweep mode: size parameter step")
+	iters := flag.Int("i", 8, "sweep mode: iterations per timed call group")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: blob-threshold <cpu.csv> [gpu.csv ...]")
 		fmt.Fprintln(os.Stderr, "       blob-threshold -checkpoint <sweep-*.json>")
+		fmt.Fprintln(os.Stderr, "       blob-threshold -system <name> [-kernel gemm|gemv] [-problem square] [-prec f32|f64] [-model roofline|blackbox] [-d N] [-step N] [-i N]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *checkpoint != "" {
 		return printCheckpoint(*checkpoint)
+	}
+	if *system != "" {
+		return runModelSweep(*system, *kernel, *problem, *prec, *model, *maxDim, *step, *iters)
 	}
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -97,6 +122,49 @@ func run() error {
 		for _, s := range strategies {
 			fmt.Printf("  %-7s %s\n", s, th[s])
 		}
+	}
+	return nil
+}
+
+// runModelSweep sweeps the named system's timing models across one
+// problem and prints the per-strategy thresholds — the same detector the
+// CSV-join path runs, but fed by the models instead of recorded runs.
+// Validation is off: the sweep answers from timing models, so there are
+// no numerics to check.
+func runModelSweep(system, kernel, problem, prec, model string, maxDim, step, iters int) error {
+	sys, err := systems.ByName(system)
+	if err != nil {
+		return err
+	}
+	kk, err := core.ParseKernelKind(kernel)
+	if err != nil {
+		return err
+	}
+	pt, err := core.FindProblem(kk, problem)
+	if err != nil {
+		return err
+	}
+	pr, err := core.ParsePrecision(prec)
+	if err != nil {
+		return err
+	}
+	mk, err := core.ParseModelKind(model)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(iters)
+	cfg.MaxDim = maxDim
+	cfg.Step = step
+	cfg.Model = mk
+	cfg.Validate.Enabled = false
+	ser, err := core.RunProblem(context.Background(), sys, pt, pr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s %s (%s), model=%s, %d samples:\n",
+		sys.Name, strings.ToLower(kk.String()), pt.Name, pt.Desc, mk, len(ser.Samples))
+	for _, st := range xfer.Strategies {
+		fmt.Printf("  %-7s %s\n", st, ser.Thresholds[st])
 	}
 	return nil
 }

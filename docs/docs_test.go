@@ -1,0 +1,222 @@
+// Package docs pins the reference documentation to the code it
+// describes: every ```go fence must parse, every schema token and wire
+// field named by the code must appear in the page that documents it,
+// and every CLI flag the pages mention must still exist in the command
+// sources. A doc that drifts from the contract fails `go test ./docs`.
+package docs
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmark"
+	"repro/internal/service"
+	"repro/internal/sim/efftab"
+)
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return string(data)
+}
+
+// jsonFields walks a struct type (recursing into embedded structs) and
+// returns every JSON wire name it serialises.
+func jsonFields(t reflect.Type) []string {
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Anonymous && f.Type.Kind() == reflect.Struct {
+			out = append(out, jsonFields(f.Type)...)
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag != "" && tag != "-" {
+			out = append(out, tag)
+		}
+	}
+	return out
+}
+
+// TestAPIDocCoversWireContract: API.md must name every v1 schema token,
+// every machine-readable error code, and every wire field of the
+// request/response bodies it documents. Renaming a field or adding an
+// endpoint without updating the reference fails here.
+func TestAPIDocCoversWireContract(t *testing.T) {
+	doc := readDoc(t, "API.md")
+	for _, token := range []string{
+		service.SchemaAdvise, service.SchemaThreshold, service.SchemaDispatch,
+		service.SchemaHealth, service.SchemaError,
+	} {
+		if !strings.Contains(doc, token) {
+			t.Errorf("API.md does not mention schema token %q", token)
+		}
+	}
+	codes := []string{
+		"bad_request", "method_not_allowed", "not_found", "internal",
+		"queue_full", "over_quota", "deadline_budget", "breaker_open",
+		"shutting_down", "deadline_exceeded", "abandoned",
+	}
+	for _, c := range codes {
+		if !strings.Contains(doc, "`"+c+"`") {
+			t.Errorf("API.md does not document error code %q", c)
+		}
+	}
+	wire := map[string]reflect.Type{
+		"Envelope":          reflect.TypeOf(service.Envelope{}),
+		"APIError":          reflect.TypeOf(service.APIError{}),
+		"HealthBody":        reflect.TypeOf(service.HealthBody{}),
+		"AdviseRequest":     reflect.TypeOf(service.AdviseRequest{}),
+		"AdviseResponse":    reflect.TypeOf(service.AdviseResponse{}),
+		"VerdictBody":       reflect.TypeOf(service.VerdictBody{}),
+		"SummaryBody":       reflect.TypeOf(service.SummaryBody{}),
+		"ThresholdRequest":  reflect.TypeOf(service.ThresholdRequest{}),
+		"ThresholdResponse": reflect.TypeOf(service.ThresholdResponse{}),
+		"DispatchRequest":   reflect.TypeOf(service.DispatchRequest{}),
+		"DispatchResponse":  reflect.TypeOf(service.DispatchResponse{}),
+		"DecisionBody":      reflect.TypeOf(service.DecisionBody{}),
+	}
+	for name, typ := range wire {
+		for _, field := range jsonFields(typ) {
+			if !strings.Contains(doc, field) {
+				t.Errorf("API.md does not mention %s field %q", name, field)
+			}
+		}
+	}
+	for _, header := range []string{"X-API-Key", "X-Deadline-Ms", "Retry-After", "Deprecation"} {
+		if !strings.Contains(doc, header) {
+			t.Errorf("API.md does not mention the %s header", header)
+		}
+	}
+}
+
+// TestArtifactsDocCoversSchemas: ARTIFACTS.md must name every artifact
+// schema token and the wire fields of the formats it documents.
+func TestArtifactsDocCoversSchemas(t *testing.T) {
+	doc := readDoc(t, "ARTIFACTS.md")
+	tokens := []string{
+		fmt.Sprintf(`"schema_version": %d`, benchmark.SchemaVersion),
+		"blob-soak/v1",
+		efftab.Schema,
+		"blobvet-baseline/v1",
+	}
+	for _, tok := range tokens {
+		if !strings.Contains(doc, tok) {
+			t.Errorf("ARTIFACTS.md does not mention schema token %q", tok)
+		}
+	}
+	wire := map[string]reflect.Type{
+		"benchmark.Artifact":   reflect.TypeOf(benchmark.Artifact{}),
+		"benchmark.CaseResult": reflect.TypeOf(benchmark.CaseResult{}),
+		"efftab.Table":         reflect.TypeOf(efftab.Table{}),
+		"efftab.Series":        reflect.TypeOf(efftab.Series{}),
+		"efftab.Point":         reflect.TypeOf(efftab.Point{}),
+	}
+	for name, typ := range wire {
+		for _, field := range jsonFields(typ) {
+			if !strings.Contains(doc, field) {
+				t.Errorf("ARTIFACTS.md does not mention %s field %q", name, field)
+			}
+		}
+	}
+}
+
+// TestDocFlagsExist cross-checks the CLI flags the docs mention against
+// the command sources: a renamed flag fails here until the doc follows.
+func TestDocFlagsExist(t *testing.T) {
+	cases := []struct {
+		doc, src string
+		flags    []string
+	}{
+		{"ARTIFACTS.md", "../cmd/blob-bench/main.go", []string{"tag", "reps", "warmup", "smoke", "run", "compare"}},
+		{"ARTIFACTS.md", "../cmd/blob-calibrate/calibrate.go", []string{"out", "threads", "repeats", "quick"}},
+		{"ARTIFACTS.md", "../cmd/blob-calibrate/fidelity.go", []string{"dir", "report"}},
+		{"ARTIFACTS.md", "../cmd/blob-threshold/main.go", []string{"checkpoint"}},
+	}
+	for _, tc := range cases {
+		doc := readDoc(t, tc.doc)
+		src := readDoc(t, tc.src)
+		for _, f := range tc.flags {
+			if !strings.Contains(doc, "`-"+f+"`") {
+				t.Errorf("%s does not mention flag -%s", tc.doc, f)
+			}
+			if !strings.Contains(src, `"`+f+`"`) {
+				t.Errorf("%s documents flag -%s but %s no longer declares it", tc.doc, f, tc.src)
+			}
+		}
+	}
+}
+
+// TestDocsGoFencesParse mirrors the repo-root docs gate for the pages
+// under docs/: every ```go fence must parse as a file, a set of
+// declarations, or a statement sequence.
+func TestDocsGoFencesParse(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		doc := readDoc(t, e.Name())
+		for _, f := range goFences(doc) {
+			checked++
+			if err := parseFragment(f.src); err != nil {
+				t.Errorf("%s:%d: go fence does not parse: %v\n%s", e.Name(), f.line, err, f.src)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no ```go fences found under docs/; the reference pages should show code")
+	}
+}
+
+type fence struct {
+	line int
+	src  string
+}
+
+func goFences(md string) []fence {
+	var out []fence
+	lines := strings.Split(md, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, fence{line: start, src: strings.Join(body, "\n")})
+	}
+	return out
+}
+
+func parseFragment(src string) error {
+	fset := token.NewFileSet()
+	attempts := []string{
+		src,
+		"package p\n" + src,
+		"package p\nfunc _() {\n" + src + "\n}",
+	}
+	var firstErr error
+	for _, a := range attempts {
+		if _, err := parser.ParseFile(fset, "fence.go", a, parser.SkipObjectResolution); err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return fmt.Errorf("not a file, declarations, or statements (file reading: %v)", firstErr)
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	benchdata "repro/bench_data"
 	"repro/internal/advisor"
 	"repro/internal/blas"
 	"repro/internal/core"
@@ -60,6 +61,7 @@ func DefaultSuite(opt Options) []Case {
 		sweepCase("isambard-ai", core.GEMV, core.F32, sweepDim),
 		retryOverheadCase(sweepDim),
 		adviseCase(),
+		blackboxAdviseCase(),
 		serviceAdviseCase(),
 		serviceThresholdCachedCase(sweepDim),
 		serviceHealthzCase(),
@@ -203,6 +205,33 @@ func adviseCase() Case {
 		Group: "advise",
 		Prepare: func(ctx context.Context) (func() error, func(), error) {
 			syss := systems.All()
+			calls := syntheticTrace(64)
+			return func() error {
+				_, err := advisor.AdviseAll(syss, calls)
+				return err
+			}, nil, nil
+		},
+	}
+}
+
+// blackboxAdviseCase runs the same 64-call trace as adviseCase with the
+// systems switched to the blackbox model (the embedded bench_data/
+// efficiency tables). Comparing it against advise/trace64/all-systems
+// bounds the cost of table interpolation — a binary search plus one
+// lerp per efficiency query — over the analytic ramp it replaces.
+func blackboxAdviseCase() Case {
+	return Case{
+		Name:  "sim/blackbox-advise/trace64",
+		Group: "sim",
+		Prepare: func(ctx context.Context) (func() error, func(), error) {
+			set, err := benchdata.Default()
+			if err != nil {
+				return nil, nil, err
+			}
+			syss := systems.All()
+			for i := range syss {
+				syss[i] = syss[i].WithEffTables(set)
+			}
 			calls := syntheticTrace(64)
 			return func() error {
 				_, err := advisor.AdviseAll(syss, calls)

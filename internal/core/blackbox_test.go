@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	benchdata "repro/bench_data"
+	"repro/internal/sim/efftab"
+	"repro/internal/sim/systems"
+)
+
+func blackboxConfig(iters int) Config {
+	cfg := DefaultConfig(iters)
+	cfg.MaxDim = 256
+	cfg.Step = 16
+	cfg.Validate.Enabled = false
+	cfg.Model = ModelBlackbox
+	return cfg
+}
+
+func TestParseModelKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ModelKind
+	}{{"", ModelRoofline}, {"roofline", ModelRoofline}, {"blackbox", ModelBlackbox}} {
+		got, err := ParseModelKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseModelKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseModelKind("psychic"); err == nil {
+		t.Fatal("ParseModelKind accepted an unknown token")
+	}
+}
+
+func TestBlackboxSweepDiffersFromRoofline(t *testing.T) {
+	sys := systems.IsambardAI()
+	pt, err := FindProblem(GEMM, "square")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roof := blackboxConfig(8)
+	roof.Model = ModelRoofline
+	rSer, err := RunProblem(context.Background(), sys, pt, F32, roof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSer, err := RunProblem(context.Background(), sys, pt, F32, blackboxConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rSer.Samples) != len(bSer.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(rSer.Samples), len(bSer.Samples))
+	}
+	differs := false
+	for i := range rSer.Samples {
+		if rSer.Samples[i].CPUSeconds != bSer.Samples[i].CPUSeconds { //blobvet:allow floatcompare -- any bitwise difference proves the table path ran; no tolerance wanted
+			differs = true
+		}
+		if bSer.Samples[i].CPUSeconds <= 0 || bSer.Samples[i].GPUSeconds[0] <= 0 {
+			t.Fatalf("blackbox sample %d has non-positive time", i)
+		}
+	}
+	if !differs {
+		t.Fatal("blackbox CPU timings identical to roofline — tables were not consulted")
+	}
+}
+
+func TestBlackboxMissingPrecisionFallsBackToRoofline(t *testing.T) {
+	// A table set that only records f64 must leave f32 timings exactly on
+	// the roofline: the models fall back per (kernel, precision).
+	full, err := benchdata.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64only := &efftab.Table{Schema: efftab.Schema, Source: full.CPU.Source}
+	for _, s := range full.CPU.Series {
+		if s.Precision == "f64" {
+			f64only.Series = append(f64only.Series, s)
+		}
+	}
+	gpu64 := &efftab.Table{Schema: efftab.Schema, Source: full.GPU.Source}
+	for _, s := range full.GPU.Series {
+		if s.Precision == "f64" {
+			gpu64.Series = append(gpu64.Series, s)
+		}
+	}
+	sys := systems.DAWN()
+	pt, err := FindProblem(GEMM, "square")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := blackboxConfig(8)
+	cfg.EffTables = &efftab.Set{CPU: f64only, GPU: gpu64}
+	got, err := RunProblem(context.Background(), sys, pt, F32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roof := blackboxConfig(8)
+	roof.Model = ModelRoofline
+	want, err := RunProblem(context.Background(), sys, pt, F32, roof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Samples {
+		if got.Samples[i].CPUSeconds != want.Samples[i].CPUSeconds || //blobvet:allow floatcompare -- the fallback contract is byte-identical roofline output; equality is the property under test
+			got.Samples[i].GPUSeconds != want.Samples[i].GPUSeconds {
+			t.Fatalf("sample %d: f32 under an f64-only table diverged from roofline", i)
+		}
+	}
+}
+
+func TestHashDistinguishesModelAndTables(t *testing.T) {
+	roof := blackboxConfig(8)
+	roof.Model = ModelRoofline
+	hRoof, err := roof.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBlack, err := blackboxConfig(8).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hRoof == hBlack {
+		t.Fatal("roofline and blackbox configs hash identically")
+	}
+	// Explicitly passing the default set is the same identity as nil.
+	set, err := benchdata.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := blackboxConfig(8)
+	explicit.EffTables = set
+	hExplicit, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hExplicit != hBlack {
+		t.Fatal("explicit default tables hash differently from nil default")
+	}
+	// A roofline config that carries stray tables hashes like plain
+	// roofline: normalize() drops what the mode never reads.
+	stray := roof
+	stray.EffTables = set
+	hStray, err := stray.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hStray != hRoof {
+		t.Fatal("unused EffTables leaked into a roofline hash")
+	}
+}

@@ -48,8 +48,22 @@ func (c Config) canonicalString() (string, error) {
 		"every=" + strconv.Itoa(c.Validate.Every),
 		"maxflops=" + strconv.FormatInt(c.Validate.MaxFlops, 10),
 		"livecpu=" + liveCPUIdentity(c.LiveCPU),
+		"model=" + c.Model.String(),
+		"efftab=" + effTablesIdentity(c),
 	}
 	return strings.Join(fields, " "), nil
+}
+
+// effTablesIdentity folds the blackbox tables into the identity: the
+// table set's data fingerprint (host and timestamp excluded), so results
+// cached against one table generation never answer for another.
+// normalize() has already resolved nil EffTables to the embedded default
+// under ModelBlackbox and cleared them under ModelRoofline.
+func effTablesIdentity(c Config) string {
+	if c.Model != ModelBlackbox || c.EffTables == nil {
+		return "none"
+	}
+	return c.EffTables.Fingerprint()
 }
 
 // liveCPUIdentity folds the live-CPU timer into the identity. Live

@@ -2,11 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/bench_data"
 	"repro/internal/flops"
 	"repro/internal/resilience"
+	"repro/internal/sim/efftab"
 	"repro/internal/sim/systems"
 	"repro/internal/sim/xfer"
 )
@@ -33,6 +36,46 @@ func (m Mode) String() string {
 	default:
 		return "interleaved"
 	}
+}
+
+// ModelKind selects where the performance models' efficiency curves come
+// from: the analytic roofline formulas (the default, byte-identical to
+// the pre-blackbox behaviour) or the measured efficiency tables under
+// bench_data/.
+type ModelKind int
+
+// Model kinds.
+const (
+	// ModelRoofline uses the analytic occupancy-ramp formulas.
+	ModelRoofline ModelKind = iota
+	// ModelBlackbox interpolates measured/synthetic efficiency tables
+	// (Config.EffTables, defaulting to the embedded bench_data/ set) and
+	// skips library quirks; dispatch, transfers and USM stay analytic.
+	ModelBlackbox
+)
+
+// String names the kind for CLI/CSV/hash use.
+func (m ModelKind) String() string {
+	if m == ModelBlackbox {
+		return "blackbox"
+	}
+	return "roofline"
+}
+
+// ErrUnknownModel is the sentinel wrapped by ParseModelKind for
+// unrecognized model tokens, so callers can errors.Is the condition
+// instead of string-matching.
+var ErrUnknownModel = errors.New("core: unknown model")
+
+// ParseModelKind resolves a -model CLI token.
+func ParseModelKind(s string) (ModelKind, error) {
+	switch s {
+	case "", "roofline":
+		return ModelRoofline, nil
+	case "blackbox":
+		return ModelBlackbox, nil
+	}
+	return ModelRoofline, fmt.Errorf("%w: %q (try roofline, blackbox)", ErrUnknownModel, s)
 }
 
 // Validation controls checksum validation (§III-B): the benchmark actually
@@ -101,6 +144,14 @@ type Config struct {
 	Alpha, Beta float64
 	Mode        Mode
 	Validate    Validation
+	// Model selects roofline (analytic, the default) or blackbox
+	// (measured efficiency tables) mode for the timing models. The choice
+	// changes every modeled number, so it is part of Config.Hash.
+	Model ModelKind
+	// EffTables supplies the tables blackbox mode consults; nil means the
+	// committed bench_data/ set embedded in the binary. Ignored under
+	// ModelRoofline. The tables' fingerprint is part of Config.Hash.
+	EffTables *efftab.Set
 	// LiveCPU, when non-nil, replaces the CPU timing model with real
 	// wall-clock measurements of the repository's own BLAS kernels on the
 	// host machine. The GPU side stays modeled.
@@ -144,6 +195,22 @@ func (c *Config) normalize() error {
 	}
 	if c.Resilience.CheckpointEvery < 1 {
 		c.Resilience.CheckpointEvery = 64
+	}
+	switch c.Model {
+	case ModelRoofline:
+		// Roofline never consults tables; drop any that were set so two
+		// roofline configs differing only in EffTables stay one identity.
+		c.EffTables = nil
+	case ModelBlackbox:
+		if c.EffTables == nil {
+			set, err := benchdata.Default()
+			if err != nil {
+				return err
+			}
+			c.EffTables = set
+		}
+	default:
+		return fmt.Errorf("core: unknown ModelKind %d", c.Model)
 	}
 	return nil
 }
@@ -230,6 +297,12 @@ func RunProblem(ctx context.Context, sys systems.System, pt ProblemType, prec Pr
 	}
 	if pt.Dims == nil {
 		return nil, fmt.Errorf("core: problem type %q has no Dims function", pt.Name)
+	}
+	if cfg.Model == ModelBlackbox {
+		// sys is a value: arming the models' table pointers here is local
+		// to this sweep and leaves the caller's System untouched.
+		sys.CPU.Eff = cfg.EffTables.CPU
+		sys.GPU.Eff = cfg.EffTables.GPU
 	}
 	ser := &Series{
 		System:     sys.Name,

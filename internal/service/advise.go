@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	benchdata "repro/bench_data"
 	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/sim/systems"
@@ -41,10 +42,13 @@ func (cr CallRequest) toCall() (advisor.Call, error) {
 }
 
 // AdviseRequest is the body of POST /v1/advise: a batch of call groups
-// evaluated against one or more systems (all three when omitted).
+// evaluated against one or more systems (all three when omitted). Model
+// selects the timing model — "roofline" (default when omitted) or
+// "blackbox", the committed measured-efficiency tables.
 type AdviseRequest struct {
 	Systems []string      `json:"systems,omitempty"`
 	Calls   []CallRequest `json:"calls"`
+	Model   string        `json:"model,omitempty"` // default "roofline"
 }
 
 // VerdictBody is one advisor verdict on the wire.
@@ -66,10 +70,14 @@ type SummaryBody struct {
 	OffloadedCalls int     `json:"offloaded_calls"`
 }
 
-// AdviseResponse is the body of a successful POST /v1/advise.
+// AdviseResponse is the body of a successful POST /v1/advise. Model
+// names the timing model when it is not the default: "blackbox" for
+// table-driven verdicts, omitted entirely for roofline so existing
+// clients see byte-identical output.
 type AdviseResponse struct {
 	Verdicts  []VerdictBody `json:"verdicts"`
 	Summaries []SummaryBody `json:"summaries"`
+	Model     string        `json:"model,omitempty"`
 }
 
 // handleAdvise serves POST /v1/advise with the unified envelope.
@@ -111,6 +119,21 @@ func (s *Server) advise(r *http.Request) (AdviseResponse, int, error) {
 	if err != nil {
 		return AdviseResponse{}, http.StatusBadRequest, err
 	}
+	model, err := core.ParseModelKind(req.Model)
+	if err != nil {
+		return AdviseResponse{}, http.StatusBadRequest, err
+	}
+	if model == core.ModelBlackbox {
+		set, err := benchdata.Default()
+		if err != nil {
+			// The embedded tables failed to parse: a build defect, not a
+			// client error.
+			return AdviseResponse{}, http.StatusInternalServerError, err
+		}
+		for i := range syss {
+			syss[i] = syss[i].WithEffTables(set)
+		}
+	}
 	calls := make([]advisor.Call, 0, len(req.Calls))
 	wires := make([]CallRequest, 0, len(req.Calls))
 	for i, cr := range req.Calls {
@@ -127,6 +150,9 @@ func (s *Server) advise(r *http.Request) (AdviseResponse, int, error) {
 		return AdviseResponse{}, http.StatusInternalServerError, err
 	}
 	resp := AdviseResponse{Verdicts: make([]VerdictBody, 0, len(verdicts))}
+	if model == core.ModelBlackbox {
+		resp.Model = model.String()
+	}
 	// AdviseAll preserves call-major order: len(syss) verdicts per call.
 	for i, v := range verdicts {
 		resp.Verdicts = append(resp.Verdicts, VerdictBody{

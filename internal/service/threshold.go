@@ -32,12 +32,17 @@ type SweepConfigRequest struct {
 }
 
 // ThresholdRequest is the body of POST /v1/threshold: one offload-
-// threshold sweep for a system x problem x precision.
+// threshold sweep for a system x problem x precision. Model selects the
+// timing model — "roofline" (default when omitted) or "blackbox", the
+// committed measured-efficiency tables; the choice is part of the cache
+// key via core.Config.Hash, so the two models never answer for each
+// other.
 type ThresholdRequest struct {
 	System    string             `json:"system"`
 	Kernel    string             `json:"kernel"`
 	Problem   string             `json:"problem,omitempty"` // default "square"
 	Precision string             `json:"precision"`
+	Model     string             `json:"model,omitempty"` // default "roofline"
 	Config    SweepConfigRequest `json:"config"`
 }
 
@@ -62,6 +67,10 @@ type ThresholdResponse struct {
 	Key        string                   `json:"key"`
 	Samples    int                      `json:"samples"`
 	Thresholds map[string]ThresholdBody `json:"thresholds"`
+	// Model names the timing model when it is not the default: "blackbox"
+	// for table-driven sweeps, omitted entirely for roofline so existing
+	// clients (and pinned response bodies) see byte-identical output.
+	Model string `json:"model,omitempty"`
 	// Cached reports that the result was served from the cache;
 	// Deduplicated that it was computed once and shared with concurrent
 	// identical requests by singleflight.
@@ -117,6 +126,9 @@ func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
 	}
 	if c.Alpha != nil {
 		p.cfg.Alpha = *c.Alpha
+	}
+	if p.cfg.Model, err = core.ParseModelKind(req.Model); err != nil {
+		return p, err
 	}
 	if p.cfg.MaxDim == 0 {
 		p.cfg.MaxDim = s.opts.MaxSweepDim
@@ -381,6 +393,9 @@ func (s *Server) runSweep(ctx context.Context, plan thresholdPlan) (ThresholdRes
 		Key:        plan.key,
 		Samples:    len(ser.Samples),
 		Thresholds: map[string]ThresholdBody{},
+	}
+	if plan.cfg.Model == core.ModelBlackbox {
+		resp.Model = plan.cfg.Model.String()
 	}
 	for _, st := range xfer.Strategies {
 		th := ser.Thresholds[st]

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/flops"
+	"repro/internal/sim/efftab"
 	"repro/internal/sim/hw"
 )
 
@@ -113,6 +114,13 @@ type Model struct {
 	// a single nil check and nothing else. Arm it with a faultinject.Plan
 	// to rehearse backend failures.
 	Inject faultinject.Point
+	// Eff, when non-nil, switches the model to blackbox mode: the
+	// size-dependent efficiency curve is interpolated from the measured
+	// table instead of the analytic occupancy ramp, and library quirks are
+	// skipped (the measurements already contain whatever quirks the real
+	// kernels have). Dispatch overhead and thread selection stay analytic.
+	// A (kernel, precision) the table lacks falls back to the roofline.
+	Eff *efftab.Table
 }
 
 // gemmThreads returns the thread count the library would use for a GEMM of
@@ -219,6 +227,59 @@ func (mo *Model) achievedGemmGF(elemSize int, t int, fl int64) float64 {
 	return math.Max(peak*eff, 1e-6)
 }
 
+// maxEffFor is the library's asymptotic fraction of peak at this
+// precision.
+func (mo *Model) maxEffFor(elemSize int) float64 {
+	if elemSize == 8 && mo.Lib.MaxEffF64 > 0 {
+		return mo.Lib.MaxEffF64
+	}
+	return mo.Lib.MaxEff
+}
+
+// blackboxGemmSeconds prices a GEMM from the measured efficiency table:
+// the achieved rate is the socket peak times the library asymptote times
+// the interpolated relative efficiency for the call's shape class and
+// characteristic size. The table was measured on warmed, repeated calls,
+// so cache-residency and warm-up structure is already inside the curve;
+// only the per-call dispatch overhead stays analytic. Reports !ok when
+// the table lacks the (kernel, precision), sending the caller back to
+// the roofline.
+func (mo *Model) blackboxGemmSeconds(elemSize, m, n, k int, beta0 bool, iters int) (float64, bool) {
+	eff, ok := mo.Eff.Eff("gemm", efftab.PrecisionToken(elemSize), efftab.ClassifyGemm(m, n, k), efftab.GemmSize(m, n, k))
+	if !ok {
+		return 0, false
+	}
+	fl := flops.Gemm(m, n, k, flops.Beta{IsZero: beta0})
+	t := mo.gemmThreads(fl)
+	gf := math.Max(mo.CPU.PeakGFLOPS(elemSize)*mo.maxEffFor(elemSize)*eff, 1e-6)
+	iterUS := float64(fl) / gf / 1e3
+	return (float64(iters)*mo.dispatchUS(t) + float64(iters)*iterUS) * 1e-6, true
+}
+
+// blackboxGemvSeconds prices a GEMV from the measured table. GEMV is
+// bandwidth-bound, so the relative efficiency scales the lower of the
+// compute asymptote and the DRAM roofline at the call's arithmetic
+// intensity — the table's curve carries the cache-cliff structure, the
+// roofline anchors its absolute ceiling to this socket.
+func (mo *Model) blackboxGemvSeconds(elemSize, m, n int, beta0 bool, iters int) (float64, bool) {
+	eff, ok := mo.Eff.Eff("gemv", efftab.PrecisionToken(elemSize), efftab.ClassifyGemv(m, n), efftab.GemvSize(m, n))
+	if !ok {
+		return 0, false
+	}
+	beta := flops.Beta{IsZero: beta0}
+	fl := flops.Gemv(m, n, beta)
+	bytes := flops.GemvBytes(m, n, elemSize, beta)
+	t := mo.gemvThreads(fl)
+	if byRows := m/32 + 1; byRows < t {
+		t = byRows
+	}
+	peak := mo.CPU.PeakGFLOPS(elemSize) * mo.Lib.MaxEff
+	bwGF := mo.memBWGBs(t) * float64(fl) / float64(bytes)
+	gf := math.Max(math.Min(peak, bwGF)*eff, 1e-6)
+	iterUS := float64(fl) / gf / 1e3
+	return (float64(iters)*mo.dispatchUS(t) + float64(iters)*iterUS) * 1e-6, true
+}
+
 // GemmSeconds models i back-to-back iterations of one GEMM call. Warm
 // iterations benefit both from cache residency of the operands and from the
 // library's warmed-up state (packed panels, hot TLBs, spun-up threads),
@@ -228,6 +289,11 @@ func (mo *Model) achievedGemmGF(elemSize int, t int, fl int64) float64 {
 func (mo *Model) GemmSeconds(elemSize, m, n, k int, beta0 bool, iters int) float64 {
 	if iters < 1 || m <= 0 || n <= 0 {
 		return 0
+	}
+	if mo.Eff != nil {
+		if sec, ok := mo.blackboxGemmSeconds(elemSize, m, n, k, beta0, iters); ok {
+			return sec
+		}
 	}
 	beta := flops.Beta{IsZero: beta0}
 	fl := flops.Gemm(m, n, k, beta)
@@ -270,6 +336,11 @@ func (mo *Model) GemmSeconds(elemSize, m, n, k int, beta0 bool, iters int) float
 func (mo *Model) GemvSeconds(elemSize, m, n int, beta0 bool, iters int) float64 {
 	if iters < 1 || m <= 0 || n <= 0 {
 		return 0
+	}
+	if mo.Eff != nil {
+		if sec, ok := mo.blackboxGemvSeconds(elemSize, m, n, beta0, iters); ok {
+			return sec
+		}
 	}
 	beta := flops.Beta{IsZero: beta0}
 	fl := flops.Gemv(m, n, beta)

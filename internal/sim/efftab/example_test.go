@@ -1,0 +1,44 @@
+package efftab_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim/efftab"
+)
+
+// Example builds a small measured table and interpolates the relative
+// efficiency for a concrete GEMM call, the way cpumodel does in
+// blackbox mode.
+func Example() {
+	table := &efftab.Table{
+		Schema: efftab.Schema,
+		Source: "live-blas",
+		Series: []efftab.Series{{
+			Kernel:    "gemm",
+			Precision: "f32",
+			Class:     "square",
+			Points: []efftab.Point{
+				{Size: 64, GFlops: 1.2, Eff: 0.3},
+				{Size: 256, GFlops: 2.8, Eff: 0.7},
+				{Size: 1024, GFlops: 4.0, Eff: 1.0},
+			},
+		}},
+	}
+	if err := table.Validate(); err != nil {
+		panic(err)
+	}
+
+	m, n, k := 128, 130, 125 // near-square call
+	class := efftab.ClassifyGemm(m, n, k)
+	size := efftab.GemmSize(m, n, k)
+	eff, ok := table.Eff("gemm", "f32", class, size)
+	fmt.Printf("class=%s eff=%.2f ok=%v\n", class, eff, ok)
+
+	// A precision the table lacks reports !ok: the model falls back to
+	// its analytic roofline.
+	_, ok = table.Eff("gemm", "f64", class, size)
+	fmt.Printf("f64 ok=%v\n", ok)
+	// Output:
+	// class=square eff=0.50 ok=true
+	// f64 ok=false
+}

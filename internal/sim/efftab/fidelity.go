@@ -1,0 +1,141 @@
+package efftab
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fidelity bands. The numbers are the documented contract of the
+// blackbox mode (DESIGN.md §15, FIDELITY.md): the committed tables must
+// reproduce their underlying curves at least this well, and
+// blob-calibrate's fidelity subcommand — run as a verify.sh stage —
+// fails the build when a regenerated or hand-edited table drifts
+// outside them.
+//
+// Rationale: the leave-one-out check removes one measured grid point at
+// a time and asks the interpolation scheme to predict it from its
+// neighbours, so its band bounds how much real curve structure the grid
+// spacing can hide (measured kernels ramp steeply around cache edges —
+// the band is wide). The synthetic check compares the GPU table against
+// the closed-form reference model it was sampled from at off-grid
+// midpoints, so its band bounds pure interpolation error against a
+// smooth curve — much tighter.
+const (
+	// MaxMeasuredRel bounds the worst per-point leave-one-out relative
+	// error of a measured (live-blas) table.
+	MaxMeasuredRel = 0.45
+	// MaxMeasuredGeoMean bounds each measured series' geometric-mean
+	// leave-one-out relative error.
+	MaxMeasuredGeoMean = 0.18
+	// MaxSyntheticRel bounds the worst midpoint error of a synthetic
+	// table against its reference model.
+	MaxSyntheticRel = 0.12
+	// MaxSyntheticGeoMean bounds each synthetic series' geometric-mean
+	// midpoint error.
+	MaxSyntheticGeoMean = 0.06
+)
+
+// SeriesError summarizes modeled-vs-measured relative error over one
+// series' checked points.
+type SeriesError struct {
+	Kernel    string  `json:"kernel"`
+	Precision string  `json:"precision"`
+	Class     string  `json:"class"`
+	Checks    int     `json:"checks"`
+	MaxRel    float64 `json:"max_rel"`
+	GeoMean   float64 `json:"geomean_rel"`
+	WorstSize float64 `json:"worst_size"`
+}
+
+// Key names the series for reports.
+func (e SeriesError) Key() string {
+	return fmt.Sprintf("%s/%s/%s", e.Kernel, e.Precision, e.Class)
+}
+
+// Within reports whether the series stays inside the given bands.
+func (e SeriesError) Within(maxRel, maxGeoMean float64) bool {
+	return e.MaxRel <= maxRel && e.GeoMean <= maxGeoMean
+}
+
+// fold accumulates one relative error into the summary.
+type fold struct {
+	n         int
+	maxRel    float64
+	worstSize float64
+	logSum    float64
+}
+
+func (f *fold) add(size, rel float64) {
+	f.n++
+	if rel > f.maxRel {
+		f.maxRel = rel
+		f.worstSize = size
+	}
+	// Geometric mean over max(rel, 1e-6) so an exact point cannot zero
+	// the product.
+	f.logSum += math.Log(math.Max(rel, 1e-6))
+}
+
+func (f *fold) done(s Series) SeriesError {
+	e := SeriesError{Kernel: s.Kernel, Precision: s.Precision, Class: s.Class,
+		Checks: f.n, MaxRel: f.maxRel, WorstSize: f.worstSize}
+	if f.n > 0 {
+		e.GeoMean = math.Exp(f.logSum / float64(f.n))
+	}
+	return e
+}
+
+// LeaveOneOut measures how faithfully the table's grid captures its own
+// curve: each interior grid point is removed in turn and re-predicted by
+// interpolating between its neighbours, and the relative error
+// |predicted-actual|/actual is folded per series. Series with fewer than
+// three points have no interior and report zero checks — a single-point
+// series is a flat curve by construction and cannot drift against
+// itself.
+func LeaveOneOut(t *Table) []SeriesError {
+	out := make([]SeriesError, 0, len(t.Series))
+	for _, s := range t.Series {
+		var f fold
+		for i := 1; i < len(s.Points)-1; i++ {
+			a, p, b := s.Points[i-1], s.Points[i], s.Points[i+1]
+			frac := (math.Log(p.Size) - math.Log(a.Size)) / (math.Log(b.Size) - math.Log(a.Size))
+			pred := a.Eff + frac*(b.Eff-a.Eff)
+			f.add(p.Size, math.Abs(pred-p.Eff)/p.Eff)
+		}
+		out = append(out, f.done(s))
+	}
+	return out
+}
+
+// ModelEffFunc returns a reference model's efficiency for a series'
+// class at one characteristic size, or !ok when the model does not
+// cover the tuple. CompareModel takes it as a callback so the efftab
+// package never depends on the sim models that consume it.
+type ModelEffFunc func(kernel, precision, class string, size float64) (float64, bool)
+
+// CompareModel measures modeled-vs-table relative error at off-grid
+// points: for every adjacent grid pair the log-midpoint size is
+// evaluated through both the table's interpolation and the reference
+// model, and the relative error against the model is folded per series.
+// For a synthetic table this quantifies pure interpolation loss against
+// the closed-form curve the table was sampled from.
+func CompareModel(t *Table, model ModelEffFunc) []SeriesError {
+	out := make([]SeriesError, 0, len(t.Series))
+	for _, s := range t.Series {
+		var f fold
+		for i := 0; i+1 < len(s.Points); i++ {
+			mid := math.Sqrt(s.Points[i].Size * s.Points[i+1].Size)
+			want, ok := model(s.Kernel, s.Precision, s.Class, mid)
+			if !ok || want <= 0 {
+				continue
+			}
+			got, ok := t.Eff(s.Kernel, s.Precision, s.Class, mid)
+			if !ok {
+				continue
+			}
+			f.add(mid, math.Abs(got-want)/want)
+		}
+		out = append(out, f.done(s))
+	}
+	return out
+}

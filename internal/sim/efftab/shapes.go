@@ -1,0 +1,141 @@
+package efftab
+
+import (
+	"math"
+	"strconv"
+)
+
+// PrecisionToken maps a BLAS element size onto the table precision token
+// ("f32", "f64"). Other widths render as "f<bits>", which no committed
+// table records — the lookup misses and the caller falls back to its
+// analytic roofline.
+func PrecisionToken(elemSize int) string {
+	switch elemSize {
+	case 4:
+		return "f32"
+	case 8:
+		return "f64"
+	default:
+		return "f" + strconv.Itoa(elemSize*8)
+	}
+}
+
+// Shape classes: every BLAS call maps onto one of a small set of aspect
+// classes, and the calibration grid measures one efficiency curve per
+// class. A dimension must dominate the others by ClassAspect (4x) before
+// a call leaves the "square" class — the same first-order cut the
+// paper's problem-type taxonomy makes between its square and 16:1 shapes.
+const ClassAspect = 4.0
+
+// GEMM shape classes. "tallm"/"widen"/"deepk" name the dominant
+// dimension; canonical shapes put it at ShapeSkew times the others.
+var GemmClasses = []string{"square", "tallm", "widen", "deepk"}
+
+// GEMV shape classes (no K).
+var GemvClasses = []string{"square", "tallm", "widen"}
+
+// ShapeSkew is the aspect ratio of the canonical non-square calibration
+// shapes: comfortably past the ClassAspect boundary, cheap to measure.
+const ShapeSkew = 8
+
+// ClassifyGemm maps concrete GEMM dims onto a shape class: the class of
+// the dimension that dominates the other two by ClassAspect, else
+// "square".
+func ClassifyGemm(m, n, k int) string {
+	fm, fn, fk := float64(m), float64(n), float64(k)
+	switch {
+	case fm >= ClassAspect*fn && fm >= ClassAspect*fk:
+		return "tallm"
+	case fn >= ClassAspect*fm && fn >= ClassAspect*fk:
+		return "widen"
+	case fk >= ClassAspect*fm && fk >= ClassAspect*fn:
+		return "deepk"
+	default:
+		return "square"
+	}
+}
+
+// ClassifyGemv maps concrete GEMV dims onto a shape class.
+func ClassifyGemv(m, n int) string {
+	fm, fn := float64(m), float64(n)
+	switch {
+	case fm >= ClassAspect*fn:
+		return "tallm"
+	case fn >= ClassAspect*fm:
+		return "widen"
+	default:
+		return "square"
+	}
+}
+
+// GemmSize is the characteristic size interpolation keys on: the
+// geometric mean of the three dimensions, so that a canonical shape and
+// a concrete call of equal FLOP volume land near each other on the axis.
+func GemmSize(m, n, k int) float64 {
+	return math.Cbrt(float64(m) * float64(n) * float64(k))
+}
+
+// GemvSize is the GEMV characteristic size: the geometric mean of the
+// two dimensions.
+func GemvSize(m, n int) float64 {
+	return math.Sqrt(float64(m) * float64(n))
+}
+
+// ShapeGemm returns the canonical dims of a GEMM class at grid parameter
+// p: the calibration and synthesis grids measure these exact shapes, and
+// ClassifyGemm maps each back onto its class.
+func ShapeGemm(class string, p int) (m, n, k int) {
+	switch class {
+	case "tallm":
+		return ShapeSkew * p, p, p
+	case "widen":
+		return p, ShapeSkew * p, p
+	case "deepk":
+		return p, p, ShapeSkew * p
+	default: // square
+		return p, p, p
+	}
+}
+
+// ShapeGemv returns the canonical dims of a GEMV class at grid
+// parameter p.
+func ShapeGemv(class string, p int) (m, n int) {
+	switch class {
+	case "tallm":
+		return ShapeSkew * p, p
+	case "widen":
+		return p, ShapeSkew * p
+	default: // square
+		return p, p
+	}
+}
+
+// ShapeGemmF is ShapeGemm over the continuous size axis: real-valued
+// canonical dims whose geometric mean is exactly size. Fidelity checks
+// use it to evaluate an analytic reference model at off-grid sizes.
+func ShapeGemmF(class string, size float64) (m, n, k float64) {
+	p := size / math.Cbrt(ShapeSkew)
+	switch class {
+	case "tallm":
+		return ShapeSkew * p, p, p
+	case "widen":
+		return p, ShapeSkew * p, p
+	case "deepk":
+		return p, p, ShapeSkew * p
+	default: // square
+		return size, size, size
+	}
+}
+
+// ShapeGemvF is ShapeGemv over the continuous size axis.
+func ShapeGemvF(class string, size float64) (m, n float64) {
+	p := size / math.Sqrt(ShapeSkew)
+	switch class {
+	case "tallm":
+		return ShapeSkew * p, p
+	case "widen":
+		return p, ShapeSkew * p
+	default: // square
+		return size, size
+	}
+}

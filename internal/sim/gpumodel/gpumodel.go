@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/flops"
+	"repro/internal/sim/efftab"
 	"repro/internal/sim/hw"
 	"repro/internal/sim/usm"
 	"repro/internal/sim/xfer"
@@ -64,6 +65,14 @@ type Model struct {
 	// "usm" for Unified). Nil — the normal configuration — adds a single
 	// nil check and nothing else.
 	Inject faultinject.Point
+	// Eff, when non-nil, switches the model to blackbox mode: the
+	// occupancy ramp is interpolated from the table (for a GPU this is the
+	// synthetic table sampled from a reference device's analytic ramp —
+	// there is no GPU to measure on) and library quirks and split-K
+	// adjustments are skipped. Launch latency, sync overhead, the HBM
+	// roofline, transfers and USM heuristics stay analytic. A missing
+	// (kernel, precision) falls back to the roofline.
+	Eff *efftab.Table
 }
 
 // achievedGemvGF returns the modeled GEMV compute rate for m rows of
@@ -97,6 +106,53 @@ func (g *Model) achievedGF(elemSize int, m, n, k int, outElems float64) float64 
 	return math.Max(gf, 1e-6)
 }
 
+// blackboxGF interpolates the blackbox compute rate for one device
+// kernel: device peak times library asymptote times the table's relative
+// efficiency for the call's shape class and size. Split-K and quirks are
+// skipped — the table curve stands in for the whole kernel-selection
+// story. Reports !ok when Eff is nil or lacks the (kernel, precision).
+func (g *Model) blackboxGF(kernel string, elemSize int, class string, size float64) (float64, bool) {
+	if g.Eff == nil {
+		return 0, false
+	}
+	eff, ok := g.Eff.Eff(kernel, efftab.PrecisionToken(elemSize), class, size)
+	if !ok {
+		return 0, false
+	}
+	gf := g.GPU.Peak(elemSize) * g.Lib.MaxEff * eff
+	if g.ImplicitScaling {
+		// Same two-tiles-at-reduced-efficiency factor as the analytic path,
+		// minus the wobble: the table has no concept of cross-tile phase.
+		gf *= 2 * 0.38
+	}
+	return math.Max(gf, 1e-6), true
+}
+
+// RampEff exposes the analytic occupancy ramp as an efftab.ModelEffFunc
+// over (kernel, class, characteristic size): the relative-efficiency
+// factor that Lib.MaxEff multiplies, evaluated at the class's canonical
+// (real-valued) shape. blob-calibrate samples it to synthesize the GPU
+// table and replays it in the fidelity gate, so synthesis and check
+// share one definition. Precision does not enter: the ramp is a pure
+// parallelism story.
+func RampEff(spec hw.GPUSpec) efftab.ModelEffFunc {
+	return func(kernel, _, class string, size float64) (float64, bool) {
+		if size <= 0 {
+			return 0, false
+		}
+		switch kernel {
+		case "gemm":
+			m, n, _ := efftab.ShapeGemmF(class, size)
+			out := m * n
+			return out / (out + spec.OccupancyRampElems), true
+		case "gemv":
+			rows, _ := efftab.ShapeGemvF(class, size)
+			return rows / (rows + spec.GemvRampRows), true
+		}
+		return 0, false
+	}
+}
+
 // kernelUS returns the on-device time of one kernel invocation (launch +
 // max(compute, memory)).
 func (g *Model) kernelUS(elemSize int, fl int64, devBytes int64, gf float64) float64 {
@@ -124,9 +180,12 @@ func (g *Model) GemmSeconds(s xfer.Strategy, elemSize, m, n, k int, beta0 bool, 
 	beta := flops.Beta{IsZero: beta0}
 	fl := flops.Gemm(m, n, k, beta)
 	devBytes := flops.GemmBytes(m, n, k, elemSize, beta)
-	gf := g.achievedGF(elemSize, m, n, k, float64(m)*float64(n))
-	if g.Lib.GemmQuirk != nil {
-		gf = math.Max(g.Lib.GemmQuirk(elemSize, m, n, k, gf), 1e-6)
+	gf, blackbox := g.blackboxGF("gemm", elemSize, efftab.ClassifyGemm(m, n, k), efftab.GemmSize(m, n, k))
+	if !blackbox {
+		gf = g.achievedGF(elemSize, m, n, k, float64(m)*float64(n))
+		if g.Lib.GemmQuirk != nil {
+			gf = math.Max(g.Lib.GemmQuirk(elemSize, m, n, k, gf), 1e-6)
+		}
 	}
 	computeUS := g.kernelUS(elemSize, fl, devBytes, gf) * float64(iters)
 	toDev, fromDev := xfer.GemmBytes(elemSize, m, n, k)
@@ -149,9 +208,12 @@ func (g *Model) GemvSeconds(s xfer.Strategy, elemSize, m, n int, beta0 bool, ite
 	devBytes := flops.GemvBytes(m, n, elemSize, beta)
 	// GEMV parallelism is one output element per row; devices ramp on rows
 	// via the dedicated GemvRampRows constant.
-	gf := g.achievedGemvGF(elemSize, float64(m))
-	if g.Lib.GemvQuirk != nil {
-		gf = math.Max(g.Lib.GemvQuirk(elemSize, m, n, 0, gf), 1e-6)
+	gf, blackbox := g.blackboxGF("gemv", elemSize, efftab.ClassifyGemv(m, n), efftab.GemvSize(m, n))
+	if !blackbox {
+		gf = g.achievedGemvGF(elemSize, float64(m))
+		if g.Lib.GemvQuirk != nil {
+			gf = math.Max(g.Lib.GemvQuirk(elemSize, m, n, 0, gf), 1e-6)
+		}
 	}
 	computeUS := g.kernelUS(elemSize, fl, devBytes, gf) * float64(iters)
 	toDev, fromDev := xfer.GemvBytes(elemSize, m, n)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim/cpumodel"
+	"repro/internal/sim/efftab"
 	"repro/internal/sim/gpumodel"
 	"repro/internal/sim/hw"
 	"repro/internal/sim/usm"
@@ -25,6 +26,21 @@ type System struct {
 	Name string
 	CPU  cpumodel.Model
 	GPU  gpumodel.Model
+}
+
+// WithEffTables returns a copy of the system with both models switched to
+// blackbox mode: CPU and GPU efficiencies come from the given measured
+// tables instead of the analytic roofline ramps. A nil set (or nil table
+// inside it) leaves the corresponding side on the roofline, matching the
+// models' per-(kernel, precision) fallback. The receiver is a value, so
+// presets returned by DAWN(), LUMI() etc. are never mutated.
+func (s System) WithEffTables(set *efftab.Set) System {
+	if set == nil {
+		return s
+	}
+	s.CPU.Eff = set.CPU
+	s.GPU.Eff = set.GPU
+	return s
 }
 
 // DAWN: 2x Xeon 8468 + 4x Intel Max 1550, one socket (48 threads) and one

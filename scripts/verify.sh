@@ -20,18 +20,26 @@
 #                      fixed seed, so inter-test ordering dependencies
 #                      surface deterministically; includes the blob-vet
 #                      self-check in internal/analysis/suite_test.go and
-#                      the doc gates: README/DESIGN/EXPERIMENTS go fences
-#                      must parse, benchmark index must match the
-#                      registry)
-#   5. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
+#                      the doc gates: README/DESIGN/EXPERIMENTS and
+#                      docs/ go fences must parse, docs/ pages must
+#                      match the wire contract, benchmark index must
+#                      match the registry)
+#   5. fidelity      — the model-fidelity gate (DESIGN.md §15): purely
+#                      deterministic checks over the committed
+#                      bench_data/ efficiency tables — leave-one-out
+#                      interpolation for the measured CPU table, a
+#                      reference-model comparison for the synthetic GPU
+#                      table — with no kernel re-runs; refreshes the
+#                      FIDELITY.md report
+#   6. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
 #                      the advisor trace CSV, the fault-plan JSON, the
 #                      config hash that keys the service cache, and the
 #                      strict blob-vet baseline/report JSON parser
-#   6. blob-bench    — smoke run of the standardized benchmark suite
+#   7. blob-bench    — smoke run of the standardized benchmark suite
 #                      (tiny sizes, one interleaved repetition): proves
 #                      every case still prepares, runs and serializes
 #                      to a valid BENCH_*.json
-#   7. blob-soak     — short overload soak of the admission-control
+#   8. blob-soak     — short overload soak of the admission-control
 #                      layer (DESIGN.md §12): sustained 4x-capacity load
 #                      plus the chaos profile, asserting the shed SLOs,
 #                      goroutine hygiene after drain, and that verdicts
@@ -39,14 +47,14 @@
 #                      the dispatch profile hammering /v1/dispatch
 #                      batches and asserting the shape-cache hit-rate
 #                      and fast-tier latency SLOs (DESIGN.md §14)
-#   8. go test -race — concurrency-sensitive packages under the race
+#   9. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, the advisor
 #                      service (cache / singleflight / worker pool),
 #                      the offload dispatcher, the overload controller,
 #                      and the resilience layer (retry / breaker / fault
 #                      injection)
-#   9. chaos         — the seeded fault-injection gate: the chaos tests
+#  10. chaos         — the seeded fault-injection gate: the chaos tests
 #                      re-run under the race detector with a fixed seed,
 #                      proving a sweep under a 30%-transient fault plan
 #                      still converges to fault-free verdicts and that
@@ -85,6 +93,10 @@ end
 
 begin "go test (-shuffle=on)"
 go test -shuffle=on ./...
+end
+
+begin "blob-calibrate fidelity (model-fidelity gate, no kernel re-runs)"
+go run ./cmd/blob-calibrate fidelity -report FIDELITY.md
 end
 
 begin "fuzz smoke (10s per target)"
