@@ -14,7 +14,10 @@
 //	POST /v0/advise     deprecated pre-envelope advise alias; answers
 //	                    with Deprecation + Link headers, removed next
 //	                    release
-//	GET  /healthz       liveness
+//	GET  /healthz       liveness (is the process up)
+//	GET  /readyz        readiness (should the process receive traffic) —
+//	                    503 not_ready while draining and until the sweep
+//	                    worker pool is armed
 //	GET  /metrics       Prometheus text metrics
 //
 // Usage:
@@ -55,9 +58,25 @@
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //	curl -s http://127.0.0.1:6060/debug/runtime
 //
-// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
-// in-flight requests get up to -drain to finish, then the sweep worker
-// pool is shut down.
+// Clustering (DESIGN.md §16): give the replica a ring identity and the
+// roster, and a local threshold cache miss asks the shard's ring owner
+// over the peer-fill path before paying for a local sweep:
+//
+//	blob-served -addr :8080 -cluster-self rep-0 \
+//	    -peers rep-0=http://10.0.0.1:8080,rep-1=http://10.0.0.2:8080
+//
+// -peers is the full roster, self included; -cluster-self names this
+// replica's entry. The replica announces itself on start, probes its
+// peers' /readyz on -cluster-heartbeat, and serves membership messages
+// on POST /cluster/v1/hello. Put cmd/blob-gateway in front to route
+// clients to shard owners.
+//
+// SIGINT/SIGTERM starts a graceful drain in a fixed order: first the
+// replica flips not-ready and (when clustered) broadcasts a ring-leave,
+// so peers and load balancers stop sending traffic; then the listener
+// stops accepting and in-flight requests get up to -drain to finish;
+// finally the sweep worker pool flushes and the completed drain is
+// stamped on the blob_drain_seconds metric.
 package main
 
 import (
@@ -72,6 +91,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/service"
@@ -104,6 +124,11 @@ func run() error {
 		targetLat = flag.Duration("target-latency", 0, "AIMD setpoint for sweep latency: completions above it shrink admitted sweep concurrency toward 1, below it grow it back toward -workers (0 = fixed at -workers)")
 		fairShare = flag.Float64("fair-share", 0, "per-client sweep admissions per second (X-API-Key header, else remote host); 0 disables fair-share shedding")
 		fairBurst = flag.Int("fair-share-burst", 4, "per-client token-bucket burst for -fair-share")
+
+		clusterSelf = flag.String("cluster-self", "", "this replica's member name in -peers; empty = standalone (no clustering)")
+		peersFlag   = flag.String("peers", "", "cluster roster: comma-separated name=url pairs, self included")
+		clusterHB   = flag.Duration("cluster-heartbeat", 2*time.Second, "peer health probe period (0 disables the background loop)")
+		clusterDown = flag.Int("cluster-down-after", 2, "consecutive failed probes before a peer leaves this replica's ring")
 	)
 	flag.Parse()
 
@@ -143,12 +168,44 @@ func run() error {
 		}
 		logger.Warn("fault injection armed", "plan", *faultPlan, "seed", plan.Seed, "rules", len(plan.Rules))
 	}
+
+	// Clustering: the pool must exist before the service, because the
+	// service's peer-fill hook closes over it.
+	var pool *cluster.Pool
+	if *clusterSelf != "" {
+		members, err := cluster.ParseMemberList(*peersFlag)
+		if err != nil {
+			return fmt.Errorf("bad -peers: %w", err)
+		}
+		pool, err = cluster.NewPool(cluster.Options{
+			Self:      *clusterSelf,
+			Members:   members,
+			Heartbeat: *clusterHB,
+			DownAfter: *clusterDown,
+			Logger:    logger,
+		})
+		if err != nil {
+			return err
+		}
+		opts.PeerFill = pool.FillThreshold()
+	} else if *peersFlag != "" {
+		return fmt.Errorf("-peers without -cluster-self: name this replica's roster entry")
+	}
+
 	svc := service.New(opts)
 	defer svc.Close()
 
+	handler := svc.Handler()
+	var node *cluster.Node
+	if pool != nil {
+		node = cluster.NewNode(pool, svc)
+		handler = node.Handler()
+		defer pool.Close()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -158,6 +215,11 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
+	if pool != nil {
+		pool.Start(ctx)
+		pool.AnnounceHello(ctx)
+		logger.Info("clustered", "self", pool.Self(), "roster", len(pool.Members()))
+	}
 
 	// The debug listener is its own server on its own (ideally loopback)
 	// address: pprof never shares the public port. Failures here are
@@ -191,10 +253,21 @@ func run() error {
 	if debugSrv != nil {
 		_ = debugSrv.Close() // nothing to drain: profiles are best-effort
 	}
+
+	// Drain order, fixed: (1) ring-leave — flip /readyz not-ready and
+	// tell peers, so new traffic stops arriving while the listener is
+	// still up; (2) stop accepting and wait for in-flight requests;
+	// (3) flush the sweep pool. Close stamps blob_drain_seconds with the
+	// whole BeginDrain→flush span.
+	if node != nil {
+		node.Drain(drainCtx)
+	} else {
+		svc.BeginDrain()
+	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	// svc.Close (deferred) waits for in-flight sweeps before exit.
-	logger.Info("drained")
+	svc.Close()
+	logger.Info("drained", "seconds", svc.Metrics().DrainSeconds())
 	return nil
 }

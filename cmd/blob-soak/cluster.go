@@ -1,0 +1,340 @@
+package main
+
+// The cluster profile: chaos-prove the consistent-hash advisor cluster
+// (internal/cluster, DESIGN.md §16). It stands up an N-replica
+// in-process cluster behind a blob-gateway, drives a working set wider
+// than any one replica's cache through repeated shuffled scans, kills a
+// replica mid-run and rejoins it, and asserts the three cluster
+// acceptance criteria:
+//
+//   - linear cache scaling: the cluster's cache-hit rate is at least
+//     clusterHitScalingFloor times a single node's over the identical
+//     request schedule (sharding means each replica caches only its arc,
+//     so N caches compose instead of duplicating);
+//   - zero divergence: every verdict served through the chaos run —
+//     routed, rerouted, or peer-filled — is byte-identical to the
+//     single-node reference (routing may move where a verdict is
+//     computed, never what it says);
+//   - bounded degradation: no request hangs past the deadline budget,
+//     even while the ring is reconverging around a dead replica.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/pkg/blobclient"
+)
+
+const (
+	clusterNodes = 3
+	// clusterHitScalingFloor is the acceptance floor for cluster-vs-single
+	// cache-hit scaling. Perfect sharding over 3 replicas approaches 3x;
+	// the floor leaves room for the kill window, when the dead replica's
+	// arc re-warms on its failover owner.
+	clusterHitScalingFloor = 2.5
+	// clusterLatencyBudget bounds every request in the chaos run: the
+	// replica request timeout (2s) plus routing, failover and peer-fill
+	// overhead. A request that exceeds it hung instead of degrading.
+	clusterLatencyBudget = 5 * time.Second
+)
+
+// soakNode is one in-process replica with a severable network edge: kill
+// makes its HTTP surface abort every connection (the crash a gateway
+// sees) while the service underneath keeps running, so a revive models a
+// rejoin with a warm cache.
+type soakNode struct {
+	name   string
+	svc    *service.Server
+	pool   *cluster.Pool
+	node   *cluster.Node
+	ts     *httptest.Server
+	killed atomic.Bool
+}
+
+func (n *soakNode) kill()   { n.killed.Store(true) }
+func (n *soakNode) revive() { n.killed.Store(false) }
+
+// runClusterProfile drives the chaos scenario and scores it.
+func runClusterProfile(seed int64, short bool) ProfileResult {
+	res := ProfileResult{
+		Name:     "cluster",
+		PeakLoad: clusterNodes,
+		Sheds:    map[string]int{},
+		Statuses: map[string]int{},
+		Pass:     true,
+	}
+	res.GoroutineBaseline = runtime.NumGoroutine()
+
+	// The working set is 4x one replica's cache, so a single node
+	// thrashes (~25% hits) while each ring owner's arc (~1/3 of the set)
+	// nearly fits (~75% hits) — the gap the scaling floor measures.
+	cacheSize, dims, passes := 36, 144, 9
+	if short {
+		cacheSize, dims, passes = 24, 96, 5
+	}
+	killPass, revivePass := 2, passes-2
+	workingSet := make([]int, dims)
+	for i := range workingSet {
+		workingSet[i] = 24 + 2*i
+	}
+
+	breaker := resilience.BreakerConfig{
+		MinRequests: 1, FailureRatio: 0.5, OpenTimeout: 300 * time.Millisecond,
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: 64}
+	httpc := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+
+	// Replica HTTP servers come up first (their URLs seed the roster),
+	// with handlers swapped in once the pools exist.
+	nodes := make([]*soakNode, clusterNodes)
+	handlers := make([]atomic.Value, clusterNodes)
+	for i := range nodes {
+		n := &soakNode{name: fmt.Sprintf("rep-%d", i)}
+		slot := &handlers[i]
+		n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n.killed.Load() {
+				panic(http.ErrAbortHandler) // sever the connection, not the process
+			}
+			slot.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		nodes[i] = n
+	}
+	members := make([]cluster.Member, clusterNodes)
+	for i, n := range nodes {
+		members[i] = cluster.Member{Name: n.name, URL: n.ts.URL}
+	}
+	for i, n := range nodes {
+		pool, err := cluster.NewPool(cluster.Options{
+			Self:         n.name,
+			Members:      members,
+			DownAfter:    2,
+			ProbeTimeout: 2 * time.Second,
+			FillTimeout:  5 * time.Second,
+			HTTPClient:   httpc,
+			Breaker:      breaker,
+		})
+		if err != nil {
+			res.fail("cluster setup: " + err.Error())
+			return res
+		}
+		n.pool = pool
+		n.svc = service.New(service.Options{
+			Workers:        2,
+			CacheSize:      cacheSize,
+			RequestTimeout: 2 * time.Second,
+			PeerFill:       pool.FillThreshold(),
+		})
+		n.node = cluster.NewNode(pool, n.svc)
+		handlers[i].Store(n.node.Handler())
+	}
+	gwPool, err := cluster.NewGatewayPool(cluster.Options{
+		Members:      members,
+		DownAfter:    2,
+		ProbeTimeout: 2 * time.Second,
+		HTTPClient:   httpc,
+		Breaker:      breaker,
+	})
+	if err != nil {
+		res.fail("gateway setup: " + err.Error())
+		return res
+	}
+	gw := cluster.NewGateway(gwPool, cluster.GatewayOptions{})
+	gwTS := httptest.NewServer(gw.Handler())
+
+	pools := make([]*cluster.Pool, 0, clusterNodes+1)
+	for _, n := range nodes {
+		pools = append(pools, n.pool)
+	}
+	pools = append(pools, gwPool)
+	converge := func() {
+		// Deterministic health convergence: DownAfter probe rounds on
+		// every pool, instead of waiting on a background heartbeat.
+		for r := 0; r < 2; r++ {
+			for _, p := range pools {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				p.CheckNow(ctx)
+				cancel()
+			}
+		}
+	}
+
+	gwClient := blobclient.New(blobclient.Options{
+		BaseURL: gwTS.URL, HTTPClient: httpc, Breaker: soakBreakerOff})
+	direct := make([]*blobclient.Client, clusterNodes)
+	for i, n := range nodes {
+		direct[i] = blobclient.New(blobclient.Options{
+			BaseURL: n.ts.URL, HTTPClient: httpc, Breaker: soakBreakerOff})
+	}
+
+	// The chaos run. Pass 0 warms in order; later passes are seeded
+	// shuffles. Most traffic goes through the gateway (owner-routed);
+	// every fifth request hits a replica directly, which on a local miss
+	// exercises the peer-fill path to the shard owner.
+	rng := rand.New(rand.NewSource(seed))
+	verdicts := map[int]string{}
+	began := time.Now()
+	var maxLatency time.Duration
+	for pass := 0; pass < passes; pass++ {
+		if pass == killPass {
+			nodes[1].kill()
+			converge()
+		}
+		if pass == revivePass {
+			nodes[1].revive()
+			converge()
+			time.Sleep(breaker.OpenTimeout + 50*time.Millisecond) // let open breakers re-probe
+		}
+		order := rng.Perm(dims)
+		if pass == 0 {
+			for i := range order {
+				order[i] = i
+			}
+		}
+		for j, idx := range order {
+			dim := workingSet[idx]
+			cl := gwClient
+			if j%5 == 4 {
+				target := (pass + j) % clusterNodes
+				if nodes[target].killed.Load() {
+					continue // a client of a dead replica just fails; nothing to score
+				}
+				cl = direct[target]
+			}
+			s, err := thresholdShot(cl, dim)
+			if err != nil {
+				continue // transport error (kill window); rerouted retries come via later passes
+			}
+			res.Requests++
+			res.Statuses[fmt.Sprint(s.status)]++
+			if s.latency > maxLatency {
+				maxLatency = s.latency
+			}
+			if s.status != http.StatusOK {
+				res.Sheds[s.reason]++
+				continue
+			}
+			res.OK++
+			if s.cached {
+				res.Cached++
+			}
+			if s.filledFrom != "" {
+				res.PeerFills++
+			}
+			if prev, ok := verdicts[dim]; ok && prev != s.thresholds {
+				res.fail(fmt.Sprintf("dim %d served two different verdicts across the chaos run", dim))
+			}
+			verdicts[dim] = s.thresholds
+		}
+	}
+	res.DurationMs = float64(time.Since(began)) / float64(time.Millisecond)
+	res.MaxLatencyMs = float64(maxLatency) / float64(time.Millisecond)
+
+	gwTS.Close()
+	gwPool.Close()
+	for _, n := range nodes {
+		n.ts.Close()
+		n.node.Close()
+	}
+
+	// The single-node reference: the identical schedule (same seed, same
+	// passes, no kill) against one replica with the same cache size. It
+	// is both the hit-rate baseline and the byte-identical verdict oracle.
+	singleHits, singleOK, reference := runClusterReference(seed, cacheSize, dims, passes, workingSet, httpc)
+	transport.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res.GoroutineAfter = runtime.NumGoroutine()
+		if res.GoroutineAfter <= res.GoroutineBaseline+goroutineTolerance || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Score.
+	if res.OK == 0 {
+		res.fail("cluster run completed no requests")
+		return res
+	}
+	if singleOK == 0 {
+		res.fail("single-node reference completed no requests")
+		return res
+	}
+	res.ClusterHitRate = float64(res.Cached) / float64(res.OK)
+	res.SingleHitRate = float64(singleHits) / float64(singleOK)
+	if res.SingleHitRate > 0 {
+		res.HitScaling = res.ClusterHitRate / res.SingleHitRate
+	}
+	if res.HitScaling < clusterHitScalingFloor {
+		res.fail(fmt.Sprintf("cluster cache-hit scaling %.2fx below floor %.1fx (cluster %.3f, single %.3f)",
+			res.HitScaling, clusterHitScalingFloor, res.ClusterHitRate, res.SingleHitRate))
+	}
+	if res.PeerFills == 0 {
+		res.fail("peer-fill path never served a request")
+	}
+	for dim, v := range verdicts {
+		if ref, ok := reference[dim]; !ok {
+			res.fail(fmt.Sprintf("dim %d missing from the single-node reference", dim))
+		} else if ref != v {
+			res.fail(fmt.Sprintf("dim %d: cluster verdict differs from single-node reference", dim))
+		}
+	}
+	if maxLatency > clusterLatencyBudget {
+		res.fail(fmt.Sprintf("request hung %.0fms, budget %s", res.MaxLatencyMs, clusterLatencyBudget))
+	}
+	if res.GoroutineAfter > res.GoroutineBaseline+goroutineTolerance {
+		res.fail(fmt.Sprintf("goroutine leak: %d after drain, baseline %d",
+			res.GoroutineAfter, res.GoroutineBaseline))
+	}
+	res.VerdictDigest = digest(verdicts)
+	res.ReferenceDigest = digest(reference)
+	return res
+}
+
+// runClusterReference replays the cluster schedule against one node.
+func runClusterReference(seed int64, cacheSize, dims, passes int, workingSet []int, httpc *http.Client) (hits, ok int, verdicts map[int]string) {
+	svc := service.New(service.Options{
+		Workers:        2,
+		CacheSize:      cacheSize,
+		RequestTimeout: 2 * time.Second,
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	cl := blobclient.New(blobclient.Options{
+		BaseURL: ts.URL, HTTPClient: httpc, Breaker: soakBreakerOff})
+
+	rng := rand.New(rand.NewSource(seed))
+	verdicts = map[int]string{}
+	for pass := 0; pass < passes; pass++ {
+		order := rng.Perm(dims)
+		if pass == 0 {
+			for i := range order {
+				order[i] = i
+			}
+		}
+		for _, idx := range order {
+			s, err := thresholdShot(cl, workingSet[idx])
+			if err != nil || s.status != http.StatusOK {
+				continue
+			}
+			ok++
+			if s.cached {
+				hits++
+			}
+			verdicts[workingSet[idx]] = s.thresholds
+		}
+	}
+	return hits, ok, verdicts
+}

@@ -23,6 +23,11 @@
 //	chaos    sustain plus a seeded fault-injection plan on the backends
 //	dispatch 4x capacity of /v1/dispatch batches: the decision hot path
 //	         must stay fast and the shape cache must absorb the repeats
+//	cluster  3-replica consistent-hash cluster behind blob-gateway, with
+//	         a replica killed and rejoined mid-run: cache hits must scale
+//	         ~linearly vs a single node, every verdict must match the
+//	         single-node reference byte for byte, and no request may hang
+//	         past the deadline budget (DESIGN.md §16)
 //
 // All traffic flows through pkg/blobclient — the same typed client the
 // README documents — so the soak doubles as an end-to-end exercise of the
@@ -102,12 +107,13 @@ type phase struct {
 
 // profile is one scripted overload scenario.
 type profile struct {
-	name     string
-	phases   []phase
-	faults   bool // arm the chaos fault plan
-	fair     bool // enable per-client fair share
-	aimd     bool // enable the AIMD target latency
-	dispatch bool // drive /v1/dispatch batches instead of threshold sweeps
+	name      string
+	phases    []phase
+	faults    bool // arm the chaos fault plan
+	fair      bool // enable per-client fair share
+	aimd      bool // enable the AIMD target latency
+	dispatch  bool // drive /v1/dispatch batches instead of threshold sweeps
+	clustered bool // N-replica cluster chaos (cluster.go), not a load profile
 }
 
 // profiles returns the scripted scenarios for a given worker count; 4x
@@ -121,6 +127,7 @@ func allProfiles(workers int) []profile {
 		{name: "sustain", aimd: true, phases: []phase{{burst, 1}}},
 		{name: "chaos", faults: true, phases: []phase{{burst, 1}}},
 		{name: "dispatch", dispatch: true, phases: []phase{{burst, 1}}},
+		{name: "cluster", clustered: true, phases: []phase{{clusterNodes, 1}}},
 	}
 }
 
@@ -137,6 +144,9 @@ type shot struct {
 	// decisions/hits are the dispatch profile's per-batch routing counts.
 	decisions int
 	hits      int
+	// filledFrom names the peer that served this verdict over the
+	// cluster's peer-fill path ("" when answered locally).
+	filledFrom string
 }
 
 // ProfileResult is the artifact's per-profile record.
@@ -158,9 +168,18 @@ type ProfileResult struct {
 	// Decisions/DispatchHits/DispatchHitRate are set by the dispatch
 	// profile: total routing decisions, how many the shape cache
 	// answered, and their ratio (the profile's warm-cache SLO).
-	Decisions       int      `json:"decisions,omitempty"`
-	DispatchHits    int      `json:"dispatch_hits,omitempty"`
-	DispatchHitRate float64  `json:"dispatch_hit_rate,omitempty"`
+	Decisions       int     `json:"decisions,omitempty"`
+	DispatchHits    int     `json:"dispatch_hits,omitempty"`
+	DispatchHitRate float64 `json:"dispatch_hit_rate,omitempty"`
+	// The cluster profile's chaos-proof numbers: cache-hit rates for the
+	// cluster run and the identical single-node schedule, their ratio
+	// (the linear-scaling SLO), successful peer cache fills, and the
+	// worst request latency observed across the kill/rejoin window.
+	ClusterHitRate  float64  `json:"cluster_hit_rate,omitempty"`
+	SingleHitRate   float64  `json:"single_hit_rate,omitempty"`
+	HitScaling      float64  `json:"hit_scaling,omitempty"`
+	PeerFills       int      `json:"peer_fills,omitempty"`
+	MaxLatencyMs    float64  `json:"max_latency_ms,omitempty"`
 	VerdictDigest   string   `json:"verdict_digest,omitempty"`
 	ReferenceDigest string   `json:"reference_digest,omitempty"`
 	Violations      []string `json:"violations,omitempty"`
@@ -185,7 +204,7 @@ type Artifact struct {
 func run() error {
 	var (
 		seed      = flag.Int64("seed", 1, "seed for the request schedule (deterministic per seed)")
-		sel       = flag.String("profiles", "ramp,spike,sustain,chaos,dispatch", "comma-separated profiles to run")
+		sel       = flag.String("profiles", "ramp,spike,sustain,chaos,dispatch,cluster", "comma-separated profiles to run")
 		short     = flag.Bool("short", false, "short windows (~2s per profile): the verify-gate mode")
 		tag       = flag.String("tag", "dev", "artifact tag; default output is SOAK_<tag>.json")
 		out       = flag.String("o", "", "output path (overrides the tag-derived name)")
@@ -234,7 +253,12 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "soak: profile %-8s window %s peak %d clients\n",
 				p.name, window, p.phases[len(p.phases)-1].clients)
 		}
-		res := runProfile(p, *workers, *seed, window, *sweepCost, plan)
+		var res ProfileResult
+		if p.clustered {
+			res = runClusterProfile(*seed, *short)
+		} else {
+			res = runProfile(p, *workers, *seed, window, *sweepCost, plan)
+		}
 		if !res.Pass {
 			art.Pass = false
 		}
@@ -249,7 +273,7 @@ func run() error {
 	}
 	for name := range selected {
 		if name != "" && !ran[name] {
-			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos, dispatch)", name)
+			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos, dispatch, cluster)", name)
 		}
 	}
 	if len(art.Profiles) == 0 {
@@ -508,6 +532,7 @@ func thresholdShot(cl *blobclient.Client, dim int) (*shot, error) {
 	s.status = http.StatusOK
 	s.cached = resp.Cached
 	s.thresholds = canonicalThresholds(resp.Thresholds)
+	s.filledFrom = resp.FilledFrom
 	return s, nil
 }
 

@@ -54,7 +54,7 @@ func TestAPIDocCoversWireContract(t *testing.T) {
 	doc := readDoc(t, "API.md")
 	for _, token := range []string{
 		service.SchemaAdvise, service.SchemaThreshold, service.SchemaDispatch,
-		service.SchemaHealth, service.SchemaError,
+		service.SchemaHealth, service.SchemaReady, service.SchemaError,
 	} {
 		if !strings.Contains(doc, token) {
 			t.Errorf("API.md does not mention schema token %q", token)
@@ -64,6 +64,7 @@ func TestAPIDocCoversWireContract(t *testing.T) {
 		"bad_request", "method_not_allowed", "not_found", "internal",
 		"queue_full", "over_quota", "deadline_budget", "breaker_open",
 		"shutting_down", "deadline_exceeded", "abandoned",
+		"not_ready", "no_peer",
 	}
 	for _, c := range codes {
 		if !strings.Contains(doc, "`"+c+"`") {
@@ -74,6 +75,7 @@ func TestAPIDocCoversWireContract(t *testing.T) {
 		"Envelope":          reflect.TypeOf(service.Envelope{}),
 		"APIError":          reflect.TypeOf(service.APIError{}),
 		"HealthBody":        reflect.TypeOf(service.HealthBody{}),
+		"ReadyBody":         reflect.TypeOf(service.ReadyBody{}),
 		"AdviseRequest":     reflect.TypeOf(service.AdviseRequest{}),
 		"AdviseResponse":    reflect.TypeOf(service.AdviseResponse{}),
 		"VerdictBody":       reflect.TypeOf(service.VerdictBody{}),
@@ -91,7 +93,7 @@ func TestAPIDocCoversWireContract(t *testing.T) {
 			}
 		}
 	}
-	for _, header := range []string{"X-API-Key", "X-Deadline-Ms", "Retry-After", "Deprecation"} {
+	for _, header := range []string{"X-API-Key", "X-Deadline-Ms", "X-Blob-Peer-Fill", "Retry-After", "Deprecation"} {
 		if !strings.Contains(doc, header) {
 			t.Errorf("API.md does not mention the %s header", header)
 		}

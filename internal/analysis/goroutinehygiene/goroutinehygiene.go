@@ -46,14 +46,14 @@ var Analyzer = &blobvet.Analyzer{
 // resilience and fault-injection packages sit on every retried backend
 // call, so they carry the same hygiene bar as the kernels they guard.
 var hotPaths = []string{
-	"internal/blas", "internal/core", "internal/faultinject",
-	"internal/offload", "internal/overload", "internal/parallel",
-	"internal/resilience", "internal/service",
+	"internal/blas", "internal/cluster", "internal/core",
+	"internal/faultinject", "internal/offload", "internal/overload",
+	"internal/parallel", "internal/resilience", "internal/service",
 }
 
 // poolPackages are the hot-path packages that define a sanctioned worker
 // pool: go statements are legal there, but only inside Pool's methods.
-var poolPackages = []string{"internal/parallel", "internal/service"}
+var poolPackages = []string{"internal/cluster", "internal/parallel", "internal/service"}
 
 func run(pass *blobvet.Pass) error {
 	if !inScope(pass.Pkg.Path(), hotPaths) {

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"time"
 
 	benchdata "repro/bench_data"
 	"repro/internal/advisor"
 	"repro/internal/blas"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flops"
@@ -69,6 +71,7 @@ func DefaultSuite(opt Options) []Case {
 		serviceThresholdShedCase(),
 		offloadDecisionLatencyCase(),
 		offloadDispatchBatchCase(dispatchBatch),
+		clusterRouteOverheadCase(),
 		blobvetCase(),
 	)
 	return cases
@@ -356,6 +359,86 @@ func serviceThresholdCachedCase(maxDim int) Case {
 			return func() error {
 				return env.do(http.MethodPost, "/v1/threshold", body)
 			}, env.close, nil
+		},
+	}
+}
+
+// clusterRouteOverheadCase measures the blob-gateway routing tax: one
+// POST /v1/threshold through a gateway in front of a 3-replica cluster,
+// with the shard already cached on its ring owner. Every repetition
+// pays route-key derivation, ring lookup, breaker admission, and the
+// proxy hop — the fixed overhead clustering adds to a cache hit, which
+// the cluster SLO (TestGatewayRouteOverhead) bounds at p99 < 1ms.
+func clusterRouteOverheadCase() Case {
+	body := []byte(`{
+	  "system": "dawn", "kernel": "gemv", "precision": "f64",
+	  "config": {"max_dim": 64, "step": 8, "iterations": 2}
+	}`)
+	return Case{
+		Name:  "cluster/route-overhead",
+		Group: "service",
+		Prepare: func(ctx context.Context) (op func() error, cleanup func(), err error) {
+			const replicas = 3
+			var (
+				svcs    []*service.Server
+				servers []*httptest.Server
+				pools   []*cluster.Pool
+			)
+			cleanup = func() {
+				for _, ts := range servers {
+					ts.Close()
+				}
+				for _, p := range pools {
+					p.Close()
+				}
+				for _, s := range svcs {
+					s.Close()
+				}
+			}
+			// Replica listeners first — their URLs seed the roster — with
+			// the real handlers swapped in once pools and services exist.
+			slots := make([]atomic.Value, replicas)
+			members := make([]cluster.Member, replicas)
+			for i := 0; i < replicas; i++ {
+				slot := &slots[i]
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					slot.Load().(http.Handler).ServeHTTP(w, r)
+				}))
+				servers = append(servers, ts)
+				members[i] = cluster.Member{Name: fmt.Sprintf("rep-%d", i), URL: ts.URL}
+			}
+			for i := 0; i < replicas; i++ {
+				pool, perr := cluster.NewPool(cluster.Options{Self: members[i].Name, Members: members})
+				if perr != nil {
+					cleanup()
+					return nil, nil, perr
+				}
+				pools = append(pools, pool)
+				svc := service.New(service.Options{
+					Workers: 2, CacheSize: 64, PeerFill: pool.FillThreshold(),
+				})
+				svcs = append(svcs, svc)
+				slots[i].Store(cluster.NewNode(pool, svc).Handler())
+			}
+			gwPool, perr := cluster.NewGatewayPool(cluster.Options{Members: members})
+			if perr != nil {
+				cleanup()
+				return nil, nil, perr
+			}
+			pools = append(pools, gwPool)
+			gwTS := httptest.NewServer(cluster.NewGateway(gwPool, cluster.GatewayOptions{}).Handler())
+			servers = append(servers, gwTS)
+
+			env := &serviceEnv{ts: gwTS, client: &http.Client{Timeout: 30 * time.Second}}
+			// Prime the shard on its ring owner, so repetitions measure
+			// routing over a cached verdict, not the sweep.
+			if err := env.do(http.MethodPost, "/v1/threshold", body); err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("priming cluster shard: %w", err)
+			}
+			return func() error {
+				return env.do(http.MethodPost, "/v1/threshold", body)
+			}, cleanup, nil
 		},
 	}
 }

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// FuzzClusterWire hammers the two untrusted inputs the cluster reads
+// off the network: the membership message parser (POST
+// /cluster/v1/hello bodies) and the threshold route key the gateway
+// derives from client request bodies. Invariants: neither ever panics;
+// a message ParseMessage accepts survives a marshal/re-parse round trip
+// unchanged (so a relayed message means the same thing everywhere); and
+// the route key is deterministic — the same bytes always route to the
+// same shard, the property the whole ring stands on.
+func FuzzClusterWire(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","from":{"name":"rep-0","url":"http://10.0.0.1:8080"}}`))
+	f.Add([]byte(`{"type":"leave","from":{"name":"rep-1","url":"https://replica.example"}}`))
+	f.Add([]byte(`{"type":"heartbeat","from":{"name":"a","url":"http://x"},"ring":"abcd1234deadbeef"}`))
+	f.Add([]byte(`{"system":"dawn","kernel":"gemv","precision":"f64"}`))
+	f.Add([]byte(`{"system":"lumi","kernel":"gemm","precision":"f32","config":{"max_dim":256,"step":16}}`))
+	f.Add([]byte(`{"type":"hello","from":{"name":"-bad","url":"ftp://x"}}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ParseMessage(data)
+		if err == nil {
+			re, merr := json.Marshal(msg)
+			if merr != nil {
+				t.Fatalf("accepted message does not re-marshal: %v", merr)
+			}
+			again, perr := ParseMessage(re)
+			if perr != nil {
+				t.Fatalf("re-marshaled message rejected: %v\n%s", perr, re)
+			}
+			if again != msg {
+				t.Fatalf("message changed across round trip: %+v vs %+v", again, msg)
+			}
+		}
+
+		// The same bytes, read as a threshold request, must produce a
+		// deterministic route key (or a deterministic rejection).
+		var req service.ThresholdRequest
+		if jerr := json.Unmarshal(data, &req); jerr != nil {
+			return
+		}
+		k1, err1 := service.ThresholdRouteKey(req, 0)
+		k2, err2 := service.ThresholdRouteKey(req, 0)
+		if (err1 == nil) != (err2 == nil) || k1 != k2 {
+			t.Fatalf("route key not deterministic: (%q, %v) then (%q, %v)", k1, err1, k2, err2)
+		}
+	})
+}

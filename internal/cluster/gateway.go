@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// GatewayOptions configures a Gateway.
+type GatewayOptions struct {
+	// MaxSweepDim must match the replicas' service MaxSweepDim option so
+	// the gateway's route key and the replicas' cache key agree (<= 0
+	// takes the service default, 4096).
+	MaxSweepDim int
+	// Replication is how many ring owners a request is tried against
+	// before answering 503 no_peer (default 3; clamped to the member
+	// count). Only transport failures and open breakers advance to the
+	// next owner — an HTTP response, any status, is relayed as-is,
+	// because a shed or an error is a valid answer, not a routing
+	// failure.
+	Replication int
+	// Logger receives routing logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Gateway routes advisor requests to the consistent-hash owner of each
+// request's shard, with breaker-guarded failover along the ring's
+// preference order. It proxies bodies byte-transparently in both
+// directions: the gateway can change where a verdict is computed,
+// never what it says.
+//
+// Routing keys per endpoint:
+//
+//   - /v1/threshold: service.ThresholdRouteKey — the same canonical
+//     identity the replica caches the result under, so one shard's
+//     requests concentrate on the replica whose LRU holds them;
+//   - /v1/dispatch: the system name, concentrating each system's
+//     dispatcher shape-cache on one replica;
+//   - /v1/advise (and the deprecated /v0/advise): a digest of the
+//     request body — advise is stateless, so any replica answers
+//     identically and the digest just spreads load deterministically.
+type Gateway struct {
+	pool  *Pool
+	opts  GatewayOptions
+	log   *slog.Logger
+	start time.Time
+
+	metrics gatewayMetrics
+}
+
+// gatewayMetrics is the gateway's own observability surface (the
+// service's Metrics registry is per-replica; the gateway only routes).
+type gatewayMetrics struct {
+	mu     sync.Mutex
+	routed map[string]*service.Counter // peer -> relayed responses
+
+	reroutes     service.Counter // transport failures that advanced to the next owner
+	breakerSkips service.Counter // owners skipped because their breaker refused
+	noPeer       service.Counter // requests that exhausted every owner
+}
+
+func (g *gatewayMetrics) routedCounter(peer string) *service.Counter {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.routed[peer]
+	if !ok {
+		c = &service.Counter{}
+		g.routed[peer] = c
+	}
+	return c
+}
+
+// NewGateway builds a Gateway over a (typically self-less) pool.
+func NewGateway(pool *Pool, opts GatewayOptions) *Gateway {
+	if opts.MaxSweepDim <= 0 {
+		opts.MaxSweepDim = 4096
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 3
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	g := &Gateway{pool: pool, opts: opts, log: opts.Logger, start: time.Now()}
+	g.metrics.routed = map[string]*service.Counter{}
+	return g
+}
+
+// Handler returns the gateway's routed HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/threshold", g.post(g.routeThreshold))
+	mux.Handle("/v1/dispatch", g.post(g.routeDispatch))
+	mux.Handle("/v1/advise", g.post(g.routeByDigest))
+	mux.Handle("/v0/advise", g.post(g.routeByDigest))
+	mux.Handle("/cluster/v1/hello", g.pool.HelloHandler())
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+func (g *Gateway) post(h func(http.ResponseWriter, *http.Request, []byte)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeWireError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+			return
+		}
+		body, err := readLimit(r, 64<<20)
+		if err != nil {
+			writeWireError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading body: %v", err))
+			return
+		}
+		h(w, r, body)
+	})
+}
+
+// routeThreshold routes by the canonical threshold identity. A request
+// the replicas would reject is rejected here with the same contract —
+// cheaper than a proxy hop, and it keeps garbage off the ring.
+func (g *Gateway) routeThreshold(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req service.ThresholdRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		writeWireError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	key, err := service.ThresholdRouteKey(req, g.opts.MaxSweepDim)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	g.route(w, r, key, body)
+}
+
+// routeDispatch routes by system name: each system's dispatcher
+// shape-cache warms on one replica instead of diluting across all.
+func (g *Gateway) routeDispatch(w http.ResponseWriter, r *http.Request, body []byte) {
+	var req struct {
+		System string `json:"system"`
+	}
+	// Lenient decode: only the routing field matters here; the replica
+	// strict-decodes the full batch.
+	if err := json.Unmarshal(body, &req); err != nil || req.System == "" {
+		writeWireError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: want a dispatch batch with a system field")
+		return
+	}
+	g.route(w, r, "dispatch|"+req.System, body)
+}
+
+// routeByDigest routes stateless endpoints by a digest of the body:
+// deterministic spread, identical answers everywhere.
+func (g *Gateway) routeByDigest(w http.ResponseWriter, r *http.Request, body []byte) {
+	sum := sha256.Sum256(body)
+	g.route(w, r, "advise|"+hex.EncodeToString(sum[:16]), body)
+}
+
+// route proxies body to the ring owners of key in preference order.
+// Failover advances only on transport errors (peer unreachable) and
+// open breakers; any HTTP response — including a shed — is the
+// cluster's answer and is relayed verbatim.
+func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	owners := g.pool.Owners(key, g.opts.Replication)
+	var lastErr error
+	for i, name := range owners {
+		br := g.pool.Breaker(name)
+		if br == nil {
+			continue // self or vanished member
+		}
+		if err := br.Allow(); err != nil {
+			g.metrics.breakerSkips.Inc()
+			lastErr = fmt.Errorf("peer %s: %w", name, err)
+			continue
+		}
+		resp, err := g.pool.Post(r.Context(), name, r.URL.Path, body, forwardHeaders(r))
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client hung up mid-proxy; that proves nothing about
+				// the peer (mirrors blobclient's breaker discipline), and
+				// nobody is reading a reroute's answer.
+				br.Record(nil)
+				g.log.Info("gateway: request abandoned by client", "peer", name, "path", r.URL.Path)
+				return
+			}
+			br.Record(err)
+			g.metrics.reroutes.Inc()
+			lastErr = fmt.Errorf("peer %s: %w", name, err)
+			g.log.Warn("gateway: peer unreachable, rerouting", "peer", name, "path", r.URL.Path, "err", err)
+			continue
+		}
+		// Any HTTP response proves the peer is alive.
+		br.Record(nil)
+		if i > 0 {
+			g.log.Info("gateway: served by failover owner", "peer", name, "rank", i)
+		}
+		g.relay(w, resp, name)
+		g.metrics.routedCounter(name).Inc()
+		return
+	}
+	g.metrics.noPeer.Inc()
+	msg := "no healthy replica owns this shard"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s (last error: %v)", msg, lastErr)
+	}
+	rejectWire(w, http.StatusServiceUnavailable, "no_peer", msg, 1)
+}
+
+// relay copies a replica's response to the client byte-for-byte,
+// tagging the serving peer in X-Blob-Peer.
+func (g *Gateway) relay(w http.ResponseWriter, resp *http.Response, peer string) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "Deprecation", "Link", "Allow"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Blob-Peer", peer)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		g.log.Debug("gateway: relay interrupted", "peer", peer, "err", err)
+	}
+}
+
+// forwardHeaders picks the request headers that must survive the hop:
+// the client identity (fair-share admission), the deadline budget, and
+// the peer-fill loop guard.
+func forwardHeaders(r *http.Request) http.Header {
+	out := http.Header{}
+	for _, h := range []string{"X-API-Key", "X-Deadline-Ms", service.PeerFillHeader} {
+		if v := r.Header.Get(h); v != "" {
+			out.Set(h, v)
+		}
+	}
+	return out
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeWireEnvelope(w, http.StatusOK, service.SchemaHealth, service.HealthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	})
+}
+
+// handleReadyz: the gateway is ready while at least one replica is in
+// the ring — with zero owners every route would answer 503 no_peer.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if len(g.pool.Ring().Members()) == 0 {
+		rejectWire(w, http.StatusServiceUnavailable, "not_ready", "no healthy replicas in the ring", 1)
+		return
+	}
+	writeWireEnvelope(w, http.StatusOK, service.SchemaReady, service.ReadyBody{
+		Status:        "ready",
+		WorkersArmed:  true, // the gateway has no pool to arm
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the gateway's Prometheus text: per-peer routed
+// counts and up-gauges, reroute/skip/no-peer counters, and the routing
+// latency histogram the route-overhead bench asserts on.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	g.metrics.mu.Lock()
+	peers := make([]string, 0, len(g.metrics.routed))
+	for name := range g.metrics.routed {
+		peers = append(peers, name)
+	}
+	g.metrics.mu.Unlock()
+	sort.Strings(peers)
+
+	fmt.Fprintf(&b, "# HELP blob_gateway_routed_total Responses relayed, by serving peer.\n# TYPE blob_gateway_routed_total counter\n")
+	for _, name := range peers {
+		fmt.Fprintf(&b, "blob_gateway_routed_total{peer=%q} %d\n", name, g.metrics.routedCounter(name).Value())
+	}
+	fmt.Fprintf(&b, "# HELP blob_gateway_reroutes_total Transport failures that advanced to the next ring owner.\n# TYPE blob_gateway_reroutes_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_reroutes_total %d\n", g.metrics.reroutes.Value())
+	fmt.Fprintf(&b, "# HELP blob_gateway_breaker_skips_total Owners skipped because their circuit breaker refused.\n# TYPE blob_gateway_breaker_skips_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_breaker_skips_total %d\n", g.metrics.breakerSkips.Value())
+	fmt.Fprintf(&b, "# HELP blob_gateway_no_peer_total Requests that exhausted every ring owner.\n# TYPE blob_gateway_no_peer_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_no_peer_total %d\n", g.metrics.noPeer.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_gateway_peer_up Ring membership, by peer (1 = in the ring).\n# TYPE blob_gateway_peer_up gauge\n")
+	for _, m := range g.pool.Members() {
+		up := 0
+		if g.pool.Healthy(m.Name) {
+			up = 1
+		}
+		fmt.Fprintf(&b, "blob_gateway_peer_up{peer=%q} %d\n", m.Name, up)
+	}
+
+	_, _ = io.WriteString(w, b.String())
+}
+
+// strictUnmarshal mirrors the service's strict request decoding:
+// unknown fields and trailing bytes are the client's error.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON body: trailing data")
+	}
+	return nil
+}
+
+// writeWireEnvelope writes a success envelope (the gateway's own
+// non-proxied endpoints speak the same v1 contract as the replicas).
+func writeWireEnvelope(w http.ResponseWriter, status int, schema string, data any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(service.Envelope{Schema: schema, Data: data})
+}
+
+// rejectWire writes the uniform rejection contract (Retry-After header
+// mirrored in error.retry_after_s).
+func rejectWire(w http.ResponseWriter, status int, code, msg string, retryAfterS int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", fmt.Sprint(retryAfterS))
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(service.Envelope{
+		Schema: service.SchemaError,
+		Error:  &service.APIError{Code: code, Message: msg, RetryAfterS: retryAfterS},
+	})
+}

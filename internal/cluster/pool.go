@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/pkg/blobclient"
+)
+
+// Options configures a Pool. Self and Members are required; everything
+// else has serviceable defaults.
+type Options struct {
+	// Self is this replica's member name; it must appear in Members. A
+	// gateway (a router that serves no shard itself) uses NewGatewayPool
+	// instead, which has no self.
+	Self string
+	// Members is the static cluster roster: every replica, self included.
+	// Hello messages can introduce members beyond this list (rejoin with
+	// a new URL), but the roster is the deterministic starting point.
+	Members []Member
+	// VNodes is the virtual-node count per member (<= 0 takes
+	// DefaultVNodes).
+	VNodes int
+	// DownAfter is how many consecutive failed health probes mark a peer
+	// down and rebuild the ring without it (default 2 — one flaky probe
+	// must not shuffle shard ownership).
+	DownAfter int
+	// Heartbeat is the period of the background health loop started by
+	// Start; <= 0 disables the loop (tests drive CheckNow directly).
+	Heartbeat time.Duration
+	// ProbeTimeout bounds one /readyz health probe (default 1s).
+	ProbeTimeout time.Duration
+	// FillTimeout bounds one peer cache fill (default 2s); a slow owner
+	// must cost less than the local sweep the fill is trying to avoid.
+	FillTimeout time.Duration
+	// HTTPClient replaces http.DefaultClient for all peer traffic.
+	HTTPClient *http.Client
+	// Breaker tunes the per-peer circuit breakers (zero value takes
+	// resilience defaults). One breaker guards each peer across probes,
+	// fills and gateway proxying, so a dead peer fails fast everywhere.
+	Breaker resilience.BreakerConfig
+	// Retry is the retry policy for typed peer calls (fills). The zero
+	// value makes one attempt, which is usually right: the fallback for
+	// a failed fill is a local sweep, not a retry storm.
+	Retry resilience.RetryPolicy
+	// Logger receives membership and health transitions; nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 2
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FillTimeout <= 0 {
+		o.FillTimeout = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// peer is the pool's view of one remote member.
+type peer struct {
+	member  Member
+	client  *blobclient.Client
+	breaker *resilience.Breaker
+	up      bool
+	misses  int
+}
+
+// Pool is the cluster client pool: the membership table, one typed
+// client and one circuit breaker per remote peer, heartbeat-driven
+// health, and the consistent-hash ring rebuilt deterministically from
+// whichever members are currently healthy. It is the one sanctioned
+// home of go statements in this package (blob-vet's goroutinehygiene
+// analyzer covers internal/cluster): the heartbeat loop lives in Start.
+//
+// Health is pull-based and deterministic: a probe of each peer's
+// /readyz (readiness, not liveness — a draining replica answers 503 and
+// leaves the ring before its listener closes). DownAfter consecutive
+// misses mark a peer down; one success marks it back up. Push messages
+// (hello / leave / heartbeat, folded in via Apply) shortcut the probe
+// cycle so a graceful drain leaves the ring immediately.
+type Pool struct {
+	opts Options
+	self Member // zero for a gateway pool
+	log  *slog.Logger
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	ring  *Ring
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ErrConfig reports invalid Options at pool construction.
+var ErrConfig = errors.New("cluster: invalid pool configuration")
+
+// ErrUnknownMember reports a peer name absent from the membership table.
+var ErrUnknownMember = errors.New("cluster: unknown member")
+
+// NewPool builds a replica's pool. Self must name an entry of Members.
+func NewPool(opts Options) (*Pool, error) {
+	if opts.Self == "" {
+		return nil, fmt.Errorf("%w: Options.Self is required (use NewGatewayPool for a self-less pool)", ErrConfig)
+	}
+	return newPool(opts)
+}
+
+// NewGatewayPool builds a pool with no self: every member is a remote
+// peer, and the ring spans whichever of them are healthy. This is what
+// cmd/blob-gateway routes with.
+func NewGatewayPool(opts Options) (*Pool, error) {
+	opts.Self = ""
+	return newPool(opts)
+}
+
+func newPool(opts Options) (*Pool, error) {
+	opts = opts.withDefaults()
+	p := &Pool{
+		opts:  opts,
+		log:   opts.Logger,
+		peers: map[string]*peer{},
+		stop:  make(chan struct{}),
+	}
+	if len(opts.Members) == 0 {
+		return nil, errors.New("cluster: Options.Members is empty")
+	}
+	foundSelf := false
+	for _, m := range opts.Members {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if m.Name == opts.Self {
+			foundSelf = true
+			p.self = m
+			continue
+		}
+		if _, dup := p.peers[m.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m.Name)
+		}
+		p.peers[m.Name] = p.newPeer(m)
+	}
+	if opts.Self != "" && !foundSelf {
+		return nil, fmt.Errorf("cluster: Self %q not in Members", opts.Self)
+	}
+	p.rebuildLocked()
+	return p, nil
+}
+
+// newPeer constructs the typed client and breaker for one remote
+// member. The blobclient's own breaker is neutralized (MinRequests far
+// above any real volume): the pool-level breaker is the single
+// authority for this peer, shared by probes, fills and gateway routing.
+func (p *Pool) newPeer(m Member) *peer {
+	return &peer{
+		member: m,
+		client: blobclient.New(blobclient.Options{
+			BaseURL:    m.URL,
+			HTTPClient: p.opts.HTTPClient,
+			Retry:      p.opts.Retry,
+			Breaker:    resilience.BreakerConfig{MinRequests: 1 << 30},
+		}),
+		breaker: resilience.NewBreaker(p.opts.Breaker),
+		up:      true, // optimistic: a static roster serves before the first probe
+	}
+}
+
+// rebuildLocked recomputes the ring from the healthy member set. Caller
+// holds p.mu. The ring is a pure function of the sorted healthy names,
+// so loss and rejoin rebuild byte-identical assignments on every
+// replica that shares the same health view.
+func (p *Pool) rebuildLocked() {
+	names := make([]string, 0, len(p.peers)+1)
+	if p.self.Name != "" {
+		names = append(names, p.self.Name)
+	}
+	for name, pr := range p.peers {
+		if pr.up {
+			names = append(names, name)
+		}
+	}
+	p.ring = NewRing(names, p.opts.VNodes)
+}
+
+// Self returns this replica's member name ("" for a gateway pool).
+func (p *Pool) Self() string { return p.self.Name }
+
+// Ring returns the current ring snapshot (immutable; safe to hold).
+func (p *Pool) Ring() *Ring {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring
+}
+
+// Owners returns up to n healthy members in preference order for key.
+func (p *Pool) Owners(key string, n int) []string {
+	return p.Ring().Owners(key, n)
+}
+
+// Healthy reports whether a member is currently in the ring.
+func (p *Pool) Healthy(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name == p.self.Name && name != "" {
+		return true
+	}
+	pr, ok := p.peers[name]
+	return ok && pr.up
+}
+
+// Members returns the full roster (self plus every known peer, up or
+// down), sorted by name via the ring of all members.
+func (p *Pool) Members() []Member {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Member, 0, len(p.peers)+1)
+	if p.self.Name != "" {
+		out = append(out, p.self)
+	}
+	for _, pr := range p.peers {
+		out = append(out, pr.member)
+	}
+	sortMembers(out)
+	return out
+}
+
+// Breaker returns the circuit breaker guarding one remote peer (nil for
+// self or an unknown name).
+func (p *Pool) Breaker(name string) *resilience.Breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pr, ok := p.peers[name]; ok {
+		return pr.breaker
+	}
+	return nil
+}
+
+// MemberURL resolves a member name to its base URL.
+func (p *Pool) MemberURL(name string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name == p.self.Name && name != "" {
+		return p.self.URL, true
+	}
+	if pr, ok := p.peers[name]; ok {
+		return pr.member.URL, true
+	}
+	return "", false
+}
+
+// Start launches the background heartbeat loop (no-op when
+// Options.Heartbeat <= 0). Each tick announces a heartbeat message to
+// every known peer and then probes every peer's /readyz. The loop stops
+// when ctx is cancelled or Close is called. The go statement is
+// sanctioned here: Start is a Pool method (goroutinehygiene).
+func (p *Pool) Start(ctx context.Context) {
+	if p.opts.Heartbeat <= 0 {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Heartbeat(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the heartbeat loop and waits for it. It does not touch
+// peer state; a drained pool's last ring view stays readable.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Heartbeat performs one full heartbeat tick synchronously: announce a
+// heartbeat message (with the ring fingerprint) to every known peer,
+// then probe every peer's readiness.
+func (p *Pool) Heartbeat(ctx context.Context) {
+	p.announce(ctx, TypeHeartbeat)
+	p.CheckNow(ctx)
+}
+
+// CheckNow probes every known remote peer's /readyz once, synchronously,
+// and folds the outcomes into the health table (DownAfter consecutive
+// misses take a peer out of the ring; one success puts it back).
+// Deterministic by construction, so the soak harness and tests call it
+// directly instead of racing a background loop.
+func (p *Pool) CheckNow(ctx context.Context) {
+	for _, pr := range p.snapshot() {
+		pctx, cancel := context.WithTimeout(ctx, p.opts.ProbeTimeout)
+		_, err := pr.client.Ready(pctx)
+		cancel()
+		p.recordProbe(pr.member.Name, err)
+	}
+}
+
+// snapshot copies the remote-peer list out from under the mutex so
+// probes and sends never hold it.
+func (p *Pool) snapshot() []*peer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*peer, 0, len(p.peers))
+	for _, pr := range p.peers {
+		out = append(out, pr)
+	}
+	return out
+}
+
+// recordProbe folds one probe outcome into the health table. The
+// breaker is recorded before the pool lock is taken: Record can fire a
+// caller-supplied OnStateChange, which must never run under p.mu.
+func (p *Pool) recordProbe(name string, err error) {
+	if br := p.Breaker(name); br != nil {
+		br.Record(probeOutcome(err))
+	}
+	p.mu.Lock()
+	pr, ok := p.peers[name]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	var transition string
+	switch {
+	case err == nil:
+		pr.misses = 0
+		if !pr.up {
+			pr.up = true
+			transition = "up"
+			p.rebuildLocked()
+		}
+	default:
+		pr.misses++
+		if pr.up && pr.misses >= p.opts.DownAfter {
+			pr.up = false
+			transition = "down"
+			p.rebuildLocked()
+		}
+	}
+	fp := p.ring.Fingerprint()
+	p.mu.Unlock()
+	if transition != "" {
+		p.log.Warn("cluster: peer health transition",
+			"peer", name, "state", transition, "ring", fp, "err", fmt.Sprint(err))
+	}
+}
+
+// probeOutcome maps a probe error onto the breaker discipline: context
+// cancellation proves nothing about the peer, and a 4xx is our fault;
+// everything else (transport errors, 5xx including not_ready) counts
+// against the peer.
+func probeOutcome(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	var ae *blobclient.APIError
+	if errors.As(err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+		return nil
+	}
+	return err
+}
+
+// Apply folds one membership message into the table: hello/heartbeat
+// mark the sender up (introducing it if unknown, refreshing its URL if
+// moved); leave marks it down immediately — the ring-leave step of a
+// graceful drain, ahead of the probes noticing.
+func (p *Pool) Apply(msg Message) error {
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	if msg.From.Name == p.self.Name && p.self.Name != "" {
+		return nil
+	}
+	p.mu.Lock()
+	pr, known := p.peers[msg.From.Name]
+	changed := false
+	switch msg.Type {
+	case TypeHello, TypeHeartbeat:
+		if !known {
+			pr = p.newPeer(msg.From)
+			p.peers[msg.From.Name] = pr
+			changed = true
+		} else if pr.member.URL != msg.From.URL {
+			// The member moved; rebuild its client so traffic follows.
+			np := p.newPeer(msg.From)
+			np.up, np.misses = pr.up, pr.misses
+			p.peers[msg.From.Name] = np
+			pr = np
+		}
+		pr.misses = 0
+		if !pr.up {
+			pr.up = true
+			changed = true
+		}
+	case TypeLeave:
+		if known && pr.up {
+			pr.up = false
+			// A leave is deliberate; require a fresh success to rejoin.
+			pr.misses = p.opts.DownAfter
+			changed = true
+		}
+	}
+	if changed {
+		p.rebuildLocked()
+	}
+	fp := p.ring.Fingerprint()
+	p.mu.Unlock()
+	if changed {
+		p.log.Info("cluster: membership change",
+			"type", msg.Type, "from", msg.From.Name, "ring", fp)
+	}
+	return nil
+}
+
+// BroadcastLeave announces this member's departure to every known peer
+// — the ring-leave step of drain, run before the listener stops
+// accepting. Best effort: an unreachable peer will notice via probes.
+func (p *Pool) BroadcastLeave(ctx context.Context) {
+	p.announce(ctx, TypeLeave)
+}
+
+// AnnounceHello announces this member to every known peer (start and
+// rejoin).
+func (p *Pool) AnnounceHello(ctx context.Context) {
+	p.announce(ctx, TypeHello)
+}
+
+// announce sends one membership message about self to every known peer.
+// Gateway pools (no self) have nothing to announce.
+func (p *Pool) announce(ctx context.Context, typ string) {
+	if p.self.Name == "" {
+		return
+	}
+	msg := Message{Type: typ, From: p.self, Ring: p.Ring().Fingerprint()}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	for _, pr := range p.snapshot() {
+		sctx, cancel := context.WithTimeout(ctx, p.opts.ProbeTimeout)
+		resp, err := p.postRaw(sctx, pr.member.URL+"/cluster/v1/hello", body, nil)
+		cancel()
+		if err != nil {
+			p.log.Debug("cluster: announce failed", "type", typ, "peer", pr.member.Name, "err", err)
+			continue
+		}
+		drainBody(resp)
+	}
+}
+
+// FillThreshold returns the service.PeerFillFunc wiring this pool into
+// a replica: on a local cache miss the service asks the shard's ring
+// owner over /v1/threshold (marked with service.PeerFillHeader so the
+// owner never fans out another fill), guarded by the owner's circuit
+// breaker, before the caller falls back to a local sweep. (nil, nil)
+// when this replica owns the shard or no healthy remote owner exists.
+func (p *Pool) FillThreshold() service.PeerFillFunc {
+	return func(ctx context.Context, req service.ThresholdRequest, key string) (*service.ThresholdResponse, error) {
+		name, cl, br := p.fillTarget(key)
+		if cl == nil {
+			return nil, nil
+		}
+		if err := br.Allow(); err != nil {
+			return nil, fmt.Errorf("cluster: peer fill %s refused: %w", name, err)
+		}
+		fctx, cancel := context.WithTimeout(ctx, p.opts.FillTimeout)
+		defer cancel()
+		resp, err := cl.ThresholdPeer(fctx, req, p.self.Name)
+		br.Record(probeOutcome(err))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer fill from %s: %w", name, err)
+		}
+		resp.FilledFrom = name
+		return resp, nil
+	}
+}
+
+// fillTarget resolves the ring owner of key to a remote peer's typed
+// client (nil when the owner is self, unknown, or there is no ring).
+func (p *Pool) fillTarget(key string) (string, *blobclient.Client, *resilience.Breaker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	owner := p.ring.Owner(key)
+	if owner == "" || owner == p.self.Name {
+		return "", nil, nil
+	}
+	pr, ok := p.peers[owner]
+	if !ok {
+		return "", nil, nil
+	}
+	return owner, pr.client, pr.breaker
+}
+
+// Post proxies one raw JSON POST to a named member, forwarding body
+// bytes unmodified (the gateway's routing primitive — byte-transparent
+// so routing can never change a verdict). The caller owns the response
+// body and the breaker bookkeeping.
+func (p *Pool) Post(ctx context.Context, name, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	base, ok := p.MemberURL(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	return p.postRaw(ctx, base+path, body, hdr)
+}
+
+func (p *Pool) postRaw(ctx context.Context, url string, body []byte, hdr http.Header) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return p.opts.HTTPClient.Do(req)
+}
+
+// drainBody discards and closes a response body so the transport can
+// reuse the connection.
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	_ = resp.Body.Close()
+}
+
+// sortMembers orders a member slice by name (insertion sort; rosters
+// are a handful of entries).
+func sortMembers(ms []Member) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Name < ms[j-1].Name; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

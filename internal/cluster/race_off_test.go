@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; see race_on_test.go.
+const raceEnabled = false

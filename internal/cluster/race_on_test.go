@@ -1,0 +1,10 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Latency-SLO tests consult it: the detector's per-access
+// shadow-memory checks inflate wall-clock by several multiples, so a
+// bound calibrated for production code would only measure the
+// instrumentation.
+const raceEnabled = true

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic: a ring is a pure function of the member set —
+// input order, duplicates and blanks must not change ownership.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 64)
+	b := NewRing([]string{"c", "a", "b", "a", ""}, 64)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Members(), b.Members())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ for the same member set")
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q owned by %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingMinimalRemap is the consistent-hashing property itself:
+// removing one member must only remap the keys it owned — every other
+// key keeps its owner. Rejoining restores the original assignment
+// exactly (deterministic rebuild on loss/rejoin).
+func TestRingMinimalRemap(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"}, 64)
+	without := NewRing([]string{"a", "c"}, 64)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, now := full.Owner(key), without.Owner(key)
+		if was == "b" {
+			if now == "b" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %q -> %q though its owner never left", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("member b owned no keys; ring is degenerate")
+	}
+	rejoined := NewRing([]string{"b", "c", "a"}, 64)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if full.Owner(key) != rejoined.Owner(key) {
+			t.Fatalf("rejoin did not restore ownership of %q", key)
+		}
+	}
+}
+
+// TestRingOwnersDistinct: Owners returns distinct members in preference
+// order, the owner first, clamped to the member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 5)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3 (clamped)", key, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %q: Owners[0]=%q, Owner=%q", key, owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q", key, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes, three members each own a
+// non-trivial share of keys (no member starves).
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0) // 0 -> DefaultVNodes
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for m, c := range counts {
+		if c < n/10 {
+			t.Errorf("member %s owns only %d/%d keys; vnode spread is broken", m, c, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own keys, want 3", len(counts))
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing and panics nowhere.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if owners := r.Owners("k", 3); owners != nil {
+		t.Fatalf("empty ring owners = %v, want nil", owners)
+	}
+}
+
+// TestRingFingerprintTracksMembership: the fingerprint changes with the
+// member set, not with the lookup history.
+func TestRingFingerprintTracksMembership(t *testing.T) {
+	a := NewRing([]string{"a", "b"}, 64)
+	b := NewRing([]string{"a", "b", "c"}, 64)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different member sets share a fingerprint")
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Membership wire messages ride POST /cluster/v1/hello between
+// replicas. The vocabulary is deliberately tiny — three message types
+// over a static member list — because the ring is a pure function of
+// the healthy member set: there is no leader, no epoch, nothing to
+// elect. A message only ever changes one member's up/down bit (or
+// introduces a member), and every replica folds messages with Apply.
+
+// Message types.
+const (
+	// TypeHello announces a member that is up (sent on start and on
+	// rejoin after a drain or crash).
+	TypeHello = "hello"
+	// TypeLeave announces a graceful departure: the sender is removing
+	// itself from the ring before it stops accepting connections.
+	TypeLeave = "leave"
+	// TypeHeartbeat is a periodic liveness claim carrying the sender's
+	// ring fingerprint, so diverging membership views surface in logs.
+	TypeHeartbeat = "heartbeat"
+)
+
+// ErrInvalidMember reports a member that violates the wire constraints
+// (bad name, bad URL, duplicate roster entry).
+var ErrInvalidMember = errors.New("cluster: invalid member")
+
+// ErrInvalidMessage reports a membership message that violates the wire
+// contract.
+var ErrInvalidMessage = errors.New("cluster: invalid message")
+
+// Member identifies one replica: a stable name (the ring identity) and
+// the base URL peers reach it at.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Validate checks the member against the wire constraints.
+func (m Member) Validate() error {
+	if !ValidMemberName(m.Name) {
+		return fmt.Errorf("%w: name %q (want [a-z0-9][a-z0-9-]{0,62})", ErrInvalidMember, m.Name)
+	}
+	u, err := url.Parse(m.URL)
+	if err != nil {
+		return fmt.Errorf("%w: %s: bad url: %v", ErrInvalidMember, m.Name, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("%w: %s: url %q must be absolute http(s)", ErrInvalidMember, m.Name, m.URL)
+	}
+	return nil
+}
+
+// ValidMemberName reports whether s is a legal member name: lowercase
+// alphanumerics and dashes, starting with an alphanumeric, at most 63
+// bytes (the DNS-label convention, so names can double as hostnames).
+func ValidMemberName(s string) bool {
+	if len(s) == 0 || len(s) > 63 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseMemberList parses the command-line roster syntax shared by
+// blob-served and blob-gateway: comma-separated "name=url" pairs, e.g.
+// "rep-0=http://10.0.0.1:8080,rep-1=http://10.0.0.2:8080". Every
+// member is validated; duplicate names are rejected.
+func ParseMemberList(s string) ([]Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var out []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q: want name=url", ErrInvalidMember, part)
+		}
+		m := Member{Name: strings.TrimSpace(name), URL: strings.TrimSpace(u)}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("%w: duplicate name %q", ErrInvalidMember, m.Name)
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Message is one membership event on the wire.
+type Message struct {
+	// Type is one of TypeHello, TypeLeave, TypeHeartbeat.
+	Type string `json:"type"`
+	// From is the member the event is about (always the sender).
+	From Member `json:"from"`
+	// Ring is the sender's ring fingerprint (heartbeats only; informational).
+	Ring string `json:"ring,omitempty"`
+}
+
+// Validate checks the message against the wire contract.
+func (m Message) Validate() error {
+	switch m.Type {
+	case TypeHello, TypeLeave, TypeHeartbeat:
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrInvalidMessage, m.Type)
+	}
+	if err := m.From.Validate(); err != nil {
+		return err
+	}
+	if len(m.Ring) > 64 {
+		return fmt.Errorf("%w: ring fingerprint too long (%d bytes)", ErrInvalidMessage, len(m.Ring))
+	}
+	return nil
+}
+
+// ParseMessage decodes and validates one membership message. The
+// decoder is strict — unknown fields and trailing bytes are rejected —
+// because this is an untrusted network input (and the fuzz target in
+// verify's fuzz stage hammers exactly this function).
+func ParseMessage(data []byte) (Message, error) {
+	var msg Message
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&msg); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrInvalidMessage, err)
+	}
+	if dec.More() {
+		return Message{}, fmt.Errorf("%w: trailing data", ErrInvalidMessage)
+	}
+	if err := msg.Validate(); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseMessageRoundTrip(t *testing.T) {
+	in := Message{Type: TypeHeartbeat, From: Member{Name: "rep-0", URL: "http://10.0.0.1:8080"}, Ring: "abcd1234"}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseMessage(data)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the message: %+v vs %+v", out, in)
+	}
+}
+
+func TestParseMessageRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"unknown type", `{"type":"elect","from":{"name":"a","url":"http://x"}}`},
+		{"unknown field", `{"type":"hello","from":{"name":"a","url":"http://x"},"term":4}`},
+		{"trailing data", `{"type":"hello","from":{"name":"a","url":"http://x"}}{}`},
+		{"bad name", `{"type":"hello","from":{"name":"A_b","url":"http://x"}}`},
+		{"empty name", `{"type":"hello","from":{"name":"","url":"http://x"}}`},
+		{"relative url", `{"type":"hello","from":{"name":"a","url":"/local"}}`},
+		{"ftp url", `{"type":"hello","from":{"name":"a","url":"ftp://x"}}`},
+		{"long ring", `{"type":"hello","from":{"name":"a","url":"http://x"},"ring":"` + strings.Repeat("f", 65) + `"}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseMessage([]byte(tc.data)); err == nil {
+			t.Errorf("%s: ParseMessage accepted %q", tc.name, tc.data)
+		}
+	}
+}
+
+func TestValidMemberName(t *testing.T) {
+	good := []string{"a", "rep-0", "node-42-b", "0x", strings.Repeat("a", 63)}
+	for _, s := range good {
+		if !ValidMemberName(s) {
+			t.Errorf("ValidMemberName(%q) = false, want true", s)
+		}
+	}
+	bad := []string{"", "-a", "A", "a.b", "a b", "ü", strings.Repeat("a", 64)}
+	for _, s := range bad {
+		if ValidMemberName(s) {
+			t.Errorf("ValidMemberName(%q) = true, want false", s)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadyzReady pins the readiness body the way TestHealthz pins
+// liveness: a replica with an armed worker pool and no drain in
+// progress answers 200 with the blob.v1.ready schema.
+func TestReadyzReady(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body ReadyBody
+	decodeEnvelope(t, string(raw), SchemaReady, &body)
+	if body.Status != "ready" || body.Draining || !body.WorkersArmed || body.UptimeSeconds < 0 {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+// TestReadyzDuringDrain: BeginDrain flips /readyz to 503 not_ready
+// while /healthz stays 200 — a draining replica is alive (it is still
+// flushing in-flight work) but must stop receiving new traffic.
+func TestReadyzDuringDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.BeginDrain()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiErr := decodeAPIError(t, string(raw))
+	if apiErr.Code != "not_ready" {
+		t.Fatalf("code = %q, want not_ready", apiErr.Code)
+	}
+	if !strings.Contains(apiErr.Message, "draining") {
+		t.Fatalf("message %q does not say why the replica is not ready", apiErr.Message)
+	}
+	if apiErr.RetryAfterS != 1 {
+		t.Fatalf("retry_after_s = %d does not mirror the header", apiErr.RetryAfterS)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz followed readiness down during drain: %d", hresp.StatusCode)
+	}
+
+	ok, reason := s.Ready()
+	if ok || reason != "draining" {
+		t.Fatalf("Ready() = (%v, %q) during drain", ok, reason)
+	}
+}
+
+// TestReadyzBeforeWorkersArmed: readiness tracks the worker pool — a
+// replica is not ready until every worker has parked on the job
+// channel, so an orchestrator will not route traffic into a cold
+// replica. A fresh pool arms within the startup window; Ready() and
+// Pool.Armed() flip together.
+func TestReadyzBeforeWorkersArmed(t *testing.T) {
+	s := New(Options{Workers: 4})
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ok, reason := s.Ready()
+		if ok {
+			if !s.pool.Armed() {
+				t.Fatal("Ready() true while the pool reports unarmed")
+			}
+			return
+		}
+		if reason != "worker pool not armed" {
+			t.Fatalf("not-ready reason = %q during startup", reason)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker pool never armed")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestDrainOrderAndMetric pins the drain sequence at the service layer:
+// BeginDrain (not-ready) happens before Close (flush), in-flight work
+// admitted before the drain still completes, and the completed drain
+// stamps blob_drain_seconds exactly once.
+func TestDrainOrderAndMetric(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	// Admit a request, then drain. The response must still be served:
+	// drain stops new traffic at the readiness gate, never truncates
+	// accepted work.
+	req := `{"system":"dawn","kernel":"gemv","precision":"f64","config":{"max_dim":32,"step":8,"iterations":2}}`
+	resp, body := postJSON(t, ts.URL+"/v1/threshold", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain threshold: %d %s", resp.StatusCode, body)
+	}
+
+	s.BeginDrain()
+	if got := s.Metrics().DrainSeconds(); got != 0 {
+		t.Fatalf("blob_drain_seconds = %g before flush completed, want 0", got)
+	}
+	s.Close()
+	got := s.Metrics().DrainSeconds()
+	if got <= 0 {
+		t.Fatalf("blob_drain_seconds = %g after drain, want > 0", got)
+	}
+
+	// Close is idempotent and must not re-stamp a new (zero-length)
+	// drain on the second call.
+	s.Close()
+	if again := s.Metrics().DrainSeconds(); math.Abs(again-got) > 0 {
+		t.Fatalf("second Close moved blob_drain_seconds %g -> %g", got, again)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	SchemaThreshold = "blob.v1.threshold"
 	SchemaDispatch  = "blob.v1.dispatch"
 	SchemaHealth    = "blob.v1.health"
+	SchemaReady     = "blob.v1.ready"
 	SchemaError     = "blob.v1.error"
 )
 
@@ -62,6 +63,20 @@ type APIError struct {
 // HealthBody is the /healthz payload inside the envelope.
 type HealthBody struct {
 	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReadyBody is the /readyz payload inside the envelope — readiness as
+// distinct from liveness. /healthz answers "ok" for as long as the
+// process can serve bytes; /readyz answers 200 only while the replica
+// should receive new traffic: not draining, worker pool armed. During a
+// drain (or before the pool is armed) /readyz is a 503 error envelope
+// with code "not_ready", which is what cluster health checks and rolling
+// restarts key off.
+type ReadyBody struct {
+	Status        string  `json:"status"` // always "ready" on a 200
+	Draining      bool    `json:"draining"`
+	WorkersArmed  bool    `json:"workers_armed"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 

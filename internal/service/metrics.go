@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -133,6 +134,17 @@ type Metrics struct {
 	// current AIMD limit and queue depth at scrape time.
 	AdmissionLimit, AdmissionQueued func() int
 
+	// PeerFillServes counts threshold responses served by fetching the
+	// result from the shard's ring owner over the peer-fill path;
+	// PeerFillFallbacks counts fill attempts that failed and fell back to
+	// a local sweep. Requests the hook declined (this replica owns the
+	// shard) count in neither.
+	PeerFillServes, PeerFillFallbacks Counter
+	// drainSeconds is the blob_drain_seconds gauge: wall-clock of the
+	// last completed graceful drain (BeginDrain → Close), stored as
+	// float64 bits so the scrape path stays lock-free.
+	drainSeconds atomic.Uint64
+
 	// DispatchBatches / DispatchDecisions count /v1/dispatch batches
 	// served and the individual routing decisions inside them;
 	// DispatchCacheHits counts the decisions answered from the
@@ -151,6 +163,13 @@ func NewMetrics() *Metrics {
 		AdmissionSeconds: NewHistogram(),
 	}
 }
+
+// SetDrainSeconds records the duration of a completed graceful drain;
+// DrainSeconds reads it back (0 until a drain has finished).
+func (m *Metrics) SetDrainSeconds(s float64) { m.drainSeconds.Store(math.Float64bits(s)) }
+
+// DrainSeconds returns the wall-clock of the last completed drain.
+func (m *Metrics) DrainSeconds() float64 { return math.Float64frombits(m.drainSeconds.Load()) }
 
 // maxShedClients bounds the per-client shed series so a client-key
 // minting attack cannot grow the scrape without bound; overflow clients
@@ -283,6 +302,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintf(&b, "blob_breaker_open_total %d\n", m.BreakerOpenTotal.Value())
 	fmt.Fprintf(&b, "# HELP blob_breaker_transitions_total Circuit breaker state changes across all backends.\n# TYPE blob_breaker_transitions_total counter\n")
 	fmt.Fprintf(&b, "blob_breaker_transitions_total %d\n", m.BreakerTransitions.Value())
+
+	fmt.Fprintf(&b, "# HELP blob_peer_fill_total Threshold cache misses resolved via the cluster peer-fill path, by result.\n# TYPE blob_peer_fill_total counter\n")
+	fmt.Fprintf(&b, "blob_peer_fill_total{result=\"served\"} %d\n", m.PeerFillServes.Value())
+	fmt.Fprintf(&b, "blob_peer_fill_total{result=\"fallback\"} %d\n", m.PeerFillFallbacks.Value())
+	fmt.Fprintf(&b, "# HELP blob_drain_seconds Wall-clock of the last completed graceful drain (ring-leave to flush).\n# TYPE blob_drain_seconds gauge\n")
+	fmt.Fprintf(&b, "blob_drain_seconds %g\n", m.DrainSeconds())
 
 	fmt.Fprintf(&b, "# HELP blob_dispatch_batches_total Dispatch batches served.\n# TYPE blob_dispatch_batches_total counter\n")
 	fmt.Fprintf(&b, "blob_dispatch_batches_total %d\n", m.DispatchBatches.Value())

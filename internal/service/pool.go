@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity;
@@ -27,6 +28,7 @@ type Pool struct {
 	workers int
 	jobs    chan func()
 	wg      sync.WaitGroup
+	armed   atomic.Int32 // workers that have entered their receive loop
 }
 
 // NewPool starts a pool of workers (min 1) with the given queue capacity
@@ -50,11 +52,20 @@ func (p *Pool) start() {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			p.armed.Add(1)
 			for job := range p.jobs {
 				job()
 			}
 		}()
 	}
+}
+
+// Armed reports whether every worker goroutine has started its receive
+// loop. Readiness (as opposed to liveness) gates on this: a replica that
+// has bound its listener but not yet armed its workers would queue — not
+// serve — the first sweeps routed to it.
+func (p *Pool) Armed() bool {
+	return int(p.armed.Load()) >= p.workers
 }
 
 // Submit enqueues job without blocking. It fails with ErrQueueFull when

@@ -27,11 +27,13 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -86,6 +88,13 @@ type Options struct {
 	// (Backend "service") before the backend runs — the service-layer
 	// chaos hook. Nil costs a single comparison.
 	Inject faultinject.Point
+	// PeerFill, when non-nil, is consulted on a threshold cache miss
+	// before the request pays for a local sweep: a clustered replica asks
+	// the shard's ring owner for the result (internal/cluster wires this
+	// to the peer-fill client pool). The hook is skipped for requests that
+	// are themselves peer fills (PeerFillHeader present) so a fill can
+	// never fan out into another fill.
+	PeerFill PeerFillFunc
 
 	// TargetLatency is the AIMD setpoint of the adaptive concurrency
 	// limiter: sweep completions above it shrink the admitted
@@ -156,6 +165,12 @@ type Server struct {
 	log       *slog.Logger
 	start     time.Time
 
+	// draining flips on BeginDrain and never clears; drainStart stamps
+	// the moment the drain began (UnixNano), consumed exactly once by
+	// Close to record blob_drain_seconds.
+	draining   atomic.Bool
+	drainStart atomic.Int64
+
 	breakerMu sync.Mutex
 	breakers  map[string]*resilience.Breaker // system name -> breaker
 
@@ -219,12 +234,43 @@ func (s *Server) breaker(system string) *resilience.Breaker {
 // Metrics exposes the registry (used by tests and the metrics endpoint).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// BeginDrain flips the replica not-ready — the first step of the drain
+// order (ring-leave → stop-accept → flush). From this point /readyz
+// answers 503 "not_ready" so peers and load balancers stop routing new
+// work here, while /healthz stays green and in-flight (and even newly
+// arriving) requests keep being served. The caller stops accepting
+// connections next and finally calls Close, which flushes the pool and
+// stamps blob_drain_seconds. Idempotent; safe from any goroutine.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainStart.Store(time.Now().UnixNano())
+		s.log.Info("drain: replica not-ready (ring-leave)")
+	}
+}
+
+// Ready reports whether the replica should receive new traffic, with a
+// human-readable reason when it should not.
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if !s.pool.Armed() {
+		return false, "worker pool not armed"
+	}
+	return true, ""
+}
+
 // Close drains the server: admission closes first (queued waiters shed
 // with reason shutting_down, new acquires refused), then the pool waits
-// for the sweeps that were already admitted.
+// for the sweeps that were already admitted. When a graceful drain was
+// announced via BeginDrain, the completed flush stamps the
+// blob_drain_seconds gauge with the ring-leave → flush wall-clock.
 func (s *Server) Close() {
 	s.admission.Close()
 	s.pool.Close()
+	if t0 := s.drainStart.Swap(0); t0 > 0 {
+		s.metrics.SetDrainSeconds(time.Since(time.Unix(0, t0)).Seconds())
+	}
 }
 
 // Handler returns the service's routed, instrumented HTTP handler. The
@@ -240,6 +286,7 @@ func (s *Server) Handler() http.Handler {
 	// for one release so clients can migrate to the v1 envelope.
 	mux.Handle("/v0/advise", s.instrument("/v0/advise", s.recovered(s.requirePost(s.handleAdviseV0))))
 	mux.Handle("/healthz", s.instrument("/healthz", s.recovered(http.HandlerFunc(s.handleHealthz))))
+	mux.Handle("/readyz", s.instrument("/readyz", s.recovered(http.HandlerFunc(s.handleReadyz))))
 	mux.Handle("/metrics", s.instrument("/metrics", s.recovered(http.HandlerFunc(s.handleMetrics))))
 	return mux
 }
@@ -331,6 +378,25 @@ func (s *Server) requirePost(h http.HandlerFunc) http.Handler {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeEnvelope(w, http.StatusOK, SchemaHealth, HealthBody{
 		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is the readiness probe, distinct from handleHealthz's
+// liveness: 200 only while the replica wants new traffic (not draining,
+// worker pool armed), 503 "not_ready" otherwise. The 503 carries the
+// uniform rejection contract (Retry-After header mirrored in the body)
+// so a probe and a client read the same hint.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.Ready()
+	if !ready {
+		reject(w, http.StatusServiceUnavailable, "not_ready", time.Second, errors.New(reason))
+		return
+	}
+	writeEnvelope(w, http.StatusOK, SchemaReady, ReadyBody{
+		Status:        "ready",
+		Draining:      false,
+		WorkersArmed:  true,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }

@@ -80,7 +80,27 @@ type ThresholdResponse struct {
 	// was open, so the service returned the last known result even
 	// though its freshness window had lapsed.
 	Stale bool `json:"stale,omitempty"`
+	// FilledFrom names the cluster peer this result was fetched from over
+	// the peer-fill path (empty when the replica computed or cached it
+	// locally). Provenance only: the thresholds are byte-identical either
+	// way, which the cluster soak profile asserts.
+	FilledFrom string `json:"filled_from,omitempty"`
 }
+
+// PeerFillHeader marks a threshold request as a peer cache fill. A
+// replica that receives it answers from its own cache or computes
+// locally, but never consults its own PeerFill hook — the loop guard
+// that keeps a fill from fanning out across the ring. Its value is the
+// requesting member's name, for logs.
+const PeerFillHeader = "X-Blob-Peer-Fill"
+
+// PeerFillFunc asks the cluster for a threshold result this replica
+// does not have cached. key is the canonical route/cache key (see
+// ThresholdRouteKey). Returns (resp, nil) when a peer served the
+// result, (nil, nil) when the path does not apply (this replica owns the
+// shard, or no healthy owner exists), and (nil, err) when a fill was
+// attempted and failed — the caller falls back to a local sweep.
+type PeerFillFunc func(ctx context.Context, req ThresholdRequest, key string) (*ThresholdResponse, error)
 
 // thresholdPlan is a fully resolved, validated threshold request.
 type thresholdPlan struct {
@@ -94,6 +114,26 @@ type thresholdPlan struct {
 // resolve maps the wire request onto typed core values and computes the
 // canonical cache key.
 func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
+	return resolveThresholdIn(req, s.opts.MaxSweepDim, s.opts.Resilience)
+}
+
+// ThresholdRouteKey computes the canonical identity of one threshold
+// request — the same string the serving replica caches the result
+// under, so a gateway routing by it and the replica answering it agree
+// byte for byte. maxSweepDim must match the replicas' MaxSweepDim
+// option (<= 0 takes the service default); the Resilience block is
+// excluded from core.Config.Hash, so it cannot skew the key.
+func ThresholdRouteKey(req ThresholdRequest, maxSweepDim int) (string, error) {
+	if maxSweepDim <= 0 {
+		maxSweepDim = Options{}.withDefaults().MaxSweepDim
+	}
+	p, err := resolveThresholdIn(req, maxSweepDim, core.Resilience{})
+	return p.key, err
+}
+
+// resolveThresholdIn is the shared implementation behind the server's
+// resolve and the exported route key.
+func resolveThresholdIn(req ThresholdRequest, maxSweepDim int, res core.Resilience) (thresholdPlan, error) {
 	var p thresholdPlan
 	var err error
 	if p.sys, err = systems.ByName(req.System); err != nil {
@@ -131,10 +171,10 @@ func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
 		return p, err
 	}
 	if p.cfg.MaxDim == 0 {
-		p.cfg.MaxDim = s.opts.MaxSweepDim
+		p.cfg.MaxDim = maxSweepDim
 	}
-	if p.cfg.MaxDim > s.opts.MaxSweepDim {
-		return p, fmt.Errorf("max_dim %d exceeds the service limit %d", p.cfg.MaxDim, s.opts.MaxSweepDim)
+	if p.cfg.MaxDim > maxSweepDim {
+		return p, fmt.Errorf("max_dim %d exceeds the service limit %d", p.cfg.MaxDim, maxSweepDim)
 	}
 	if p.cfg.Iterations == 0 {
 		p.cfg.Iterations = 8
@@ -142,7 +182,7 @@ func (s *Server) resolveThreshold(req ThresholdRequest) (thresholdPlan, error) {
 	// Sweep-level retries never change the result, only whether a flaky
 	// backend produces one; Config.Hash excludes the block, so the cache
 	// key below is identical with or without it.
-	p.cfg.Resilience = s.opts.Resilience
+	p.cfg.Resilience = res
 	hash, err := p.cfg.Hash()
 	if err != nil {
 		return p, err
@@ -220,6 +260,28 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.CacheMisses.Inc()
+
+	// Peer cache fill (DESIGN.md §16): before paying for a local sweep, a
+	// clustered replica asks the shard's ring owner for the result. The
+	// header check is the loop guard — a request that is itself a fill
+	// must answer from local state only. A filled result is cached here
+	// with its transport markers cleared, so the next local hit serves it
+	// as an ordinary cache entry; FilledFrom survives on the wire for
+	// provenance.
+	if s.opts.PeerFill != nil && r.Header.Get(PeerFillHeader) == "" {
+		switch resp, ferr := s.opts.PeerFill(ctx, req, plan.key); {
+		case resp != nil:
+			s.metrics.PeerFillServes.Inc()
+			stored := *resp
+			stored.Cached, stored.Deduplicated, stored.Stale = false, false, false
+			s.cache.Put(plan.key, stored)
+			writeEnvelope(w, http.StatusOK, SchemaThreshold, *resp)
+			return
+		case ferr != nil:
+			s.metrics.PeerFillFallbacks.Inc()
+			s.log.Warn("peer fill failed; sweeping locally", "key", plan.key, "err", ferr)
+		}
+	}
 
 	br := s.breaker(plan.sys.Name)
 	// Degraded tier: while this system's breaker is refusing outright

@@ -119,7 +119,7 @@ func New(opts Options) *Client {
 // Advise evaluates a batch of call groups (POST /v1/advise).
 func (c *Client) Advise(ctx context.Context, req service.AdviseRequest) (*service.AdviseResponse, error) {
 	var out service.AdviseResponse
-	if err := c.call(ctx, "/v1/advise", service.SchemaAdvise, req, &out); err != nil {
+	if err := c.call(ctx, "/v1/advise", service.SchemaAdvise, req, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -129,7 +129,21 @@ func (c *Client) Advise(ctx context.Context, req service.AdviseRequest) (*servic
 // (POST /v1/threshold).
 func (c *Client) Threshold(ctx context.Context, req service.ThresholdRequest) (*service.ThresholdResponse, error) {
 	var out service.ThresholdResponse
-	if err := c.call(ctx, "/v1/threshold", service.SchemaThreshold, req, &out); err != nil {
+	if err := c.call(ctx, "/v1/threshold", service.SchemaThreshold, req, &out, nil); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ThresholdPeer is Threshold with the peer cache-fill marker
+// (service.PeerFillHeader) stamped with origin, the requesting cluster
+// member's name. The receiving replica answers from its own cache or
+// computes locally, but never fans out another fill — the cluster's
+// loop guard.
+func (c *Client) ThresholdPeer(ctx context.Context, req service.ThresholdRequest, origin string) (*service.ThresholdResponse, error) {
+	var out service.ThresholdResponse
+	hdr := map[string]string{service.PeerFillHeader: origin}
+	if err := c.call(ctx, "/v1/threshold", service.SchemaThreshold, req, &out, hdr); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -139,7 +153,7 @@ func (c *Client) Threshold(ctx context.Context, req service.ThresholdRequest) (*
 // offload dispatcher (POST /v1/dispatch).
 func (c *Client) DispatchBatch(ctx context.Context, req service.DispatchRequest) (*service.DispatchResponse, error) {
 	var out service.DispatchResponse
-	if err := c.call(ctx, "/v1/dispatch", service.SchemaDispatch, req, &out); err != nil {
+	if err := c.call(ctx, "/v1/dispatch", service.SchemaDispatch, req, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -153,6 +167,22 @@ func (c *Client) Health(ctx context.Context) (*service.HealthBody, error) {
 	}
 	var out service.HealthBody
 	if err := c.roundTrip(httpReq, service.SchemaHealth, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready reads the readiness endpoint (GET /readyz) — distinct from
+// liveness, it answers 503 code "not_ready" while the replica is
+// draining or before its worker pool is armed. Cluster health checks
+// and rolling restarts key off this, not /healthz.
+func (c *Client) Ready(ctx context.Context) (*service.ReadyBody, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out service.ReadyBody
+	if err := c.roundTrip(httpReq, service.SchemaReady, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -184,7 +214,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // outcome; resilience.IsTransient decides retryability (APIError
 // implements Transienter), and a server Retry-After hint raises the
 // backoff floor for the next attempt.
-func (c *Client) call(ctx context.Context, path, schema string, in, out any) error {
+func (c *Client) call(ctx context.Context, path, schema string, in, out any, hdr map[string]string) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -197,7 +227,7 @@ func (c *Client) call(ctx context.Context, path, schema string, in, out any) err
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := c.attempt(ctx, path, body, schema, out)
+		err := c.attempt(ctx, path, body, schema, out, hdr)
 		if err == nil {
 			return nil
 		}
@@ -221,11 +251,11 @@ func (c *Client) call(ctx context.Context, path, schema string, in, out any) err
 // it as a success keeps one buggy caller from opening the breaker for
 // everyone sharing the client. Context cancellation likewise proves
 // nothing about the server.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, schema string, out any) error {
+func (c *Client) attempt(ctx context.Context, path string, body []byte, schema string, out any, hdr map[string]string) error {
 	if err := c.breaker.Allow(); err != nil {
 		return err
 	}
-	err := c.post(ctx, path, body, schema, out)
+	err := c.post(ctx, path, body, schema, out, hdr)
 	switch {
 	case err == nil:
 		c.breaker.Record(nil)
@@ -258,12 +288,15 @@ func sleep(ctx context.Context, d time.Duration) error {
 }
 
 // post performs one POST attempt.
-func (c *Client) post(ctx context.Context, path string, body []byte, schema string, out any) error {
+func (c *Client) post(ctx context.Context, path string, body []byte, schema string, out any, hdr map[string]string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	return c.roundTrip(req, schema, out)
 }
 

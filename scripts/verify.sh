@@ -33,8 +33,10 @@
 #                      FIDELITY.md report
 #   6. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
 #                      the advisor trace CSV, the fault-plan JSON, the
-#                      config hash that keys the service cache, and the
-#                      strict blob-vet baseline/report JSON parser
+#                      config hash that keys the service cache, the
+#                      strict blob-vet baseline/report JSON parser, and
+#                      the cluster membership wire messages + threshold
+#                      route key (DESIGN.md §16)
 #   7. blob-bench    — smoke run of the standardized benchmark suite
 #                      (tiny sizes, one interleaved repetition): proves
 #                      every case still prepares, runs and serializes
@@ -46,14 +48,19 @@
 #                      under faults match the fault-free reference; plus
 #                      the dispatch profile hammering /v1/dispatch
 #                      batches and asserting the shape-cache hit-rate
-#                      and fast-tier latency SLOs (DESIGN.md §14)
+#                      and fast-tier latency SLOs (DESIGN.md §14); plus
+#                      the cluster profile's kill/rejoin chaos run over
+#                      a 3-replica consistent-hash cluster, asserting
+#                      linear cache-hit scaling, byte-identical verdicts
+#                      vs the single-node reference, and bounded
+#                      degradation (DESIGN.md §16)
 #   9. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, the advisor
 #                      service (cache / singleflight / worker pool),
 #                      the offload dispatcher, the overload controller,
-#                      and the resilience layer (retry / breaker / fault
-#                      injection)
+#                      the resilience layer (retry / breaker / fault
+#                      injection), and the cluster ring / pool / gateway
 #  10. chaos         — the seeded fault-injection gate: the chaos tests
 #                      re-run under the race detector with a fixed seed,
 #                      proving a sweep under a 30%-transient fault plan
@@ -104,20 +111,21 @@ go test -run='^$' -fuzz='^FuzzReadTrace$' -fuzztime=10s ./internal/advisor/
 go test -run='^$' -fuzz='^FuzzPlanJSON$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzConfigHash$' -fuzztime=10s ./internal/core/
 go test -run='^$' -fuzz='^FuzzBaselineJSON$' -fuzztime=10s ./internal/analysis/blobvet/
+go test -run='^$' -fuzz='^FuzzClusterWire$' -fuzztime=10s ./internal/cluster/
 end
 
 begin "blob-bench -smoke"
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 end
 
-begin "blob-soak -short (sustain + chaos + dispatch)"
-go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos,dispatch -o "$bench_tmp/SOAK_verify.json"
+begin "blob-soak -short (sustain + chaos + dispatch + cluster)"
+go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos,dispatch,cluster -o "$bench_tmp/SOAK_verify.json"
 end
 
-begin "go test -race (parallel, core, blas, service, offload, overload, resilience, faultinject, blobclient)"
+begin "go test -race (parallel, core, blas, service, offload, overload, resilience, faultinject, blobclient, cluster)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
 	./internal/offload/... ./internal/overload/... ./internal/resilience/... ./internal/faultinject/... \
-	./pkg/blobclient/...
+	./pkg/blobclient/... ./internal/cluster/...
 end
 
 begin "chaos gate (seeded fault plans under -race)"
