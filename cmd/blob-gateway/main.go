@@ -62,16 +62,20 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":8090", "listen address")
-		peers     = flag.String("peers", "", "cluster roster: comma-separated name=url pairs (required)")
-		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the hash ring")
-		replicas  = flag.Int("failover", 3, "ring owners to try per request (owner first, then clockwise)")
-		heartbeat = flag.Duration("heartbeat", 2*time.Second, "health probe period (0 disables the background loop)")
-		downAfter = flag.Int("down-after", 2, "consecutive failed probes before a replica leaves the ring")
-		probeTO   = flag.Duration("probe-timeout", time.Second, "deadline for one /readyz health probe")
-		maxDim    = flag.Int("max-dim", 4096, "largest sweep max_dim used to derive threshold route keys (match the replicas' -max-dim)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		addr       = flag.String("addr", ":8090", "listen address")
+		peers      = flag.String("peers", "", "cluster roster: comma-separated name=url pairs (required)")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the hash ring")
+		replicas   = flag.Int("failover", 3, "ring owners to try per request (owner first, then clockwise)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "health probe period (0 disables the background loop)")
+		downAfter  = flag.Int("down-after", 2, "consecutive failed probes before a replica leaves the ring")
+		probeTO    = flag.Duration("probe-timeout", time.Second, "deadline for one /readyz health probe")
+		maxDim     = flag.Int("max-dim", 4096, "largest sweep max_dim used to derive threshold route keys (match the replicas' -max-dim)")
+		hedge      = flag.Bool("hedge", false, "race a delayed second attempt to the next ring owner on idempotent routes (threshold/advise; never dispatch)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "fixed hedge delay; 0 adapts to the p99 of recent proxy latencies, clamped to [-hedge-min, -hedge-max]")
+		hedgeMin   = flag.Duration("hedge-min", 2*time.Millisecond, "floor for the adaptive hedge delay")
+		hedgeMax   = flag.Duration("hedge-max", 500*time.Millisecond, "ceiling for the adaptive hedge delay (also used while the latency window is cold)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -106,6 +110,10 @@ func run() error {
 		MaxSweepDim: *maxDim,
 		Replication: *replicas,
 		Logger:      logger,
+		Hedge:       *hedge,
+		HedgeAfter:  *hedgeAfter,
+		HedgeMin:    *hedgeMin,
+		HedgeMax:    *hedgeMax,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

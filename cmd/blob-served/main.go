@@ -117,6 +117,7 @@ func run() error {
 		debug    = flag.String("debug-addr", "", "pprof/runtime-metrics listen address (empty = disabled; bind loopback)")
 
 		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for /v1/threshold; expiry answers 504 (0 = unbounded)")
+		minSweep   = flag.Duration("min-sweep-budget", 0, "fail a cache-missing threshold request fast with 504 when its deadline budget is below this floor (0 = disabled)")
 		retries    = flag.Int("sweep-retries", 0, "attempts per backend call inside a sweep for transient faults (0/1 = no retry)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "freshness window for cached threshold results; expired entries serve only while the backend's breaker is open, marked stale (0 = fresh forever)")
 		faultPlan  = flag.String("fault-plan", "", "seeded fault-injection plan (JSON file) to arm on the simulated backends — chaos mode")
@@ -145,6 +146,7 @@ func run() error {
 		MaxSweepDim:    *maxDim,
 		Logger:         logger,
 		RequestTimeout: *reqTimeout,
+		MinSweepBudget: *minSweep,
 		Resilience:     core.Resilience{MaxAttempts: *retries},
 		CacheTTL:       *cacheTTL,
 		TargetLatency:  *targetLat,

@@ -28,6 +28,13 @@
 //	         ~linearly vs a single node, every verdict must match the
 //	         single-node reference byte for byte, and no request may hang
 //	         past the deadline budget (DESIGN.md §16)
+//	partition the same cluster under a seeded netfault plan instead of a
+//	         clean kill: a gateway-side partition/heal/flap schedule, a
+//	         permanently slow replica (hedged requests must win), and
+//	         truncated/bit-flipped bodies on the direct edges (the client
+//	         integrity checks must retry, never believe them); verdict
+//	         digests must match an unfaulted replay byte for byte
+//	         (DESIGN.md §17)
 //
 // All traffic flows through pkg/blobclient — the same typed client the
 // README documents — so the soak doubles as an end-to-end exercise of the
@@ -114,6 +121,7 @@ type profile struct {
 	aimd      bool // enable the AIMD target latency
 	dispatch  bool // drive /v1/dispatch batches instead of threshold sweeps
 	clustered bool // N-replica cluster chaos (cluster.go), not a load profile
+	partition bool // network-fault cluster chaos (partition.go), not a load profile
 }
 
 // profiles returns the scripted scenarios for a given worker count; 4x
@@ -128,6 +136,7 @@ func allProfiles(workers int) []profile {
 		{name: "chaos", faults: true, phases: []phase{{burst, 1}}},
 		{name: "dispatch", dispatch: true, phases: []phase{{burst, 1}}},
 		{name: "cluster", clustered: true, phases: []phase{{clusterNodes, 1}}},
+		{name: "partition", partition: true, phases: []phase{{partitionNodes, 1}}},
 	}
 }
 
@@ -175,11 +184,16 @@ type ProfileResult struct {
 	// cluster run and the identical single-node schedule, their ratio
 	// (the linear-scaling SLO), successful peer cache fills, and the
 	// worst request latency observed across the kill/rejoin window.
-	ClusterHitRate  float64  `json:"cluster_hit_rate,omitempty"`
-	SingleHitRate   float64  `json:"single_hit_rate,omitempty"`
-	HitScaling      float64  `json:"hit_scaling,omitempty"`
-	PeerFills       int      `json:"peer_fills,omitempty"`
-	MaxLatencyMs    float64  `json:"max_latency_ms,omitempty"`
+	ClusterHitRate float64 `json:"cluster_hit_rate,omitempty"`
+	SingleHitRate  float64 `json:"single_hit_rate,omitempty"`
+	HitScaling     float64 `json:"hit_scaling,omitempty"`
+	PeerFills      int     `json:"peer_fills,omitempty"`
+	MaxLatencyMs   float64 `json:"max_latency_ms,omitempty"`
+	// HedgeWins/FaultsInjected are set by the partition profile: hedged
+	// requests the gateway answered from the backup owner, and total
+	// faults its netfault injectors fired across the run.
+	HedgeWins       int      `json:"hedge_wins,omitempty"`
+	FaultsInjected  int      `json:"faults_injected,omitempty"`
 	VerdictDigest   string   `json:"verdict_digest,omitempty"`
 	ReferenceDigest string   `json:"reference_digest,omitempty"`
 	Violations      []string `json:"violations,omitempty"`
@@ -204,7 +218,7 @@ type Artifact struct {
 func run() error {
 	var (
 		seed      = flag.Int64("seed", 1, "seed for the request schedule (deterministic per seed)")
-		sel       = flag.String("profiles", "ramp,spike,sustain,chaos,dispatch,cluster", "comma-separated profiles to run")
+		sel       = flag.String("profiles", "ramp,spike,sustain,chaos,dispatch,cluster,partition", "comma-separated profiles to run")
 		short     = flag.Bool("short", false, "short windows (~2s per profile): the verify-gate mode")
 		tag       = flag.String("tag", "dev", "artifact tag; default output is SOAK_<tag>.json")
 		out       = flag.String("o", "", "output path (overrides the tag-derived name)")
@@ -256,6 +270,8 @@ func run() error {
 		var res ProfileResult
 		if p.clustered {
 			res = runClusterProfile(*seed, *short)
+		} else if p.partition {
+			res = runPartitionProfile(*seed, *short)
 		} else {
 			res = runProfile(p, *workers, *seed, window, *sweepCost, plan)
 		}
@@ -273,7 +289,7 @@ func run() error {
 	}
 	for name := range selected {
 		if name != "" && !ran[name] {
-			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos, dispatch, cluster)", name)
+			return fmt.Errorf("unknown profile %q (have ramp, spike, sustain, chaos, dispatch, cluster, partition)", name)
 		}
 	}
 	if len(art.Profiles) == 0 {

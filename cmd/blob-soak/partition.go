@@ -1,0 +1,373 @@
+package main
+
+// The partition profile: chaos-prove the cluster against the network
+// itself (internal/netfault, DESIGN.md §17). The cluster profile kills
+// a replica cleanly; this one degrades the wires instead — a seeded
+// netfault plan blackholes the gateway's edge to one replica over two
+// index windows (partition, heal, flap), keeps another replica slow
+// enough that hedged requests fire, and randomly truncates or
+// bit-flips response bodies on the direct-client edges so the
+// blobclient integrity checks have real corruption to catch. The
+// acceptance criteria:
+//
+//   - zero divergence: every verdict served through the faulted run is
+//     byte-identical to the unfaulted single-node replay (faults may
+//     move or delay a verdict, never change it — a corrupt body must
+//     be retried, not believed);
+//   - bounded degradation: no request outlives the latency budget even
+//     mid-partition (blackholes burn their hold time, not a deadline);
+//   - hedges help: the slow-peer rule must produce at least one hedge
+//     win at the gateway;
+//   - nothing leaks: goroutines return to baseline once the cluster
+//     and both injectors wind down.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netfault"
+	"repro/internal/resilience"
+	"repro/internal/service"
+	"repro/pkg/blobclient"
+)
+
+const (
+	partitionNodes = 3
+	// partitionLatencyBudget bounds every request in the faulted run: the
+	// replica request timeout (2s) plus routing, hedging, blackhole hold
+	// and retry overhead. A request that exceeds it hung instead of
+	// degrading.
+	partitionLatencyBudget = 5 * time.Second
+	// partitionHedgeAfter is the fixed hedge delay: above routine proxy
+	// latency, far below the slow-peer rule's 60ms, so hedges fire
+	// exactly when the fault plan says a peer is slow.
+	partitionHedgeAfter = 25 * time.Millisecond
+)
+
+// partitionGatewayPlan is the seeded fault schedule for the gateway's
+// peer edges. rep-1 is permanently slow (hedge bait); rep-2 is
+// blackholed over two index windows — partition, heal, flap — with a
+// hold short enough that a stuck attempt reroutes instead of hanging;
+// rep-0 sees a few connection resets for failover seasoning.
+func partitionGatewayPlan(seed int64, short bool) (*netfault.Plan, error) {
+	p1, p2 := 140, 260 // first partition window (injector evaluation indices)
+	f1, f2 := 420, 470 // flap window
+	if short {
+		p1, p2 = 70, 140
+		f1, f2 = 220, 260
+	}
+	return netfault.ParsePlan([]byte(fmt.Sprintf(`{
+  "schema": "netfault/v1",
+  "seed": %d,
+  "rules": [
+    {"peer": "rep-1", "probability": 1, "kind": "latency", "latency_ms": 60, "jitter_ms": 15},
+    {"peer": "rep-2", "min_index": %d, "max_index": %d, "probability": 1, "kind": "blackhole", "hold_ms": 250},
+    {"peer": "rep-2", "min_index": %d, "max_index": %d, "probability": 1, "kind": "blackhole", "hold_ms": 250},
+    {"peer": "rep-0", "probability": 0.05, "kind": "reset", "max_hits": 4}
+  ]
+}`, seed, p1, p2, f1, f2)))
+}
+
+// partitionClientPlan corrupts the direct-client edges: truncated and
+// bit-flipped response bodies that pkg/blobclient must classify as
+// transient and retry — a verdict read off a damaged wire must never
+// be recorded.
+func partitionClientPlan(seed int64) (*netfault.Plan, error) {
+	return netfault.ParsePlan([]byte(fmt.Sprintf(`{
+  "schema": "netfault/v1",
+  "seed": %d,
+  "rules": [
+    {"route": "/v1/threshold", "probability": 0.2, "kind": "truncate", "truncate_after": 40, "max_hits": 25},
+    {"route": "/v1/threshold", "probability": 0.15, "kind": "corrupt", "flip_every": 64, "max_hits": 25}
+  ]
+}`, seed+1)))
+}
+
+// runPartitionProfile drives the network-fault scenario and scores it.
+func runPartitionProfile(seed int64, short bool) ProfileResult {
+	res := ProfileResult{
+		Name:     "partition",
+		PeakLoad: partitionNodes,
+		Sheds:    map[string]int{},
+		Statuses: map[string]int{},
+		Pass:     true,
+	}
+	res.GoroutineBaseline = runtime.NumGoroutine()
+
+	cacheSize, dims, passes := 36, 144, 9
+	if short {
+		cacheSize, dims, passes = 24, 96, 5
+	}
+	workingSet := make([]int, dims)
+	for i := range workingSet {
+		workingSet[i] = 24 + 2*i
+	}
+
+	gwPlan, err := partitionGatewayPlan(seed, short)
+	if err != nil {
+		res.fail("gateway fault plan: " + err.Error())
+		return res
+	}
+	clPlan, err := partitionClientPlan(seed)
+	if err != nil {
+		res.fail("client fault plan: " + err.Error())
+		return res
+	}
+	gwInj := gwPlan.Arm()
+	clInj := clPlan.Arm()
+
+	breaker := resilience.BreakerConfig{
+		MinRequests: 1, FailureRatio: 0.5, OpenTimeout: 300 * time.Millisecond,
+	}
+	// Three clients, three trust levels: replicas talk to each other on a
+	// clean transport (the faults under test are on the client-facing
+	// edges), the gateway reaches replicas through gwInj, and the direct
+	// clients read replies through clInj's body-corrupting wrapper.
+	cleanTransport := &http.Transport{MaxIdleConnsPerHost: 64}
+	cleanc := &http.Client{Transport: cleanTransport, Timeout: 10 * time.Second}
+
+	nodes := make([]*soakNode, partitionNodes)
+	handlers := make([]atomic.Value, partitionNodes)
+	for i := range nodes {
+		n := &soakNode{name: fmt.Sprintf("rep-%d", i)}
+		slot := &handlers[i]
+		n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			slot.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		nodes[i] = n
+	}
+	members := make([]cluster.Member, partitionNodes)
+	hostToPeer := map[string]string{}
+	for i, n := range nodes {
+		members[i] = cluster.Member{Name: n.name, URL: n.ts.URL}
+		if u, err := url.Parse(n.ts.URL); err == nil {
+			hostToPeer[u.Host] = n.name
+		}
+	}
+	// peerOf names the replica behind a faulted request so plan rules can
+	// target members, not ephemeral 127.0.0.1 ports.
+	peerOf := func(r *http.Request) string {
+		if name, ok := hostToPeer[r.URL.Host]; ok {
+			return name
+		}
+		return r.URL.Host
+	}
+	gwTransport := &http.Transport{MaxIdleConnsPerHost: 64}
+	gwc := &http.Client{
+		Transport: &netfault.Transport{Inner: gwTransport, Injector: gwInj, Peer: peerOf},
+		Timeout:   10 * time.Second,
+	}
+	clTransport := &http.Transport{MaxIdleConnsPerHost: 64}
+	faultyc := &http.Client{
+		Transport: &netfault.Transport{Inner: clTransport, Injector: clInj, Peer: peerOf},
+		Timeout:   10 * time.Second,
+	}
+
+	for i, n := range nodes {
+		pool, err := cluster.NewPool(cluster.Options{
+			Self:         n.name,
+			Members:      members,
+			DownAfter:    2,
+			ProbeTimeout: 2 * time.Second,
+			FillTimeout:  5 * time.Second,
+			HTTPClient:   cleanc,
+			Breaker:      breaker,
+		})
+		if err != nil {
+			res.fail("cluster setup: " + err.Error())
+			return res
+		}
+		n.pool = pool
+		n.svc = service.New(service.Options{
+			Workers:        2,
+			CacheSize:      cacheSize,
+			RequestTimeout: 2 * time.Second,
+			PeerFill:       pool.FillThreshold(),
+		})
+		n.node = cluster.NewNode(pool, n.svc)
+		handlers[i].Store(n.node.Handler())
+	}
+	gwPool, err := cluster.NewGatewayPool(cluster.Options{
+		Members:      members,
+		DownAfter:    2,
+		ProbeTimeout: 2 * time.Second,
+		HTTPClient:   gwc,
+		Breaker:      breaker,
+	})
+	if err != nil {
+		res.fail("gateway setup: " + err.Error())
+		return res
+	}
+	gw := cluster.NewGateway(gwPool, cluster.GatewayOptions{
+		Hedge:      true,
+		HedgeAfter: partitionHedgeAfter,
+	})
+	gwTS := httptest.NewServer(gw.Handler())
+
+	gwClient := blobclient.New(blobclient.Options{
+		BaseURL: gwTS.URL, HTTPClient: cleanc, Breaker: soakBreakerOff})
+	direct := make([]*blobclient.Client, partitionNodes)
+	for i, n := range nodes {
+		direct[i] = blobclient.New(blobclient.Options{
+			BaseURL:    n.ts.URL,
+			HTTPClient: faultyc,
+			Breaker:    soakBreakerOff,
+			Retry:      resilience.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond},
+		})
+	}
+
+	// The faulted run. Same schedule shape as the cluster profile: pass 0
+	// warms in order, later passes are seeded shuffles, every fifth
+	// request goes to a replica directly (through the body-corrupting
+	// transport). The partitions arrive purely from the gateway plan's
+	// index windows as its injector counts evaluations.
+	rng := rand.New(rand.NewSource(seed))
+	verdicts := map[int]string{}
+	began := time.Now()
+	var maxLatency time.Duration
+	for pass := 0; pass < passes; pass++ {
+		order := rng.Perm(dims)
+		if pass == 0 {
+			for i := range order {
+				order[i] = i
+			}
+		}
+		for j, idx := range order {
+			dim := workingSet[idx]
+			cl := gwClient
+			if j%5 == 4 {
+				cl = direct[(pass+j)%partitionNodes]
+			}
+			s, err := thresholdShot(cl, dim)
+			if err != nil {
+				continue // transport fault that outlived the retry budget
+			}
+			res.Requests++
+			res.Statuses[fmt.Sprint(s.status)]++
+			if s.latency > maxLatency {
+				maxLatency = s.latency
+			}
+			if s.status != http.StatusOK {
+				res.Sheds[s.reason]++
+				continue
+			}
+			res.OK++
+			if s.cached {
+				res.Cached++
+			}
+			if s.filledFrom != "" {
+				res.PeerFills++
+			}
+			if prev, ok := verdicts[dim]; ok && prev != s.thresholds {
+				res.fail(fmt.Sprintf("dim %d served two different verdicts across the faulted run", dim))
+			}
+			verdicts[dim] = s.thresholds
+		}
+	}
+	res.DurationMs = float64(time.Since(began)) / float64(time.Millisecond)
+	res.MaxLatencyMs = float64(maxLatency) / float64(time.Millisecond)
+	res.HedgeWins = scrapeCounter(gwTS.URL+"/metrics", "blob_gateway_hedge_wins_total")
+	gwStats, clStats := gwInj.Stats(), clInj.Stats()
+	res.FaultsInjected = int(gwStats.Total() + clStats.Total())
+
+	gwTS.Close()
+	gwPool.Close()
+	for _, n := range nodes {
+		n.ts.Close()
+		n.node.Close()
+	}
+
+	// The unfaulted replay: identical seed and schedule against a single
+	// clean node — the byte-identical verdict oracle.
+	_, refOK, reference := runClusterReference(seed, cacheSize, dims, passes, workingSet, cleanc)
+	cleanTransport.CloseIdleConnections()
+	gwTransport.CloseIdleConnections()
+	clTransport.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res.GoroutineAfter = runtime.NumGoroutine()
+		if res.GoroutineAfter <= res.GoroutineBaseline+goroutineTolerance || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Score.
+	if res.OK == 0 {
+		res.fail("partition run completed no requests")
+		return res
+	}
+	if refOK == 0 {
+		res.fail("unfaulted reference completed no requests")
+		return res
+	}
+	for dim, v := range verdicts {
+		if ref, ok := reference[dim]; !ok {
+			res.fail(fmt.Sprintf("dim %d missing from the unfaulted reference", dim))
+		} else if ref != v {
+			res.fail(fmt.Sprintf("dim %d: faulted verdict differs from the unfaulted replay", dim))
+		}
+	}
+	if maxLatency > partitionLatencyBudget {
+		res.fail(fmt.Sprintf("request hung %.0fms, budget %s", res.MaxLatencyMs, partitionLatencyBudget))
+	}
+	if res.HedgeWins < 1 {
+		res.fail("slow-peer rule produced no hedge wins at the gateway")
+	}
+	if gwStats.Fired[netfault.Blackhole] == 0 {
+		res.fail("partition windows never fired (plan indices missed the run)")
+	}
+	if clStats.Fired[netfault.Truncate]+clStats.Fired[netfault.Corrupt] == 0 {
+		res.fail("body-corruption rules never fired on the direct edges")
+	}
+	if res.GoroutineAfter > res.GoroutineBaseline+goroutineTolerance {
+		res.fail(fmt.Sprintf("goroutine leak: %d after drain, baseline %d",
+			res.GoroutineAfter, res.GoroutineBaseline))
+	}
+	res.VerdictDigest = digest(verdicts)
+	res.ReferenceDigest = digest(reference)
+	if res.VerdictDigest != res.ReferenceDigest {
+		// The per-dim loop above names the first divergent dim; the digest
+		// check additionally catches dims the faulted run never served.
+		for dim := range reference {
+			if _, ok := verdicts[dim]; !ok {
+				res.fail(fmt.Sprintf("dim %d never served through the faulted run", dim))
+			}
+		}
+	}
+	return res
+}
+
+// scrapeCounter reads one untyped counter value off a Prometheus text
+// endpoint; 0 when the metric is absent or the scrape fails.
+func scrapeCounter(metricsURL, name string) int {
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}

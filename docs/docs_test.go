@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/benchmark"
+	"repro/internal/netfault"
 	"repro/internal/service"
 	"repro/internal/sim/efftab"
 )
@@ -100,6 +101,24 @@ func TestAPIDocCoversWireContract(t *testing.T) {
 	}
 }
 
+// TestAPIDocCoversHedging: API.md must document the gateway's hedging
+// and deadline-budget semantics (DESIGN.md §17) — the observable metric
+// names and the route restriction — so the hedge contract cannot drift
+// undocumented.
+func TestAPIDocCoversHedging(t *testing.T) {
+	doc := readDoc(t, "API.md")
+	for _, tok := range []string{
+		"blob_gateway_hedges_total",
+		"blob_gateway_hedge_wins_total",
+		"blob_gateway_deadline_exhausted_total",
+		"/v1/dispatch` is never hedged",
+	} {
+		if !strings.Contains(doc, tok) {
+			t.Errorf("API.md does not mention %q", tok)
+		}
+	}
+}
+
 // TestArtifactsDocCoversSchemas: ARTIFACTS.md must name every artifact
 // schema token and the wire fields of the formats it documents.
 func TestArtifactsDocCoversSchemas(t *testing.T) {
@@ -109,6 +128,7 @@ func TestArtifactsDocCoversSchemas(t *testing.T) {
 		"blob-soak/v1",
 		efftab.Schema,
 		"blobvet-baseline/v1",
+		netfault.SchemaVersion,
 	}
 	for _, tok := range tokens {
 		if !strings.Contains(doc, tok) {
@@ -142,6 +162,8 @@ func TestDocFlagsExist(t *testing.T) {
 		{"ARTIFACTS.md", "../cmd/blob-calibrate/calibrate.go", []string{"out", "threads", "repeats", "quick"}},
 		{"ARTIFACTS.md", "../cmd/blob-calibrate/fidelity.go", []string{"dir", "report"}},
 		{"ARTIFACTS.md", "../cmd/blob-threshold/main.go", []string{"checkpoint"}},
+		{"API.md", "../cmd/blob-gateway/main.go", []string{"hedge", "hedge-after", "hedge-min", "hedge-max"}},
+		{"API.md", "../cmd/blob-served/main.go", []string{"min-sweep-budget"}},
 	}
 	for _, tc := range cases {
 		doc := readDoc(t, tc.doc)

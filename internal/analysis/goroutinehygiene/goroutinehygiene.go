@@ -43,12 +43,14 @@ var Analyzer = &blobvet.Analyzer{
 }
 
 // hotPaths are the package-path suffixes the analyzer applies to. The
-// resilience and fault-injection packages sit on every retried backend
-// call, so they carry the same hygiene bar as the kernels they guard.
+// resilience and fault-injection packages (faultinject, netfault) sit
+// on every retried backend call and every proxied network exchange, so
+// they carry the same hygiene bar as the kernels they guard.
 var hotPaths = []string{
 	"internal/blas", "internal/cluster", "internal/core",
-	"internal/faultinject", "internal/offload", "internal/overload",
-	"internal/parallel", "internal/resilience", "internal/service",
+	"internal/faultinject", "internal/netfault", "internal/offload",
+	"internal/overload", "internal/parallel", "internal/resilience",
+	"internal/service",
 }
 
 // poolPackages are the hot-path packages that define a sanctioned worker

@@ -72,6 +72,7 @@ func DefaultSuite(opt Options) []Case {
 		offloadDecisionLatencyCase(),
 		offloadDispatchBatchCase(dispatchBatch),
 		clusterRouteOverheadCase(),
+		clusterHedgeOverheadCase(),
 		blobvetCase(),
 	)
 	return cases
@@ -370,12 +371,27 @@ func serviceThresholdCachedCase(maxDim int) Case {
 // proxy hop — the fixed overhead clustering adds to a cache hit, which
 // the cluster SLO (TestGatewayRouteOverhead) bounds at p99 < 1ms.
 func clusterRouteOverheadCase() Case {
+	return clusterGatewayCase("cluster/route-overhead", cluster.GatewayOptions{})
+}
+
+// clusterHedgeOverheadCase is clusterRouteOverheadCase with hedging
+// armed: same cached shard, same proxy hop, plus the hedge timer and
+// latency-window bookkeeping on every request. Against a healthy
+// cluster the timer never fires, so this case prices the *unfaulted*
+// cost of arming hedges — which must stay inside the same p99 < 1ms
+// routing SLO (TestGatewayHedgeOverhead asserts it; BENCH artifacts
+// record it).
+func clusterHedgeOverheadCase() Case {
+	return clusterGatewayCase("cluster/hedge-overhead", cluster.GatewayOptions{Hedge: true})
+}
+
+func clusterGatewayCase(name string, gwOpts cluster.GatewayOptions) Case {
 	body := []byte(`{
 	  "system": "dawn", "kernel": "gemv", "precision": "f64",
 	  "config": {"max_dim": 64, "step": 8, "iterations": 2}
 	}`)
 	return Case{
-		Name:  "cluster/route-overhead",
+		Name:  name,
 		Group: "service",
 		Prepare: func(ctx context.Context) (op func() error, cleanup func(), err error) {
 			const replicas = 3
@@ -426,7 +442,7 @@ func clusterRouteOverheadCase() Case {
 				return nil, nil, perr
 			}
 			pools = append(pools, gwPool)
-			gwTS := httptest.NewServer(cluster.NewGateway(gwPool, cluster.GatewayOptions{}).Handler())
+			gwTS := httptest.NewServer(cluster.NewGateway(gwPool, gwOpts).Handler())
 			servers = append(servers, gwTS)
 
 			env := &serviceEnv{ts: gwTS, client: &http.Client{Timeout: 30 * time.Second}}

@@ -32,6 +32,23 @@ type GatewayOptions struct {
 	Replication int
 	// Logger receives routing logs; nil discards them.
 	Logger *slog.Logger
+	// Hedge enables hedged requests on the idempotent routes
+	// (/v1/threshold, /v1/advise, /v0/advise): when the primary owner has
+	// not answered within the hedge delay, a second copy of the request
+	// races to the next ring owner — first success wins, the loser is
+	// cancelled. /v1/dispatch is never hedged: the dispatcher's hysteresis
+	// state makes a duplicated batch observable, so it is not idempotent.
+	Hedge bool
+	// HedgeAfter fixes the hedge delay. 0 (the default) derives it per
+	// request from the p99 of recent successful proxy latencies, clamped
+	// to [HedgeMin, HedgeMax] — "hedge only when this request is already
+	// slower than almost everything we serve".
+	HedgeAfter time.Duration
+	// HedgeMin / HedgeMax clamp the adaptive hedge delay (defaults 2ms /
+	// 500ms). HedgeMax also serves as the delay while the latency window
+	// is still cold, so a freshly started gateway hedges conservatively.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
 }
 
 // Gateway routes advisor requests to the consistent-hash owner of each
@@ -57,6 +74,7 @@ type Gateway struct {
 	start time.Time
 
 	metrics gatewayMetrics
+	lat     latencyRing // recent proxy latencies, feeding the hedge delay
 }
 
 // gatewayMetrics is the gateway's own observability surface (the
@@ -68,6 +86,9 @@ type gatewayMetrics struct {
 	reroutes     service.Counter // transport failures that advanced to the next owner
 	breakerSkips service.Counter // owners skipped because their breaker refused
 	noPeer       service.Counter // requests that exhausted every owner
+	hedges       service.Counter // hedge requests fired (slow primary)
+	hedgeWins    service.Counter // relayed responses that came from a hedge
+	deadlineGone service.Counter // requests 504ed at the gateway: budget spent pre-forward
 }
 
 func (g *gatewayMetrics) routedCounter(peer string) *service.Counter {
@@ -92,6 +113,12 @@ func NewGateway(pool *Pool, opts GatewayOptions) *Gateway {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
+	if opts.HedgeMin <= 0 {
+		opts.HedgeMin = 2 * time.Millisecond
+	}
+	if opts.HedgeMax <= 0 {
+		opts.HedgeMax = 500 * time.Millisecond
+	}
 	g := &Gateway{pool: pool, opts: opts, log: opts.Logger, start: time.Now()}
 	g.metrics.routed = map[string]*service.Counter{}
 	return g
@@ -111,8 +138,11 @@ func (g *Gateway) Handler() http.Handler {
 	return mux
 }
 
-func (g *Gateway) post(h func(http.ResponseWriter, *http.Request, []byte)) http.Handler {
+func (g *Gateway) post(h func(http.ResponseWriter, *http.Request, []byte, time.Time)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The deadline budget starts burning the moment the request
+		// arrives, body read included.
+		arrived := time.Now()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeWireError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
@@ -123,14 +153,14 @@ func (g *Gateway) post(h func(http.ResponseWriter, *http.Request, []byte)) http.
 			writeWireError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading body: %v", err))
 			return
 		}
-		h(w, r, body)
+		h(w, r, body, arrived)
 	})
 }
 
 // routeThreshold routes by the canonical threshold identity. A request
 // the replicas would reject is rejected here with the same contract —
 // cheaper than a proxy hop, and it keeps garbage off the ring.
-func (g *Gateway) routeThreshold(w http.ResponseWriter, r *http.Request, body []byte) {
+func (g *Gateway) routeThreshold(w http.ResponseWriter, r *http.Request, body []byte, arrived time.Time) {
 	var req service.ThresholdRequest
 	if err := strictUnmarshal(body, &req); err != nil {
 		writeWireError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -141,12 +171,14 @@ func (g *Gateway) routeThreshold(w http.ResponseWriter, r *http.Request, body []
 		writeWireError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	g.route(w, r, key, body)
+	g.route(w, r, key, body, true, arrived)
 }
 
 // routeDispatch routes by system name: each system's dispatcher
 // shape-cache warms on one replica instead of diluting across all.
-func (g *Gateway) routeDispatch(w http.ResponseWriter, r *http.Request, body []byte) {
+// Dispatch is never hedged (hedgeable=false): the dispatcher's
+// hysteresis state makes a duplicated batch observable.
+func (g *Gateway) routeDispatch(w http.ResponseWriter, r *http.Request, body []byte, arrived time.Time) {
 	var req struct {
 		System string `json:"system"`
 	}
@@ -156,22 +188,31 @@ func (g *Gateway) routeDispatch(w http.ResponseWriter, r *http.Request, body []b
 		writeWireError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: want a dispatch batch with a system field")
 		return
 	}
-	g.route(w, r, "dispatch|"+req.System, body)
+	g.route(w, r, "dispatch|"+req.System, body, false, arrived)
 }
 
 // routeByDigest routes stateless endpoints by a digest of the body:
 // deterministic spread, identical answers everywhere.
-func (g *Gateway) routeByDigest(w http.ResponseWriter, r *http.Request, body []byte) {
+func (g *Gateway) routeByDigest(w http.ResponseWriter, r *http.Request, body []byte, arrived time.Time) {
 	sum := sha256.Sum256(body)
-	g.route(w, r, "advise|"+hex.EncodeToString(sum[:16]), body)
+	g.route(w, r, "advise|"+hex.EncodeToString(sum[:16]), body, true, arrived)
 }
 
 // route proxies body to the ring owners of key in preference order.
 // Failover advances only on transport errors (peer unreachable) and
 // open breakers; any HTTP response — including a shed — is the
-// cluster's answer and is relayed verbatim.
-func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+// cluster's answer and is relayed verbatim. The client's X-Deadline-Ms
+// budget is decremented by gateway-side elapsed time before each
+// forward; a spent budget answers 504 without burning a replica slot.
+// Hedgeable routes may additionally race a delayed second attempt
+// against a slow primary (see GatewayOptions.Hedge and routeHedged).
+func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key string, body []byte, hedgeable bool, arrived time.Time) {
 	owners := g.pool.Owners(key, g.opts.Replication)
+	budget := clientBudget(r)
+	if g.opts.Hedge && hedgeable && len(owners) > 1 {
+		g.routeHedged(w, r, owners, body, budget, arrived)
+		return
+	}
 	var lastErr error
 	for i, name := range owners {
 		br := g.pool.Breaker(name)
@@ -183,7 +224,12 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key string, body
 			lastErr = fmt.Errorf("peer %s: %w", name, err)
 			continue
 		}
-		resp, err := g.pool.Post(r.Context(), name, r.URL.Path, body, forwardHeaders(r))
+		hdr, ok := g.hopHeaders(r, budget, arrived)
+		if !ok {
+			g.rejectDeadline(w, budget)
+			return
+		}
+		resp, err := g.pool.Post(r.Context(), name, r.URL.Path, body, hdr)
 		if err != nil {
 			if r.Context().Err() != nil {
 				// The client hung up mid-proxy; that proves nothing about
@@ -204,6 +250,7 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key string, body
 		if i > 0 {
 			g.log.Info("gateway: served by failover owner", "peer", name, "rank", i)
 		}
+		g.lat.observe(time.Since(arrived))
 		g.relay(w, resp, name)
 		g.metrics.routedCounter(name).Inc()
 		return
@@ -237,7 +284,7 @@ func (g *Gateway) relay(w http.ResponseWriter, resp *http.Response, peer string)
 // the peer-fill loop guard.
 func forwardHeaders(r *http.Request) http.Header {
 	out := http.Header{}
-	for _, h := range []string{"X-API-Key", "X-Deadline-Ms", service.PeerFillHeader} {
+	for _, h := range []string{"X-API-Key", deadlineHeader, service.PeerFillHeader} {
 		if v := r.Header.Get(h); v != "" {
 			out.Set(h, v)
 		}
@@ -291,6 +338,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "blob_gateway_breaker_skips_total %d\n", g.metrics.breakerSkips.Value())
 	fmt.Fprintf(&b, "# HELP blob_gateway_no_peer_total Requests that exhausted every ring owner.\n# TYPE blob_gateway_no_peer_total counter\n")
 	fmt.Fprintf(&b, "blob_gateway_no_peer_total %d\n", g.metrics.noPeer.Value())
+	fmt.Fprintf(&b, "# HELP blob_gateway_hedges_total Hedge requests fired against a slow primary owner.\n# TYPE blob_gateway_hedges_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_hedges_total %d\n", g.metrics.hedges.Value())
+	fmt.Fprintf(&b, "# HELP blob_gateway_hedge_wins_total Relayed responses that came from a hedge, not the primary.\n# TYPE blob_gateway_hedge_wins_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_hedge_wins_total %d\n", g.metrics.hedgeWins.Value())
+	fmt.Fprintf(&b, "# HELP blob_gateway_deadline_exhausted_total Requests answered 504 because the deadline budget was spent before forwarding.\n# TYPE blob_gateway_deadline_exhausted_total counter\n")
+	fmt.Fprintf(&b, "blob_gateway_deadline_exhausted_total %d\n", g.metrics.deadlineGone.Value())
 
 	fmt.Fprintf(&b, "# HELP blob_gateway_peer_up Ring membership, by peer (1 = in the ring).\n# TYPE blob_gateway_peer_up gauge\n")
 	for _, m := range g.pool.Members() {

@@ -21,6 +21,13 @@ import (
 // cluster and returns its httptest server.
 func startGateway(t *testing.T, nodes []*testNode) (*Gateway, *httptest.Server) {
 	t.Helper()
+	return startGatewayOpts(t, nodes, GatewayOptions{})
+}
+
+// startGatewayOpts is startGateway with explicit gateway options (the
+// hedging and deadline tests need them).
+func startGatewayOpts(t *testing.T, nodes []*testNode, opts GatewayOptions) (*Gateway, *httptest.Server) {
+	t.Helper()
 	members := make([]Member, len(nodes))
 	for i, tn := range nodes {
 		members[i] = Member{Name: tn.name, URL: tn.ts.URL}
@@ -34,7 +41,7 @@ func startGateway(t *testing.T, nodes []*testNode) (*Gateway, *httptest.Server) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := NewGateway(pool, GatewayOptions{})
+	g := NewGateway(pool, opts)
 	ts := httptest.NewServer(g.Handler())
 	t.Cleanup(func() {
 		ts.Close()

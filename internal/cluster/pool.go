@@ -378,9 +378,12 @@ func (p *Pool) recordProbe(name string, err error) {
 }
 
 // probeOutcome maps a probe error onto the breaker discipline: context
-// cancellation proves nothing about the peer, and a 4xx is our fault;
-// everything else (transport errors, 5xx including not_ready) counts
-// against the peer.
+// cancellation proves nothing about the peer, a 4xx is our fault, and a
+// well-formed 503 "not_ready" is a deliberate answer from a live, draining
+// replica — it takes the peer out of the ring (the health table handles
+// that) but must not trip its breaker, or a graceful drain would look like
+// an outage to every pool watching. Everything else (transport errors,
+// other 5xx) counts against the peer.
 func probeOutcome(err error) error {
 	if err == nil {
 		return nil
@@ -389,8 +392,13 @@ func probeOutcome(err error) error {
 		return nil
 	}
 	var ae *blobclient.APIError
-	if errors.As(err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
-		return nil
+	if errors.As(err, &ae) {
+		if ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+			return nil
+		}
+		if ae.Code == "not_ready" {
+			return nil
+		}
 	}
 	return err
 }
@@ -536,6 +544,30 @@ func (p *Pool) Post(ctx context.Context, name, path string, body []byte, hdr htt
 		return nil, fmt.Errorf("%w: %q", ErrUnknownMember, name)
 	}
 	return p.postRaw(ctx, base+path, body, hdr)
+}
+
+// PostResult is one delivery from PostAsync: the peer that was asked, and
+// either its response (caller closes the body) or the transport error.
+type PostResult struct {
+	Peer string
+	Resp *http.Response
+	Err  error
+}
+
+// PostAsync is Post in a background goroutine, delivering exactly one
+// PostResult on the returned buffered channel — the fan-out primitive the
+// gateway's hedged requests race on. The goroutine holds no pool locks and
+// exits as soon as the exchange resolves (cancel ctx to reclaim it
+// promptly); the channel's buffer guarantees it never blocks on a caller
+// that stopped listening. The go statement is sanctioned here: PostAsync is
+// a Pool method (goroutinehygiene).
+func (p *Pool) PostAsync(ctx context.Context, name, path string, body []byte, hdr http.Header) <-chan PostResult {
+	ch := make(chan PostResult, 1)
+	go func() {
+		resp, err := p.Post(ctx, name, path, body, hdr)
+		ch <- PostResult{Peer: name, Resp: resp, Err: err}
+	}()
+	return ch
 }
 
 func (p *Pool) postRaw(ctx context.Context, url string, body []byte, hdr http.Header) (*http.Response, error) {

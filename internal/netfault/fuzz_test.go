@@ -1,0 +1,61 @@
+package netfault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzNetfaultPlan fuzzes the strict netfault/v1 plan parser (part of the
+// verify.sh fuzz stage): arbitrary bytes must either parse into a plan
+// that validates and round-trips, or error — never panic, and never
+// produce a plan whose re-marshal fails.
+func FuzzNetfaultPlan(f *testing.F) {
+	seeds := []string{
+		`{"schema": "netfault/v1", "seed": 1, "rules": []}`,
+		`{"schema": "netfault/v1", "seed": 42, "rules": [
+		  {"peer": "n1", "probability": 0.5, "kind": "latency", "latency_ms": 10, "jitter_ms": 4},
+		  {"peer": "n2", "min_index": 40, "max_index": 80, "probability": 1, "kind": "blackhole", "hold_ms": 200},
+		  {"route": "/v1/threshold", "probability": 0.25, "kind": "truncate", "truncate_after": 8},
+		  {"probability": 0.2, "kind": "reset", "max_hits": 2},
+		  {"probability": 0.1, "kind": "slowloris", "chunk_bytes": 4, "chunk_delay_ms": 2},
+		  {"probability": 0.1, "kind": "corrupt", "flip_every": 32}
+		]}`,
+		`{"schema": "faultinject/v1", "rules": []}`,
+		`{"schema": "netfault/v1", "rules": [{"probability": 2, "kind": "reset"}]}`,
+		`{"rules": [{"kind": "gremlin"}]}`,
+		`not json at all`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		if p.Schema != SchemaVersion {
+			t.Fatalf("parser accepted schema %q", p.Schema)
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("parsed plan fails its own Validate: %v", verr)
+		}
+		out, merr := p.Marshal()
+		if merr != nil {
+			t.Fatalf("accepted plan does not re-marshal: %v", merr)
+		}
+		q, rerr := ParsePlan(out)
+		if rerr != nil {
+			t.Fatalf("re-marshaled plan does not re-parse: %v", rerr)
+		}
+		if len(q.Rules) != len(p.Rules) {
+			t.Fatalf("round trip changed rule count: %d -> %d", len(p.Rules), len(q.Rules))
+		}
+		// Arming must never panic regardless of rule contents.
+		in := p.Arm()
+		_ = in.At("peer", "/route")
+		if _, jerr := json.Marshal(in.Stats()); jerr != nil {
+			t.Fatalf("stats not marshalable: %v", jerr)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package netfault
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// WrapListener is the server-side fault edge: each accepted connection
+// consults the injector once (route "", since no HTTP parsing happens at
+// this layer) and carries the drawn fault for its lifetime. peer names the
+// local endpoint in rules — wrap each replica's listener with its own
+// member name and one shared injector to fault a whole cluster from one
+// plan. A nil injector returns l unchanged.
+func WrapListener(l net.Listener, in *Injector, peer string) net.Listener {
+	if in == nil {
+		return l
+	}
+	return &faultListener{Listener: l, in: in, peer: peer}
+}
+
+type faultListener struct {
+	net.Listener
+	in   *Injector
+	peer string
+}
+
+// Accept wraps the next connection with its drawn fault. A Reset here
+// closes the connection before a single byte moves — the accept-then-slam
+// a dying peer produces.
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	f := l.in.At(l.peer, "")
+	if f == nil {
+		return c, nil
+	}
+	if f.Kind == Reset {
+		_ = c.Close()
+	}
+	return &faultConn{Conn: c, fault: f, done: make(chan struct{})}, nil
+}
+
+// faultConn applies one Fault to a connection's byte streams:
+//
+//   - Reset: every Read/Write fails immediately (the conn is closed);
+//   - Blackhole: Reads stall for the hold, then fail — bytes in, nothing
+//     out, exactly what a partitioned peer looks like;
+//   - Latency: the first Read stalls once, then the conn behaves;
+//   - SlowLoris: Writes are chunked with a delay per chunk;
+//   - Truncate: the conn severs after TruncateAfter written bytes;
+//   - Corrupt: the low bit of every stride-th written byte flips.
+//
+// Close unblocks any in-flight stall so a faulted server can still shut
+// down promptly.
+type faultConn struct {
+	net.Conn
+	fault     *Fault
+	done      chan struct{}
+	closeOnce sync.Once
+	latDone   bool // Latency: first-read stall already paid
+	written   int  // Truncate/Corrupt: stream offset
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.fault.Kind {
+	case Reset:
+		return 0, c.fault.Error()
+	case Blackhole:
+		c.stall(c.fault.Hold)
+		return 0, c.fault.Error()
+	case Latency:
+		if !c.latDone {
+			c.latDone = true
+			c.stall(c.fault.Latency)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.fault.Kind {
+	case Reset:
+		return 0, c.fault.Error()
+	case SlowLoris:
+		total := 0
+		for len(p) > 0 {
+			c.stall(c.fault.ChunkDelay)
+			chunk := p
+			if len(chunk) > c.fault.ChunkBytes {
+				chunk = chunk[:c.fault.ChunkBytes]
+			}
+			n, err := c.Conn.Write(chunk)
+			total += n
+			if err != nil {
+				return total, err
+			}
+			p = p[n:]
+		}
+		return total, nil
+	case Truncate:
+		remain := c.fault.TruncateAfter - c.written
+		if remain <= 0 {
+			_ = c.Conn.Close()
+			return 0, c.fault.Error()
+		}
+		if len(p) > remain {
+			p = p[:remain]
+		}
+		n, err := c.Conn.Write(p)
+		c.written += n
+		return n, err
+	case Corrupt:
+		// Copy so the caller's buffer is never scribbled on.
+		q := make([]byte, len(p))
+		copy(q, p)
+		for i := range q {
+			if (c.written+i)%c.fault.FlipEvery == 0 {
+				q[i] ^= 0x01
+			}
+		}
+		n, err := c.Conn.Write(q)
+		c.written += n
+		return n, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+// stall sleeps d, or returns early when the conn closes.
+func (c *faultConn) stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-c.done:
+	}
+}

@@ -1,0 +1,178 @@
+package netfault
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport is the client-side fault edge: an http.RoundTripper that
+// consults an Injector before (and around) every exchange. With a nil
+// Injector it is a pass-through whose entire cost is one nil comparison —
+// production wiring can leave the wrapper in place permanently and arm it
+// only under test (benchmarked in netfault_test.go).
+type Transport struct {
+	// Inner performs the real exchange (nil takes http.DefaultTransport).
+	Inner http.RoundTripper
+	// Injector is the armed plan; nil disarms the wrapper entirely.
+	Injector *Injector
+	// Peer resolves a request to the logical peer name rules match on;
+	// nil uses the request's URL host. Cluster harnesses map httptest
+	// hosts back to member names here so plans can say "rep-1".
+	Peer func(*http.Request) string
+}
+
+// RoundTrip applies at most one fault to the exchange: pre-faults (latency,
+// reset, blackhole) act before the inner round trip; body faults
+// (slowloris, truncate, corrupt) wrap the inner response's body.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if t.Injector == nil {
+		return inner.RoundTrip(req)
+	}
+	peer := req.URL.Host
+	if t.Peer != nil {
+		peer = t.Peer(req)
+	}
+	f := t.Injector.At(peer, req.URL.Path)
+	if f == nil {
+		return inner.RoundTrip(req)
+	}
+	ctx := req.Context()
+	switch f.Kind {
+	case Latency:
+		if err := sleepCtx(ctx, f.Latency); err != nil {
+			closeRequestBody(req)
+			return nil, err
+		}
+		return inner.RoundTrip(req)
+	case Reset:
+		closeRequestBody(req)
+		return nil, f.Error()
+	case Blackhole:
+		// Silence, not refusal: hold until the caller's context gives up
+		// (the common case under a deadline) or the bounded hold elapses.
+		closeRequestBody(req)
+		timer := time.NewTimer(f.Hold)
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, f.Error()
+		}
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case SlowLoris:
+		resp.Body = &dribbleBody{inner: resp.Body, ctx: ctx, chunk: f.ChunkBytes, delay: f.ChunkDelay}
+	case Truncate:
+		resp.Body = &truncateBody{inner: resp.Body, remain: f.TruncateAfter}
+	case Corrupt:
+		resp.Body = &corruptBody{inner: resp.Body, every: f.FlipEvery}
+	}
+	return resp, nil
+}
+
+// closeRequestBody honours the RoundTripper contract: on error the body
+// must be closed by the transport.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		_ = req.Body.Close()
+	}
+}
+
+// sleepCtx waits d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// truncateBody yields the first remain bytes, then reports the cut the way
+// a severed connection does: io.ErrUnexpectedEOF, not a clean EOF — the
+// exact error pkg/blobclient must classify as transient.
+type truncateBody struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The upstream body really ended inside the window; keep EOF.
+		return n, err
+	}
+	if b.remain <= 0 && err == nil {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.inner.Close() }
+
+// corruptBody flips the low bit of every stride-th payload byte (byte 0
+// included), breaking JSON structure without changing the byte count —
+// the fault the envelope's strict decode must catch.
+type corruptBody struct {
+	inner  io.ReadCloser
+	every  int
+	offset int
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	for i := 0; i < n; i++ {
+		if (b.offset+i)%b.every == 0 {
+			p[i] ^= 0x01
+		}
+	}
+	b.offset += n
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.inner.Close() }
+
+// dribbleBody delivers at most chunk bytes per Read, sleeping delay before
+// each — the slow-loris peer that ties a caller up without ever failing.
+// The request context bounds the total stall.
+type dribbleBody struct {
+	inner io.ReadCloser
+	ctx   context.Context
+	chunk int
+	delay time.Duration
+}
+
+func (b *dribbleBody) Read(p []byte) (int, error) {
+	if err := sleepCtx(b.ctx, b.delay); err != nil {
+		return 0, err
+	}
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.inner.Read(p)
+}
+
+func (b *dribbleBody) Close() error { return b.inner.Close() }

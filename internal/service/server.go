@@ -69,6 +69,13 @@ type Options struct {
 	// end to end; expiry answers 504 with a JSON body. 0 (the default)
 	// disables the budget.
 	RequestTimeout time.Duration
+	// MinSweepBudget fails a cache-missing /v1/threshold request fast
+	// with 504 when its resolved deadline budget is already below this
+	// floor: a sweep that cannot finish inside the remaining budget only
+	// burns an admission slot to produce an answer nobody reads. 0 (the
+	// default) disables the floor. Cache hits are exempt — they cost
+	// nothing and always beat a 504.
+	MinSweepBudget time.Duration
 	// Resilience is applied to every sweep the service runs: retry
 	// budget for transient backend faults and (rarely useful in a
 	// server) checkpointing. It never changes a sweep's results, so it

@@ -261,6 +261,18 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.CacheMisses.Inc()
 
+	// A cache miss means paying for a sweep. When the remaining deadline
+	// budget cannot plausibly cover one, fail fast: a 504 now is the same
+	// answer the client would get after we burned an admission slot and a
+	// worker on a doomed sweep. The Retry-After hint is the admission
+	// controller's live p50 sweep cost, same as a timed-out request.
+	if budget > 0 && s.opts.MinSweepBudget > 0 && budget < s.opts.MinSweepBudget {
+		s.metrics.TimeoutsTotal.Inc()
+		reject(w, http.StatusGatewayTimeout, "deadline_exceeded", s.admission.P50Cost(),
+			fmt.Errorf("deadline budget %s is below the minimum sweep budget %s", budget, s.opts.MinSweepBudget))
+		return
+	}
+
 	// Peer cache fill (DESIGN.md §16): before paying for a local sweep, a
 	// clustered replica asks the shard's ring owner for the result. The
 	// header check is the loop guard — a request that is itself a fill

@@ -68,6 +68,41 @@ func (e *APIError) Transient() bool {
 	return false
 }
 
+// DecodeError is a response that arrived but could not be trusted: the
+// body was truncated mid-stream, failed the content-length check, was not
+// the unified envelope, or carried the wrong schema token. These are wire
+// integrity failures, not server verdicts — a proxy died mid-body, a
+// connection was cut, a payload was corrupted — so DecodeError reports
+// itself transient: the retry loop re-asks (the breaker still counts the
+// failure, because a peer that keeps sending garbage is unhealthy).
+type DecodeError struct {
+	// Path is the request path; Status the HTTP status the broken body
+	// rode in on.
+	Path   string
+	Status int
+	// Reason is the integrity check that failed ("truncated body",
+	// "non-envelope response", ...).
+	Reason string
+	// Err is the underlying decode/read error, when there is one.
+	Err error
+}
+
+// Error formats the failure.
+func (e *DecodeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("blobclient: %s: %s (status %d): %v", e.Path, e.Reason, e.Status, e.Err)
+	}
+	return fmt.Sprintf("blobclient: %s: %s (status %d)", e.Path, e.Reason, e.Status)
+}
+
+// Unwrap exposes the underlying error (io.ErrUnexpectedEOF and friends).
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Transient reports that retrying may yield an intact response
+// (resilience.Transienter — this is what puts truncated and corrupted
+// bodies on the retry path instead of failing the call terminally).
+func (e *DecodeError) Transient() bool { return true }
+
 // Options configures a Client. Only BaseURL is required.
 type Options struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
@@ -320,16 +355,24 @@ func (c *Client) roundTrip(req *http.Request, schema string, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	path, status := req.URL.Path, resp.StatusCode
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		// A body that dies mid-read (io.ErrUnexpectedEOF, a reset) is a wire
+		// failure, not an answer — classified transient so the retry loop
+		// and breaker both see it.
+		return &DecodeError{Path: path, Status: status, Reason: "reading body", Err: err}
+	}
+	if resp.ContentLength >= 0 && int64(len(raw)) != resp.ContentLength {
+		return &DecodeError{Path: path, Status: status,
+			Reason: fmt.Sprintf("truncated body: read %d of %d declared bytes", len(raw), resp.ContentLength)}
 	}
 	var env wireEnvelope
 	if err := json.Unmarshal(raw, &env); err != nil {
-		return fmt.Errorf("blobclient: %s: non-envelope response (status %d): %w", req.URL.Path, resp.StatusCode, err)
+		return &DecodeError{Path: path, Status: status, Reason: "non-envelope response", Err: err}
 	}
-	if resp.StatusCode != http.StatusOK {
-		ae := &APIError{Status: resp.StatusCode}
+	if status != http.StatusOK {
+		ae := &APIError{Status: status}
 		if env.Error != nil {
 			ae.Code = env.Error.Code
 			ae.Message = env.Error.Message
@@ -340,9 +383,13 @@ func (c *Client) roundTrip(req *http.Request, schema string, out any) error {
 		return ae
 	}
 	if env.Schema != schema {
-		return fmt.Errorf("blobclient: %s: schema %q, want %q", req.URL.Path, env.Schema, schema)
+		return &DecodeError{Path: path, Status: status,
+			Reason: fmt.Sprintf("schema token %q, want %q", env.Schema, schema)}
 	}
-	return json.Unmarshal(env.Data, out)
+	if err := json.Unmarshal(env.Data, out); err != nil {
+		return &DecodeError{Path: path, Status: status, Reason: "undecodable data payload", Err: err}
+	}
+	return nil
 }
 
 // retryAfterHint resolves the server's retry hint, preferring the

@@ -3,6 +3,7 @@ package blobclient
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -313,5 +314,93 @@ func TestSchemaMismatchRejected(t *testing.T) {
 	_, err := c.Advise(context.Background(), adviseReq())
 	if err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("error = %v, want schema mismatch", err)
+	}
+}
+
+// healthEnvelope is a minimal valid health body for the integrity tests.
+const healthEnvelope = `{"schema":"blob.v1.health","data":{"status":"ok","uptime_seconds":1}}`
+
+// TestTruncatedBodyRetried: a body cut mid-stream (Content-Length says
+// more than arrived — the wire form of a dying proxy) must classify as a
+// transient DecodeError and be healed by the retry policy, not returned
+// terminally.
+func TestTruncatedBodyRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if calls.Add(1) == 1 {
+			// Promise the full envelope, deliver half: the client's read
+			// ends in io.ErrUnexpectedEOF.
+			w.Header().Set("Content-Length", fmt.Sprint(len(healthEnvelope)))
+			w.Write([]byte(healthEnvelope[:20]))
+			return
+		}
+		w.Write([]byte(healthEnvelope))
+	}))
+	t.Cleanup(ts.Close)
+
+	// One attempt: the truncation surfaces as a transient DecodeError.
+	c := New(Options{BaseURL: ts.URL})
+	_, err := c.Health(context.Background())
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("error = %v (%T), want *DecodeError", err, err)
+	}
+	if !resilience.IsTransient(err) {
+		t.Fatalf("truncated body not transient: %v", err)
+	}
+
+	// With a retry budget the second, intact response heals the call.
+	// (Health bypasses the retry loop, so prove it on the POST path.)
+	calls.Store(0)
+	svcTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := `{"schema":"blob.v1.threshold","data":{"system":"dawn","kernel":"gemv","problem":"square","definition":"d","precision":"f64","key":"k","samples":1,"thresholds":{},"cached":true}}`
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+			w.Write([]byte(body[:25]))
+			return
+		}
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(svcTS.Close)
+	rc := New(Options{BaseURL: svcTS.URL, Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}})
+	resp, err := rc.Threshold(context.Background(), service.ThresholdRequest{System: "dawn", Kernel: "gemv", Precision: "f64"})
+	if err != nil {
+		t.Fatalf("retry did not heal the truncated body: %v", err)
+	}
+	if !resp.Cached {
+		t.Fatalf("unexpected healed response: %+v", resp)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (initial + one retry)", got)
+	}
+}
+
+// TestCorruptBodyRetriedAndBreakerCounted: a bit-flipped payload is a
+// transient DecodeError (retried), and a peer that keeps sending garbage
+// still opens the client breaker — integrity failures are retryable AND
+// breaker-countable, unlike 4xx verdicts.
+func TestCorruptBodyRetriedAndBreakerCounted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		corrupted := []byte(healthEnvelope)
+		corrupted[0] ^= 0x01 // '{' -> 'z': structurally broken JSON
+		w.Write(corrupted)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(Options{BaseURL: ts.URL, Breaker: resilience.BreakerConfig{
+		MinRequests: 1, FailureRatio: 0.5, OpenTimeout: time.Hour,
+	}})
+	req := service.ThresholdRequest{System: "dawn", Kernel: "gemv", Precision: "f64"}
+	_, err := c.Threshold(context.Background(), req)
+	var de *DecodeError
+	if !errors.As(err, &de) || !de.Transient() {
+		t.Fatalf("error = %v, want transient *DecodeError", err)
+	}
+	// The decode failure counted: the breaker now refuses outright.
+	if _, err := c.Threshold(context.Background(), req); !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("breaker did not open on corrupt bodies: %v", err)
 	}
 }

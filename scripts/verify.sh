@@ -34,9 +34,10 @@
 #   6. fuzz smoke    — 10s of native fuzzing per untrusted-input parser:
 #                      the advisor trace CSV, the fault-plan JSON, the
 #                      config hash that keys the service cache, the
-#                      strict blob-vet baseline/report JSON parser, and
-#                      the cluster membership wire messages + threshold
-#                      route key (DESIGN.md §16)
+#                      strict blob-vet baseline/report JSON parser, the
+#                      cluster membership wire messages + threshold
+#                      route key (DESIGN.md §16), and the netfault plan
+#                      JSON (DESIGN.md §17)
 #   7. blob-bench    — smoke run of the standardized benchmark suite
 #                      (tiny sizes, one interleaved repetition): proves
 #                      every case still prepares, runs and serializes
@@ -53,14 +54,20 @@
 #                      a 3-replica consistent-hash cluster, asserting
 #                      linear cache-hit scaling, byte-identical verdicts
 #                      vs the single-node reference, and bounded
-#                      degradation (DESIGN.md §16)
+#                      degradation (DESIGN.md §16); plus the partition
+#                      profile's network-fault run (internal/netfault):
+#                      a seeded partition/heal/flap schedule with a slow
+#                      peer and corrupted bodies, asserting byte-identical
+#                      verdict digests vs an unfaulted replay, at least
+#                      one hedge win, and no hung requests (DESIGN.md §17)
 #   9. go test -race — concurrency-sensitive packages under the race
 #                      detector: the worker pool, the harness, the
 #                      multi-threaded BLAS kernels, the advisor
 #                      service (cache / singleflight / worker pool),
 #                      the offload dispatcher, the overload controller,
 #                      the resilience layer (retry / breaker / fault
-#                      injection), and the cluster ring / pool / gateway
+#                      injection), the network-fault layer, and the
+#                      cluster ring / pool / gateway (hedging included)
 #  10. chaos         — the seeded fault-injection gate: the chaos tests
 #                      re-run under the race detector with a fixed seed,
 #                      proving a sweep under a 30%-transient fault plan
@@ -112,20 +119,21 @@ go test -run='^$' -fuzz='^FuzzPlanJSON$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzConfigHash$' -fuzztime=10s ./internal/core/
 go test -run='^$' -fuzz='^FuzzBaselineJSON$' -fuzztime=10s ./internal/analysis/blobvet/
 go test -run='^$' -fuzz='^FuzzClusterWire$' -fuzztime=10s ./internal/cluster/
+go test -run='^$' -fuzz='^FuzzNetfaultPlan$' -fuzztime=10s ./internal/netfault/
 end
 
 begin "blob-bench -smoke"
 go run ./cmd/blob-bench -smoke -q -tag verify -o "$bench_tmp/BENCH_verify.json"
 end
 
-begin "blob-soak -short (sustain + chaos + dispatch + cluster)"
-go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos,dispatch,cluster -o "$bench_tmp/SOAK_verify.json"
+begin "blob-soak -short (sustain + chaos + dispatch + cluster + partition)"
+go run ./cmd/blob-soak -short -q -seed 1 -profiles sustain,chaos,dispatch,cluster,partition -o "$bench_tmp/SOAK_verify.json"
 end
 
-begin "go test -race (parallel, core, blas, service, offload, overload, resilience, faultinject, blobclient, cluster)"
+begin "go test -race (parallel, core, blas, service, offload, overload, resilience, faultinject, netfault, blobclient, cluster)"
 go test -race ./internal/parallel/... ./internal/core/... ./internal/blas/... ./internal/service/... \
 	./internal/offload/... ./internal/overload/... ./internal/resilience/... ./internal/faultinject/... \
-	./pkg/blobclient/... ./internal/cluster/...
+	./internal/netfault/... ./pkg/blobclient/... ./internal/cluster/...
 end
 
 begin "chaos gate (seeded fault plans under -race)"
